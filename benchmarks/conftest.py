@@ -1,0 +1,44 @@
+"""Shared fixtures for the paper-reproduction benchmark harness.
+
+Each ``test_*`` module regenerates one paper table or figure.  Most
+pipelines are expensive (offline similarity run, CEGIS per window), so
+session-scoped fixtures share the dictionary, runner and caches — which
+also mirrors how the paper's compiler amortises its offline phase.
+
+Run everything:    pytest benchmarks/ --benchmark-only
+Quick subset:      pytest benchmarks/ --benchmark-only -k "table1 or table2"
+Full figure 6:     REPRO_FULL_SUITE=1 pytest benchmarks/ -k figure6 --benchmark-only
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+from repro.synthesis import CegisOptions
+
+
+def full_suite() -> bool:
+    return bool(os.environ.get("REPRO_FULL_SUITE"))
+
+
+@pytest.fixture(scope="session")
+def runner():
+    return ExperimentRunner(CegisOptions(timeout_seconds=18.0, scale_factor=8))
+
+
+@pytest.fixture(scope="session")
+def reduced_benchmarks():
+    """A representative slice of the 33 benchmarks for CI-speed runs:
+    parity kernels, dot-product kernels, both paper regressions, and the
+    swizzle-bound quantized kernels."""
+    from repro.workloads.registry import all_benchmarks, benchmark_named
+
+    if full_suite():
+        return all_benchmarks()
+    names = [
+        "dilate3x3", "average_pool", "add", "mul", "softmax",
+        "matmul_b1", "l2norm", "conv_nn",
+        "gaussian7x7", "conv3x3a16",
+    ]
+    return [benchmark_named(n) for n in names]

@@ -1,0 +1,53 @@
+"""Ablation: the similarity engine's refinement passes (DESIGN.md item).
+
+Measures how many equivalence classes each Algorithm 1 pass removes:
+plain placement only, + argument permutation, + hole refinement.  The
+paper does not table this directly, but the mechanism sizes justify the
+passes' existence (Fig. 2's unpack merge and the blend/mov permute).
+"""
+
+import pytest
+
+from repro.isa.registry import load_isa
+from repro.similarity.constants import extract_constants
+from repro.similarity.engine import SimilarityEngine
+from repro.smt.solver import EquivalenceChecker
+
+
+@pytest.fixture(scope="module")
+def symbolics():
+    loaded = load_isa("x86")
+    return [
+        extract_constants(loaded.semantics[s.name], "x86")
+        for s in loaded.catalog
+    ]
+
+
+def _run(symbolics, permute: bool, holes: bool) -> int:
+    engine = SimilarityEngine(EquivalenceChecker(seed=4))
+    for symbolic in symbolics:
+        engine.insert(symbolic)
+    if permute:
+        engine.permute_and_merge()
+    if holes:
+        engine.refine_with_holes()
+    classes = [c for c in engine._classes if c is not None]
+    return len(classes)
+
+
+def test_ablation_similarity_passes(benchmark, symbolics):
+    def run_all():
+        return {
+            "plain": _run(symbolics, permute=False, holes=False),
+            "with_permute": _run(symbolics, permute=True, holes=False),
+            "with_both": _run(symbolics, permute=True, holes=True),
+        }
+
+    counts = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print(f"\nAblation (x86 classes): {counts}")
+    # Each pass can only merge classes, never split.
+    assert counts["with_permute"] <= counts["plain"]
+    assert counts["with_both"] <= counts["with_permute"]
+    # The hole refinement pass genuinely merges something (the unpack
+    # lo/hi families at minimum).
+    assert counts["with_both"] < counts["plain"]

@@ -1,0 +1,68 @@
+"""Regenerates Figure 6 (a, b, c): runtime performance vs baselines."""
+
+import pytest
+
+from repro.experiments import figure6
+
+
+@pytest.fixture(scope="module")
+def result(runner, reduced_benchmarks):
+    return figure6.run(("x86", "hvx", "arm"), reduced_benchmarks, runner)
+
+
+def test_figure6_performance(benchmark, runner, reduced_benchmarks, result):
+    benchmark.pedantic(lambda: result, rounds=1, iterations=1)
+    print("\n" + figure6.render(result))
+
+
+def test_figure6a_x86_shapes(benchmark, result):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    suite = result.suites["x86"]
+    # Hydride at least matches the production baseline overall.
+    geomean = suite.geomean_speedup("hydride", "halide")
+    assert geomean is not None and geomean >= 0.95
+    # ... and beats the LLVM backend.
+    vs_llvm = suite.geomean_speedup("hydride", "llvm")
+    assert vs_llvm is not None and vs_llvm > 1.0
+    # The dot-product win (VNNI vs pre-VNNI production rules).
+    matmul = suite.speedup("matmul_b1", "hydride", "halide")
+    if matmul is not None:
+        assert matmul >= 1.0
+
+
+def test_figure6b_hvx_shapes(benchmark, result):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    suite = result.suites["hvx"]
+    # Rough parity with the production backend in aggregate...
+    geomean = suite.geomean_speedup("hydride", "halide")
+    assert geomean is not None and 0.7 <= geomean <= 1.4
+    # ...but a large win over the LLVM backend (paper: ~2x).
+    vs_llvm = suite.geomean_speedup("hydride", "llvm")
+    assert vs_llvm is not None and vs_llvm > 1.3
+    # The two paper regressions, reproduced by mechanism:
+    gaussian = suite.speedup("gaussian7x7", "hydride", "halide")
+    assert gaussian is not None and gaussian < 0.9
+    conv = suite.speedup("conv3x3a16", "hydride", "halide")
+    assert conv is not None and conv < 1.0
+
+
+def test_figure6b_rake(benchmark, result):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    # Rake fails on a large fraction of benchmarks (paper: 28 of 33)...
+    failures = result.rake_failures()
+    suite = result.suites["hvx"]
+    attempted = {b for (b, c) in suite.results if c == "rake"}
+    assert len(failures) >= len(attempted) // 3
+    # ...and loses to Hydride where it runs.
+    vs_rake = suite.geomean_speedup("hydride", "rake")
+    if vs_rake is not None:
+        assert vs_rake >= 1.0
+
+
+def test_figure6c_arm_shapes(benchmark, result):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    suite = result.suites["arm"]
+    geomean = suite.geomean_speedup("hydride", "halide")
+    assert geomean is not None and geomean >= 0.85
+    vs_llvm = suite.geomean_speedup("hydride", "llvm")
+    assert vs_llvm is not None and vs_llvm >= 1.0

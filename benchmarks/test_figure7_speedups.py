@@ -1,0 +1,25 @@
+"""Regenerates Figure 7: synthesis-heuristic speedups over BVS."""
+
+import os
+
+from repro.experiments import figure7
+
+
+def test_figure7_speedups(benchmark):
+    isas = ("x86", "hvx") if not os.environ.get("REPRO_FULL_SUITE") else (
+        "x86", "hvx", "arm"
+    )
+    result = benchmark.pedantic(
+        figure7.run, args=(isas,), kwargs={"budget": 60.0}, rounds=1, iterations=1
+    )
+    print("\n" + figure7.render(result))
+
+    # The all-heuristics configuration never loses to plain BVS.
+    for isa in isas:
+        full = result.speedups.get((isa, "BVS + scaling + lane-wise + SBOS"))
+        assert full is None or full >= 0.8
+    # Scaling helps most on the widest vectors (HVX), as in the paper.
+    hvx = result.speedups.get(("hvx", "BVS + scaling"))
+    x86 = result.speedups.get(("x86", "BVS + scaling"))
+    if hvx is not None and x86 is not None:
+        assert hvx >= x86 * 0.8

@@ -1,0 +1,15 @@
+"""Regenerates Table 2: bugs in Rake's hand-written HVX semantics."""
+
+from repro.experiments import table2
+
+
+def test_table2_rake_bugs(benchmark):
+    result = benchmark.pedantic(table2.run, args=(64,), rounds=1, iterations=1)
+    print("\n" + table2.render(result))
+
+    # Divergences appear, only in shift families, and vanish when the
+    # masking fix is applied — matching the species of all five paper bugs.
+    assert result.buggy_families()
+    assert all(f.startswith("shift") for f in result.buggy_families())
+    assert result.fixed_families() == set()
+    assert len(result.known_bugs) == 5

@@ -1,0 +1,21 @@
+"""Synthesis sensitivity study — the paper's Table 5 / Figure 7, scaled
+to run in a couple of minutes.
+
+Run:  python examples/sensitivity_study.py [isa]
+"""
+
+import sys
+
+from repro.experiments import figure7, table5
+
+
+def main() -> None:
+    isas = tuple(sys.argv[1:]) or ("x86",)
+    result = table5.run(isas, budget=90.0)
+    print(table5.render(result))
+    print()
+    print(figure7.render(figure7.run(isas, from_table5=result)))
+
+
+if __name__ == "__main__":
+    main()

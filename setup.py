@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+``pip install -e .`` requires the ``wheel`` package (PEP 660 editable
+installs build a wheel); on fully offline machines without ``wheel``,
+``python setup.py develop`` achieves the same editable install.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,39 @@
+"""AutoLLVM IR: the automatically designed compiler IR (paper Section 3.4).
+
+Every equivalence class of similar machine instructions becomes one
+retargetable *AutoLLVM intrinsic* whose immediate parameters are the
+class's free symbolic parameters; choosing concrete parameter values
+selects a specific member instruction, which makes instruction selection
+a trivial 1-1 table lookup (Section 3.5).
+
+* :mod:`repro.autollvm.llvmir` — a miniature LLVM IR (types, SSA values,
+  intrinsic calls, module printer/verifier) standing in for LLVM proper,
+* :mod:`repro.autollvm.intrinsics` — AutoLLVM operation definitions
+  generated from equivalence classes,
+* :mod:`repro.autollvm.tablegen` — the generated TableGen-style file,
+* :mod:`repro.autollvm.lowering` — the auto-generated per-target
+  instruction selectors.
+"""
+
+from repro.autollvm.intrinsics import AutoLLVMOp, AutoLLVMDictionary, build_dictionary
+from repro.autollvm.llvmir import (
+    Instruction,
+    IntType,
+    Module,
+    Value,
+    VectorType,
+)
+from repro.autollvm.lowering import InstructionSelector, SelectionError
+
+__all__ = [
+    "AutoLLVMOp",
+    "AutoLLVMDictionary",
+    "build_dictionary",
+    "Instruction",
+    "IntType",
+    "Module",
+    "Value",
+    "VectorType",
+    "InstructionSelector",
+    "SelectionError",
+]

@@ -1,0 +1,138 @@
+"""AutoLLVM intrinsic generation from equivalence classes.
+
+Each class yields one parameterized operation.  Its callable signature is
+the representative's register inputs (vector-typed using the member's
+element width where known) followed by one ``i32`` immediate per *free*
+parameter; fixed parameters (identical across the class) are folded away,
+exactly the paper's EliminateUnnecessaryArgs."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.isa.registry import load_isa
+from repro.isa.spec import InstructionSpec
+from repro.similarity.eqclass import ClassMember, EquivalenceClass
+from repro.similarity.engine import build_equivalence_classes
+
+
+@dataclass
+class TargetBinding:
+    """One target instruction reachable from an AutoLLVM op."""
+
+    member: ClassMember
+    spec: InstructionSpec
+
+    @property
+    def isa(self) -> str:
+        return self.spec.isa
+
+    def free_values(self, free_positions: list[int]) -> tuple[int, ...]:
+        values = self.member.values()
+        return tuple(values[i] for i in free_positions)
+
+
+@dataclass
+class AutoLLVMOp:
+    """One AutoLLVM IR operation (an LLVM intrinsic in the paper)."""
+
+    name: str
+    class_id: int
+    eq_class: EquivalenceClass
+    bindings: list[TargetBinding] = field(default_factory=list)
+
+    @property
+    def free_positions(self) -> list[int]:
+        return self.eq_class.free_param_positions()
+
+    @property
+    def arity(self) -> int:
+        return len(self.eq_class.representative.inputs)
+
+    def isas(self) -> set[str]:
+        return {b.isa for b in self.bindings}
+
+    def bindings_for(self, isa: str) -> list[TargetBinding]:
+        return [b for b in self.bindings if b.isa == isa]
+
+    def ops_used(self) -> set[str]:
+        ops: set[str] = set()
+        for node in self.eq_class.representative.body.walk():
+            op = getattr(node, "op", None)
+            if op is not None:
+                ops.add(op)
+        return ops
+
+    def intrinsic_signature(self) -> str:
+        """LLVM-style declaration used in module headers / TableGen."""
+        params = ", ".join(["<W x iN>"] * self.arity + ["i32"] * len(self.free_positions))
+        return f"<W x iN> @{self.name}({params})"
+
+
+def _friendly_kind(members: list[ClassMember]) -> str:
+    families = Counter()
+    for member in members:
+        families[member.symbolic.name] = 0  # placeholder, replaced below
+    return ""
+
+
+@dataclass
+class AutoLLVMDictionary:
+    """The generated dictionary: every AutoLLVM op plus reverse indexes.
+
+    This is the artefact the paper's offline phase hands to both the
+    synthesizer (grammar source) and the code generator (lowering table).
+    """
+
+    isas: tuple[str, ...]
+    ops: list[AutoLLVMOp]
+    by_target_instruction: dict[str, AutoLLVMOp] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def op_named(self, name: str) -> AutoLLVMOp:
+        for op in self.ops:
+            if op.name == name:
+                return op
+        raise KeyError(name)
+
+    def ops_for_isa(self, isa: str) -> list[AutoLLVMOp]:
+        return [op for op in self.ops if isa in op.isas()]
+
+
+def _family_label(bindings: list[TargetBinding]) -> str:
+    families = Counter(b.spec.family for b in bindings)
+    label, _count = families.most_common(1)[0]
+    return label.replace("/", "_")
+
+
+def build_dictionary(isas: tuple[str, ...] = ("x86", "hvx", "arm")) -> AutoLLVMDictionary:
+    """Generate the AutoLLVM dictionary for a set of ISAs (cached)."""
+    return _build_dictionary_cached(tuple(isas))
+
+
+@lru_cache(maxsize=None)
+def _build_dictionary_cached(isas: tuple[str, ...]) -> AutoLLVMDictionary:
+    classes, _stats = build_equivalence_classes(isas)
+    catalogs = {isa: load_isa(isa) for isa in isas}
+    ops: list[AutoLLVMOp] = []
+    reverse: dict[str, AutoLLVMOp] = {}
+    for cls in classes:
+        bindings = [
+            TargetBinding(member, catalogs[member.isa].spec(member.name))
+            for member in cls.members
+        ]
+        label = _family_label(bindings)
+        op = AutoLLVMOp(
+            name=f"autollvm.{label}.{cls.class_id}",
+            class_id=cls.class_id,
+            eq_class=cls,
+            bindings=bindings,
+        )
+        ops.append(op)
+        for binding in bindings:
+            reverse[binding.spec.name] = op
+    return AutoLLVMDictionary(isas, ops, reverse)

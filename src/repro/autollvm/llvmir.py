@@ -1,0 +1,156 @@
+"""A miniature LLVM IR.
+
+The Hydride pipeline needs LLVM only as a carrier for intrinsic calls:
+AutoLLVM operations are "implemented as LLVM intrinsic functions to avoid
+the need for changes to existing LLVM passes".  This module provides the
+corresponding substrate: integer/vector types, SSA values, call
+instructions with immediate arguments, straight-line functions, a module
+printer in LLVM's textual style, and a verifier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class IntType:
+    width: int
+
+    def __str__(self) -> str:
+        return f"i{self.width}"
+
+    @property
+    def bits(self) -> int:
+        return self.width
+
+
+@dataclass(frozen=True)
+class VectorType:
+    num_elems: int
+    elem_width: int
+
+    def __str__(self) -> str:
+        return f"<{self.num_elems} x i{self.elem_width}>"
+
+    @property
+    def bits(self) -> int:
+        return self.num_elems * self.elem_width
+
+
+Type = IntType | VectorType
+
+
+def type_for_bits(bits: int, elem_width: int | None = None) -> Type:
+    """A vector type when an element width is known, else an integer."""
+    if elem_width and bits % elem_width == 0 and bits // elem_width > 1:
+        return VectorType(bits // elem_width, elem_width)
+    return IntType(bits)
+
+
+@dataclass(frozen=True)
+class Value:
+    """An SSA value: a function argument or an instruction result."""
+
+    name: str
+    type: Type
+
+    def __str__(self) -> str:
+        return f"%{self.name}"
+
+
+@dataclass(frozen=True)
+class ImmOperand:
+    """An immediate (compile-time constant) operand."""
+
+    value: int
+    type: Type = field(default_factory=lambda: IntType(32))
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+Operand = Value | ImmOperand
+
+
+@dataclass
+class Instruction:
+    """A call to an intrinsic (AutoLLVM or target-specific)."""
+
+    result: Value
+    callee: str
+    operands: list[Operand]
+    comment: str = ""
+
+    def render(self) -> str:
+        args = ", ".join(f"{op.type} {op}" for op in self.operands)
+        text = f"{self.result} = call {self.result.type} @{self.callee}({args})"
+        if self.comment:
+            text += f"  ; {self.comment}"
+        return text
+
+
+@dataclass
+class Function:
+    name: str
+    args: list[Value]
+    body: list[Instruction] = field(default_factory=list)
+    ret: Value | None = None
+
+    def add(self, instr: Instruction) -> Value:
+        self.body.append(instr)
+        return instr.result
+
+    def render(self) -> str:
+        params = ", ".join(f"{a.type} {a}" for a in self.args)
+        ret_type = self.ret.type if self.ret is not None else "void"
+        lines = [f"define {ret_type} @{self.name}({params}) {{"]
+        for instr in self.body:
+            lines.append(f"  {instr.render()}")
+        if self.ret is not None:
+            lines.append(f"  ret {self.ret.type} {self.ret}")
+        else:
+            lines.append("  ret void")
+        lines.append("}")
+        return "\n".join(lines)
+
+
+@dataclass
+class Module:
+    name: str
+    functions: list[Function] = field(default_factory=list)
+    declarations: list[str] = field(default_factory=list)
+
+    def declare_intrinsic(self, signature: str) -> None:
+        if signature not in self.declarations:
+            self.declarations.append(signature)
+
+    def render(self) -> str:
+        parts = [f"; ModuleID = '{self.name}'"]
+        parts.extend(f"declare {d}" for d in self.declarations)
+        parts.extend(f.render() for f in self.functions)
+        return "\n\n".join(parts) + "\n"
+
+
+class VerificationError(Exception):
+    pass
+
+
+def verify_function(function: Function) -> None:
+    """SSA and type sanity: defs precede uses, names unique, ret defined."""
+    defined: dict[str, Value] = {a.name: a for a in function.args}
+    for instr in function.body:
+        for op in instr.operands:
+            if isinstance(op, Value) and op.name not in defined:
+                raise VerificationError(
+                    f"{function.name}: use of undefined value %{op.name}"
+                )
+        if instr.result.name in defined:
+            raise VerificationError(
+                f"{function.name}: %{instr.result.name} redefined"
+            )
+        defined[instr.result.name] = instr.result
+    if function.ret is not None and function.ret.name not in defined:
+        raise VerificationError(
+            f"{function.name}: return of undefined value %{function.ret.name}"
+        )

@@ -1,0 +1,107 @@
+"""Auto-generated target-specific instruction selection (Section 3.5).
+
+Because every AutoLLVM operation remembers the original concrete values
+of each abstracted parameter for every member instruction, lowering is a
+1-1 table lookup: match the call's immediate parameters against the
+member bindings for the requested ISA and rewrite the call in place.
+There is no pattern matching beyond the parameter comparison — that is
+the point of the design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.autollvm.intrinsics import AutoLLVMDictionary, AutoLLVMOp, TargetBinding
+from repro.autollvm.llvmir import (
+    Function,
+    ImmOperand,
+    Instruction,
+    Operand,
+    Value,
+)
+
+
+class SelectionError(Exception):
+    """No target instruction exists for the requested parameter values."""
+
+
+@dataclass
+class SelectedInstruction:
+    """An AutoLLVM call resolved to a concrete target instruction."""
+
+    binding: TargetBinding
+    operands: list[Operand]
+
+    @property
+    def name(self) -> str:
+        return self.binding.spec.name
+
+    @property
+    def latency(self) -> float:
+        return self.binding.spec.latency
+
+    @property
+    def throughput(self) -> float:
+        return self.binding.spec.throughput
+
+
+class InstructionSelector:
+    """The generated instruction-selection pass for one target ISA."""
+
+    def __init__(self, dictionary: AutoLLVMDictionary, isa: str) -> None:
+        if isa not in dictionary.isas:
+            raise ValueError(f"dictionary was not built with ISA {isa!r}")
+        self.dictionary = dictionary
+        self.isa = isa
+        # (op name, free parameter values) -> binding.
+        self._table: dict[tuple[str, tuple[int, ...]], TargetBinding] = {}
+        for op in dictionary.ops:
+            free = op.free_positions
+            for binding in op.bindings_for(isa):
+                key = (op.name, binding.free_values(free))
+                # First binding wins deterministically; duplicates are
+                # semantically interchangeable members.
+                self._table.setdefault(key, binding)
+
+    def rule_count(self) -> int:
+        return len(self._table)
+
+    def select(
+        self, op: AutoLLVMOp, immediates: tuple[int, ...], operands: list[Operand]
+    ) -> SelectedInstruction:
+        """Resolve one AutoLLVM call; permutes operands per the member's
+        argument alignment recorded during similarity checking."""
+        binding = self._table.get((op.name, immediates))
+        if binding is None:
+            raise SelectionError(
+                f"{op.name} with parameters {immediates} has no {self.isa} "
+                "instruction"
+            )
+        order = binding.member.arg_order
+        register_operands = [operands[order[i]] for i in range(len(order))]
+        return SelectedInstruction(binding, register_operands)
+
+    def lower_call(self, instr: Instruction) -> Instruction:
+        """Rewrite an AutoLLVM intrinsic call into a target intrinsic call."""
+        op = self.dictionary.op_named(instr.callee)
+        register_ops = [o for o in instr.operands if isinstance(o, Value)]
+        imm_ops = [o for o in instr.operands if isinstance(o, ImmOperand)]
+        immediates = tuple(imm.value for imm in imm_ops)
+        selected = self.select(op, immediates, list(register_ops))
+        return Instruction(
+            result=instr.result,
+            callee=f"llvm.{self.isa}.{selected.name.lstrip('_')}",
+            operands=selected.operands,
+            comment=f"{selected.binding.spec.asm} (from {instr.callee})",
+        )
+
+    def lower_function(self, function: Function) -> Function:
+        lowered = Function(function.name + f".{self.isa}", list(function.args))
+        for instr in function.body:
+            if instr.callee.startswith("autollvm."):
+                lowered.body.append(self.lower_call(instr))
+            else:
+                lowered.body.append(instr)
+        lowered.ret = function.ret
+        return lowered

@@ -1,0 +1,246 @@
+"""The Hydride end-to-end compiler.
+
+Pipeline per kernel and target: take the scheduled, lowered Halide IR
+window; extract synthesis windows of bounded depth; run lane-wise CEGIS
+against the pruned grammar; translate the winning program to AutoLLVM IR;
+lower 1-1 to target instructions; and cost the result.
+
+When a window is too large for synthesis within budget, the compiler
+splits it at its outermost operation and recurses — the honest analogue
+of the paper's gaussian7x7 failure, where the window needed for HVX's
+four-way ``vrmpy`` "is too large for the synthesis to be tractable" and
+Hydride generates simpler code instead.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.autollvm import build_dictionary
+from repro.autollvm.intrinsics import AutoLLVMDictionary
+from repro.backend.common import CompiledKernel, broadcast_ops, memory_ops
+from repro.backend.select import generic_op, op_table
+from repro.halide import ir as hir
+from repro.halide.lowering import LoweredKernel
+from repro.machine.ops import MachineOp, op_from_spec
+from repro.machine.targets import TARGETS
+from repro.synthesis import (
+    CegisOptions,
+    GrammarOptions,
+    MemoCache,
+    SynthesisFailure,
+    build_grammar,
+    synthesize,
+)
+from repro.synthesis.cost import GENERIC_PERMUTE_LATENCY, NATIVE_SWIZZLE_LATENCY
+from repro.synthesis.grammar import native_swizzles_for
+from repro.synthesis.program import SNode, SOp, SSwizzle
+from repro.synthesis.translate import translate_program
+
+
+def rewrite_broadcasts(expr: hir.HExpr) -> hir.HExpr:
+    """Treat runtime broadcasts as opaque vector inputs for synthesis.
+
+    A program correct for an arbitrary vector is correct for a splat, so
+    this only widens the specification; the splat instruction itself is
+    costed separately.
+    """
+
+    def fix(node: hir.HExpr) -> hir.HExpr:
+        if isinstance(node, hir.HBroadcast):
+            return hir.HLoad(node.name, node.lanes, node.elem_width)
+        kids = [fix(k) for k in node.children()]
+        if not kids:
+            return node
+        if isinstance(node, hir.HBin):
+            return hir.HBin(node.op, kids[0], kids[1])
+        if isinstance(node, hir.HCmp):
+            return hir.HCmp(node.op, kids[0], kids[1])
+        if isinstance(node, hir.HSelect):
+            return hir.HSelect(kids[0], kids[1], kids[2])
+        if isinstance(node, hir.HCast):
+            return hir.HCast(node.kind, kids[0], node.new_elem_width)
+        if isinstance(node, hir.HSlice):
+            return hir.HSlice(kids[0], node.start, node.lanes)
+        if isinstance(node, hir.HConcat):
+            return hir.HConcat(tuple(kids))
+        if isinstance(node, hir.HReduceAdd):
+            return hir.HReduceAdd(kids[0], node.factor)
+        if isinstance(node, hir.HShuffle):
+            return hir.HShuffle(kids[0], node.indices)
+        raise TypeError(type(node).__name__)
+
+    return fix(expr)
+
+
+@dataclass
+class WindowCompilation:
+    """Synthesis outcome for one window (for compile-time accounting)."""
+
+    expression_count: int = 0
+    synth_seconds: float = 0.0
+    cache_hits: int = 0
+    splits: int = 0
+
+
+class HydrideCompiler:
+    """Compiles lowered kernels via synthesis to AutoLLVM to target code."""
+
+    name = "hydride"
+
+    def __init__(
+        self,
+        dictionary: AutoLLVMDictionary | None = None,
+        cache: MemoCache | None = None,
+        cegis: CegisOptions | None = None,
+        grammar_options: GrammarOptions | None = None,
+        # Windows deeper than this are split before synthesis (the paper's
+        # bounded window size).
+        max_window_size: int = 14,
+        # Windows with more operations than synthesis could compress into
+        # a max-depth program are split without attempting synthesis.
+        max_window_ops: int = 6,
+    ) -> None:
+        self.dictionary = dictionary or build_dictionary(("x86", "hvx", "arm"))
+        self.cache = cache if cache is not None else MemoCache()
+        self.cegis = cegis or CegisOptions(timeout_seconds=30.0)
+        self.grammar_options = grammar_options or GrammarOptions()
+        self.max_window_size = max_window_size
+        self.max_window_ops = max_window_ops
+
+    # ------------------------------------------------------------------
+
+    def compile(self, kernel: LoweredKernel, isa: str) -> CompiledKernel:
+        start = time.time()
+        target = TARGETS[isa]
+        window = rewrite_broadcasts(kernel.window)
+        accounting = WindowCompilation()
+        body, programs = self._compile_window(window, isa, accounting)
+        compiled = CompiledKernel(
+            kernel=kernel,
+            target=isa,
+            compiler=self.name,
+            body=body + memory_ops(kernel, target) + broadcast_ops(kernel),
+            compile_seconds=time.time() - start,
+            live_values=len(kernel.loads) + max(1, len(body) // 2),
+        )
+        compiled.notes.append(
+            f"windows={accounting.expression_count} "
+            f"splits={accounting.splits} cache_hits={accounting.cache_hits}"
+        )
+        compiled.programs = programs  # type: ignore[attr-defined]
+        compiled.accounting = accounting  # type: ignore[attr-defined]
+        return compiled
+
+    # ------------------------------------------------------------------
+
+    def _compile_window(
+        self, window: hir.HExpr, isa: str, accounting: WindowCompilation
+    ) -> tuple[list[MachineOp], list[SNode]]:
+        """Synthesize one window, splitting when synthesis fails."""
+        accounting.expression_count += 1
+        op_nodes = sum(
+            1
+            for n in window.walk()
+            if not isinstance(n, (hir.HLoad, hir.HConst, hir.HBroadcast, hir.HSlice, hir.HConcat))
+        )
+        if window.size() <= self.max_window_size and op_nodes <= self.max_window_ops:
+            try:
+                hits_before = self.cache.hits
+                result = synthesize(
+                    window,
+                    build_grammar(window, isa, self.dictionary, self.grammar_options),
+                    self.cegis,
+                    self.cache,
+                )
+                accounting.synth_seconds += result.stats.seconds
+                accounting.cache_hits += self.cache.hits - hits_before
+                return self._program_ops(result.program, isa), [result.program]
+            except SynthesisFailure:
+                pass
+        # Too large or unsat within budget: split at the outermost op and
+        # glue the pieces with a generically-selected instruction.
+        accounting.splits += 1
+        return self._split_window(window, isa, accounting)
+
+    def _split_window(
+        self, window: hir.HExpr, isa: str, accounting: WindowCompilation
+    ) -> tuple[list[MachineOp], list[SNode]]:
+        kids = window.children()
+        if not kids:
+            return [], []
+        ops: list[MachineOp] = []
+        programs: list[SNode] = []
+        for kid in kids:
+            if kid.size() <= 1:
+                continue
+            kid_ops, kid_programs = self._compile_window(kid, isa, accounting)
+            ops.extend(kid_ops)
+            programs.extend(kid_programs)
+        ops.extend(_glue_ops(window, isa))
+        return ops, programs
+
+    def _program_ops(self, program: SNode, isa: str) -> list[MachineOp]:
+        """Machine ops for a synthesized program (1-1 AutoLLVM lowering)."""
+        target = TARGETS[isa]
+        native = native_swizzles_for(isa)
+        ops: list[MachineOp] = []
+        seen: set[int] = set()
+        for node in program.walk():
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            if isinstance(node, SOp):
+                ops.append(op_from_spec(node.binding.spec))
+            elif isinstance(node, SSwizzle):
+                if node.pattern in native:
+                    ops.append(
+                        MachineOp(
+                            f"swizzle.{node.pattern}",
+                            "shuffle",
+                            NATIVE_SWIZZLE_LATENCY,
+                            1.0,
+                        )
+                    )
+                else:
+                    # LLVM pattern-matches the shufflevector to a generic
+                    # permute — the paper's add/softmax slowdown mechanism.
+                    ops.append(
+                        MachineOp(
+                            f"permute.{node.pattern}",
+                            "shuffle",
+                            target.generic_permute_latency,
+                            1.0,
+                        )
+                    )
+        return ops
+
+    # ------------------------------------------------------------------
+
+    def emit_llvm(self, kernel: LoweredKernel, isa: str) -> str:
+        """The AutoLLVM IR module text for a kernel (documentation path)."""
+        window = rewrite_broadcasts(kernel.window)
+        accounting = WindowCompilation()
+        _ops, programs = self._compile_window(window, isa, accounting)
+        chunks = []
+        for index, program in enumerate(programs):
+            translated = translate_program(
+                program, f"{kernel.name}.window{index}", kernel.out_elem_width
+            )
+            chunks.append(translated.function.render())
+        return "\n\n".join(chunks)
+
+
+def _glue_ops(window: hir.HExpr, isa: str) -> list[MachineOp]:
+    """Code for the split node itself.
+
+    A window whose synthesis fails is emitted as plain LLVM IR, so the
+    node above the split point gets LLVM's generic lowering — priced by
+    the same model as the LLVM-backend baseline (which is what the paper
+    observes: synthesis failures degrade to "simpler SIMD code")."""
+    from repro.backend.llvm_generic import LlvmGenericCompiler
+
+    ops: list[MachineOp] = []
+    LlvmGenericCompiler().lower_single_node(window, isa, ops)
+    return ops

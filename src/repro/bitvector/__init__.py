@@ -1,0 +1,25 @@
+"""Fixed-width two's-complement bitvector substrate.
+
+Every level of the Hydride reproduction — ISA pseudocode semantics,
+Hydride IR interpretation, AutoLLVM IR interpretation, CEGIS verification —
+computes over fixed-width bitvectors.  This package provides the single
+concrete value type (:class:`BitVector`) and the full operation set used by
+all of them, mirroring the SMT-LIB QF_BV theory plus the saturating /
+widening operations that vector ISAs need.
+"""
+
+from repro.bitvector.bv import BitVector, bv, concat_many
+from repro.bitvector.lanes import (
+    Vector,
+    vector_from_elems,
+    vector_to_elems,
+)
+
+__all__ = [
+    "BitVector",
+    "bv",
+    "concat_many",
+    "Vector",
+    "vector_from_elems",
+    "vector_to_elems",
+]

@@ -1,0 +1,95 @@
+"""Vector registers as bitvectors with lane structure.
+
+A vector register is just one wide :class:`BitVector`; this module provides
+the lane-structured view that ISA semantics use: element extraction and
+insertion, conversion to and from Python integer lists, and lane-wise maps.
+
+Lane 0 occupies the least-significant bits, matching the little-endian
+element order the Intel/HVX/ARM pseudocode manuals use.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.bitvector.bv import BitVector, concat_many
+
+
+@dataclass(frozen=True)
+class Vector:
+    """A lane-structured view over a wide bitvector.
+
+    ``bits`` holds the full register contents; ``elem_width`` is the width
+    of each lane in bits.  The number of lanes is implied.
+    """
+
+    bits: BitVector
+    elem_width: int
+
+    def __post_init__(self) -> None:
+        if self.elem_width <= 0:
+            raise ValueError("element width must be positive")
+        if self.bits.width % self.elem_width:
+            raise ValueError(
+                f"register width {self.bits.width} is not a multiple of "
+                f"element width {self.elem_width}"
+            )
+
+    @property
+    def num_elems(self) -> int:
+        return self.bits.width // self.elem_width
+
+    def elem(self, index: int) -> BitVector:
+        """The lane at ``index`` (lane 0 is least significant)."""
+        if not 0 <= index < self.num_elems:
+            raise IndexError(f"lane {index} out of range [0, {self.num_elems})")
+        low = index * self.elem_width
+        return self.bits.extract(low + self.elem_width - 1, low)
+
+    def with_elem(self, index: int, value: BitVector) -> "Vector":
+        """A copy of this vector with lane ``index`` replaced."""
+        if value.width != self.elem_width:
+            raise ValueError(
+                f"element width mismatch: lane is {self.elem_width}, "
+                f"value is {value.width}"
+            )
+        elems = list(self.elems())
+        elems[index] = value
+        return vector_from_elems(elems)
+
+    def elems(self) -> list[BitVector]:
+        return [self.elem(i) for i in range(self.num_elems)]
+
+    def to_ints_unsigned(self) -> list[int]:
+        return [e.unsigned for e in self.elems()]
+
+    def to_ints_signed(self) -> list[int]:
+        return [e.signed for e in self.elems()]
+
+    def map_lanes(self, fn: Callable[[BitVector], BitVector]) -> "Vector":
+        """Apply ``fn`` independently to every lane."""
+        return vector_from_elems([fn(e) for e in self.elems()])
+
+    def reinterpret(self, elem_width: int) -> "Vector":
+        """The same register bits viewed with a different lane width."""
+        return Vector(self.bits, elem_width)
+
+
+def vector_from_elems(elems: Sequence[BitVector]) -> Vector:
+    """Build a vector from lanes given in index order (lane 0 first)."""
+    if not elems:
+        raise ValueError("a vector needs at least one lane")
+    widths = {e.width for e in elems}
+    if len(widths) != 1:
+        raise ValueError(f"all lanes must share one width, got {sorted(widths)}")
+    return Vector(concat_many(list(reversed(list(elems)))), elems[0].width)
+
+
+def vector_from_ints(values: Sequence[int], elem_width: int) -> Vector:
+    """Build a vector from Python ints (each masked to ``elem_width``)."""
+    return vector_from_elems([BitVector(v, elem_width) for v in values])
+
+
+def vector_to_elems(vec: Vector) -> list[BitVector]:
+    return vec.elems()

@@ -1,0 +1,15 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+* :mod:`repro.experiments.table1` — AutoLLVM IR sizes per ISA combination
+* :mod:`repro.experiments.table2` — bugs found in Rake's HVX semantics
+* :mod:`repro.experiments.table3` — complex non-SIMD codegen comparison
+* :mod:`repro.experiments.table4` — compile times (cache columns I–IV)
+* :mod:`repro.experiments.table5` — synthesis sensitivity analysis
+* :mod:`repro.experiments.figure6` — runtime performance vs baselines
+* :mod:`repro.experiments.figure7` — heuristic speedups (from table5)
+
+Each module exposes ``run(...)`` returning a structured result plus a
+``render(result)`` producing the table in text form; the benchmark
+harness under ``benchmarks/`` invokes these and asserts the paper's
+qualitative shapes.
+"""

@@ -1,0 +1,157 @@
+"""Shared experiment infrastructure: compile + simulate a benchmark suite."""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+from repro.autollvm import build_dictionary
+from repro.backend import (
+    CompileError,
+    HalideNativeCompiler,
+    HydrideCompiler,
+    LlvmGenericCompiler,
+    RakeCompiler,
+)
+from repro.synthesis import CegisOptions, MemoCache
+from repro.workloads.registry import Benchmark, all_benchmarks
+
+
+@dataclass
+class BenchmarkResult:
+    benchmark: str
+    target: str
+    compiler: str
+    runtime_us: float | None
+    compile_seconds: float = 0.0
+    expression_count: int = 0
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.runtime_us is not None
+
+
+@dataclass
+class SuiteResult:
+    target: str
+    results: dict[tuple[str, str], BenchmarkResult] = field(default_factory=dict)
+
+    def runtime(self, benchmark: str, compiler: str) -> float | None:
+        result = self.results.get((benchmark, compiler))
+        return result.runtime_us if result and result.ok else None
+
+    def speedup(self, benchmark: str, compiler: str, baseline: str) -> float | None:
+        ours = self.runtime(benchmark, compiler)
+        base = self.runtime(benchmark, baseline)
+        if ours is None or base is None or ours == 0:
+            return None
+        return base / ours
+
+    def geomean_speedup(self, compiler: str, baseline: str) -> float | None:
+        ratios = []
+        for (benchmark, comp) in list(self.results):
+            if comp != compiler:
+                continue
+            ratio = self.speedup(benchmark, compiler, baseline)
+            if ratio is not None:
+                ratios.append(ratio)
+        if not ratios:
+            return None
+        return math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+
+
+def fast_hydride_options() -> CegisOptions:
+    """A synthesis budget suited to running the full suite."""
+    return CegisOptions(timeout_seconds=25.0, scale_factor=8)
+
+
+class ExperimentRunner:
+    """Compiles and simulates benchmarks across compilers and targets.
+
+    One Hydride compiler (and memo cache) is shared per target, so
+    synthesis results accumulate across benchmarks as in the paper's
+    Table 4 column II scenario.
+    """
+
+    def __init__(self, cegis: CegisOptions | None = None) -> None:
+        self.dictionary = build_dictionary(("x86", "hvx", "arm"))
+        self.cegis = cegis or fast_hydride_options()
+        self.caches: dict[str, MemoCache] = {}
+        self.hydride: dict[str, HydrideCompiler] = {}
+        for isa in ("x86", "hvx", "arm"):
+            self.caches[isa] = MemoCache()
+            self.hydride[isa] = HydrideCompiler(
+                dictionary=self.dictionary,
+                cache=self.caches[isa],
+                cegis=self.cegis,
+            )
+        self.halide = HalideNativeCompiler()
+        self.llvm = LlvmGenericCompiler()
+        self.rake = RakeCompiler(dictionary=self.dictionary)
+
+    def compiler_named(self, name: str, isa: str):
+        if name == "hydride":
+            return self.hydride[isa]
+        return {"halide": self.halide, "llvm": self.llvm, "rake": self.rake}[name]
+
+    def run_one(
+        self, benchmark: Benchmark, isa: str, compiler_name: str
+    ) -> BenchmarkResult:
+        compiler = self.compiler_named(compiler_name, isa)
+        start = time.time()
+        try:
+            kernels = benchmark.lower(isa)
+            total_us = 0.0
+            expressions = 0
+            for kernel in kernels:
+                compiled = compiler.compile(kernel, isa)
+                total_us += compiled.simulate().runtime_us
+                accounting = getattr(compiled, "accounting", None)
+                if accounting is not None:
+                    expressions += accounting.expression_count
+            return BenchmarkResult(
+                benchmark.name,
+                isa,
+                compiler_name,
+                total_us,
+                compile_seconds=time.time() - start,
+                expression_count=expressions,
+            )
+        except (CompileError, Exception) as exc:  # noqa: BLE001
+            if not isinstance(exc, CompileError):
+                # Unexpected errors should be visible during development
+                # but recorded rather than fatal during sweeps.
+                error = f"{type(exc).__name__}: {exc}"
+            else:
+                error = str(exc)
+            return BenchmarkResult(
+                benchmark.name, isa, compiler_name, None,
+                compile_seconds=time.time() - start, error=error,
+            )
+
+    def run_suite(
+        self,
+        isa: str,
+        compilers: tuple[str, ...],
+        benchmarks: list[Benchmark] | None = None,
+    ) -> SuiteResult:
+        suite = SuiteResult(isa)
+        for benchmark in benchmarks or all_benchmarks():
+            for compiler_name in compilers:
+                result = self.run_one(benchmark, isa, compiler_name)
+                suite.results[(benchmark.name, compiler_name)] = result
+        return suite
+
+
+def format_table(headers: list[str], rows: list[list[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def fmt(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""Table 1: AutoLLVM IR results for each architecture.
+
+For every ISA subset the paper reports ISA size, AutoLLVM size (number of
+equivalence classes), and the ratio.  One combined engine run provides
+all seven rows by restricting the equivalence relation to each subset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.runner import format_table
+from repro.similarity.engine import build_equivalence_classes
+from repro.similarity.eqclass import restrict_classes
+
+SUBSETS: list[tuple[str, ...]] = [
+    ("x86",),
+    ("hvx",),
+    ("arm",),
+    ("x86", "hvx"),
+    ("x86", "arm"),
+    ("hvx", "arm"),
+    ("x86", "hvx", "arm"),
+]
+
+# The paper's Table 1, for side-by-side reporting.
+PAPER_ROWS = {
+    ("x86",): (2029, 136, 6.7),
+    ("hvx",): (307, 115, 37.5),
+    ("arm",): (1221, 177, 14.5),
+    ("x86", "hvx"): (2336, 232, 9.9),
+    ("x86", "arm"): (3250, 302, 9.3),
+    ("hvx", "arm"): (1528, 286, 18.7),
+    ("x86", "hvx", "arm"): (3557, 397, 11.2),
+}
+
+
+@dataclass
+class Table1Row:
+    isas: tuple[str, ...]
+    isa_size: int
+    autollvm_size: int
+
+    @property
+    def percent(self) -> float:
+        return 100.0 * self.autollvm_size / self.isa_size
+
+
+@dataclass
+class Table1Result:
+    rows: list[Table1Row]
+    engine_seconds: float
+    checks: int
+
+    def row(self, isas: tuple[str, ...]) -> Table1Row:
+        for candidate in self.rows:
+            if candidate.isas == isas:
+                return candidate
+        raise KeyError(isas)
+
+
+def run() -> Table1Result:
+    classes, stats = build_equivalence_classes(("x86", "hvx", "arm"))
+    rows = []
+    for subset in SUBSETS:
+        restricted = restrict_classes(classes, set(subset))
+        instructions = sum(len(c.members) for c in restricted)
+        rows.append(Table1Row(subset, instructions, len(restricted)))
+    return Table1Result(rows, stats.seconds, stats.checks)
+
+
+def render(result: Table1Result) -> str:
+    headers = [
+        "Architecture", "ISA Size", "AutoLLVM Size", "% of ISA",
+        "paper ISA", "paper AutoLLVM", "paper %",
+    ]
+    body = []
+    for row in result.rows:
+        paper = PAPER_ROWS[row.isas]
+        body.append([
+            " + ".join(row.isas),
+            str(row.isa_size),
+            str(row.autollvm_size),
+            f"{row.percent:.1f}%",
+            str(paper[0]),
+            str(paper[1]),
+            f"{paper[2]:.1f}%",
+        ])
+    return "Table 1: AutoLLVM IR results\n" + format_table(headers, body)

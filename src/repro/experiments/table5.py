@@ -1,0 +1,154 @@
+"""Table 5: synthesis sensitivity analysis.
+
+Synthesizing the dot-product operation for each target under different
+heuristic settings: all instructions / top-50-by-score / BVS /
+BVS+lane-wise / BVS+scaling / BVS+scaling+lane-wise / everything+SBOS.
+Grammar sizes and wall-clock synthesis times are measured for real; the
+"all instructions" and "top 50" settings are run under a small timeout
+and reported as intractable when they exceed it, as in the paper.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.autollvm import build_dictionary
+from repro.experiments.runner import format_table
+from repro.halide import ir as hir
+from repro.synthesis import (
+    CegisOptions,
+    GrammarOptions,
+    SynthesisFailure,
+    build_grammar,
+    synthesize,
+)
+
+
+def dot_product_window(lanes_out: int) -> hir.HExpr:
+    """The dot-product expression of the paper's sensitivity study."""
+    a = hir.HLoad("ld0", lanes_out * 2, 16)
+    b = hir.HLoad("ld1", lanes_out * 2, 16)
+    acc = hir.HLoad("ld2", lanes_out, 32)
+    return hir.HBin(
+        "add",
+        hir.HReduceAdd(
+            hir.HBin("mul", hir.HCast("sext", a, 32), hir.HCast("sext", b, 32)), 2
+        ),
+        acc,
+    )
+
+
+LANES_OUT = {"x86": 16, "hvx": 32, "arm": 4}
+
+
+@dataclass
+class Setting:
+    name: str
+    grammar: GrammarOptions
+    lanewise: bool
+    scaling: bool
+    # Settings expected to blow up get a short leash.
+    timeout: float
+
+
+def settings(budget: float) -> list[Setting]:
+    return [
+        Setting("all instructions", GrammarOptions(include_all=True, bvs=False, sbos=False),
+                True, True, min(budget, 20.0)),
+        Setting("top 50 by score", GrammarOptions(bvs=False, sbos=False, top_n_by_score=50),
+                True, True, min(budget, 30.0)),
+        Setting("BVS", GrammarOptions(bvs=True, sbos=False), False, False, budget),
+        Setting("BVS + lane-wise", GrammarOptions(bvs=True, sbos=False), True, False, budget),
+        Setting("BVS + scaling", GrammarOptions(bvs=True, sbos=False), False, True, budget),
+        Setting("BVS + scaling + lane-wise", GrammarOptions(bvs=True, sbos=False), True, True, budget),
+        Setting("BVS + scaling + lane-wise + SBOS", GrammarOptions(bvs=True, sbos=True, k=3),
+                True, True, budget),
+    ]
+
+
+@dataclass
+class SettingResult:
+    setting: str
+    grammar_size: int
+    seconds: float | None  # None == intractable/timeout
+    found: str = ""
+
+
+@dataclass
+class Table5Result:
+    per_isa: dict[str, list[SettingResult]] = field(default_factory=dict)
+
+    def baseline_seconds(self, isa: str) -> float | None:
+        for row in self.per_isa[isa]:
+            if row.setting == "BVS":
+                return row.seconds
+        return None
+
+    def speedup_over_bvs(self, isa: str, setting: str) -> float | None:
+        base = self.baseline_seconds(isa)
+        for row in self.per_isa[isa]:
+            if row.setting == setting and row.seconds and base:
+                return base / row.seconds
+        return None
+
+
+import functools
+
+
+@functools.lru_cache(maxsize=4)
+def run(
+    isas: tuple[str, ...] = ("x86", "hvx", "arm"), budget: float = 120.0
+) -> Table5Result:
+    """Cached: Figure 7 derives from the same measurements."""
+    return _run(isas, budget)
+
+
+def _run(
+    isas: tuple[str, ...] = ("x86", "hvx", "arm"), budget: float = 120.0
+) -> Table5Result:
+    dictionary = build_dictionary(("x86", "hvx", "arm"))
+    result = Table5Result()
+    for isa in isas:
+        spec = dot_product_window(LANES_OUT[isa])
+        rows: list[SettingResult] = []
+        for setting in settings(budget):
+            grammar = build_grammar(spec, isa, dictionary, setting.grammar)
+            options = CegisOptions(
+                timeout_seconds=setting.timeout,
+                lanewise=setting.lanewise,
+                scaling=setting.scaling,
+                scale_factor=8 if setting.scaling else 1,
+            )
+            start = time.time()
+            try:
+                synth = synthesize(spec, grammar, options)
+                rows.append(
+                    SettingResult(
+                        setting.name,
+                        grammar.size(),
+                        time.time() - start,
+                        synth.program.describe()[:60],
+                    )
+                )
+            except SynthesisFailure:
+                rows.append(SettingResult(setting.name, grammar.size(), None))
+        result.per_isa[isa] = rows
+    return result
+
+
+def render(result: Table5Result) -> str:
+    chunks = ["Table 5: synthesis sensitivity (dot product)"]
+    for isa, rows in result.per_isa.items():
+        headers = ["Setting", "Grammar Ops", "Time (s)", "Synthesized"]
+        body = [
+            [
+                r.setting,
+                str(r.grammar_size),
+                f"{r.seconds:.1f}" if r.seconds is not None else "timeout/intractable",
+                r.found,
+            ]
+            for r in rows
+        ]
+        chunks.append(f"\n[{isa}]\n" + format_table(headers, body))
+    return "\n".join(chunks)

@@ -1,0 +1,59 @@
+"""Halide frontend: DSL, schedules, lowering, and the vectorised Halide IR.
+
+Hydride consumes Halide IR *after* all scheduling optimisations have been
+applied — vectorisation, tiling, unrolling — so this package provides:
+
+* :mod:`repro.halide.ir` — the vectorised expression IR (the analogue of
+  Rake's Halide IR semantics), with an interpreter and solver lowering;
+* :mod:`repro.halide.dsl` — a Func/Var/RDom algorithm language;
+* :mod:`repro.halide.schedule` — split/vectorize/unroll/reorder
+  directives, kept separate from algorithms in Halide style;
+* :mod:`repro.halide.lowering` — produces a :class:`LoweredKernel`:
+  the vector expression for the innermost body plus the surrounding
+  loop nest, which the Hydride code synthesizer and the baseline
+  compilers all consume.
+"""
+
+from repro.halide.ir import (
+    HBin,
+    HBroadcast,
+    HCast,
+    HConcat,
+    HConst,
+    HExpr,
+    HLoad,
+    HReduceAdd,
+    HSelect,
+    HCmp,
+    HShuffle,
+    HSlice,
+    htype,
+)
+from repro.halide.dsl import Buffer, Func, RDom, Var, cast, maximum, minimum, select
+from repro.halide.lowering import LoweredKernel, lower_func
+
+__all__ = [
+    "HBin",
+    "HBroadcast",
+    "HCast",
+    "HConcat",
+    "HConst",
+    "HExpr",
+    "HLoad",
+    "HReduceAdd",
+    "HSelect",
+    "HCmp",
+    "HShuffle",
+    "HSlice",
+    "htype",
+    "Buffer",
+    "Func",
+    "RDom",
+    "Var",
+    "cast",
+    "minimum",
+    "maximum",
+    "select",
+    "LoweredKernel",
+    "lower_func",
+]

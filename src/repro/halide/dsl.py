@@ -1,0 +1,478 @@
+"""The Halide-style algorithm language.
+
+Algorithms are pure: ``f[x, y] = expr`` over index variables, buffer
+accesses, casts and arithmetic, with reductions over :class:`RDom`s.
+Schedules (vectorize / split / unroll / reorder / parallel /
+vectorize_reduction) live on the Func and never change results — the
+separation the paper leans on when it observes that schedule changes
+need no re-synthesis as long as vectorisation factors are unchanged.
+
+Everything is integer (the paper's Hydride, like Rake, supports only
+integer instructions).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+
+# ----------------------------------------------------------------------
+# Index expressions (loop variables and affine arithmetic)
+# ----------------------------------------------------------------------
+
+
+class IExpr:
+    """Affine expression over index variables."""
+
+    def __add__(self, other):
+        return IAdd(self, _coerce_index(other))
+
+    def __radd__(self, other):
+        return IAdd(_coerce_index(other), self)
+
+    def __sub__(self, other):
+        return IAdd(self, IScale(_coerce_index(other), -1))
+
+    def __rsub__(self, other):
+        return IAdd(_coerce_index(other), IScale(self, -1))
+
+    def __mul__(self, other):
+        if not isinstance(other, int):
+            raise TypeError("index expressions multiply by integers only")
+        return IScale(self, other)
+
+    __rmul__ = __mul__
+
+
+@dataclass(frozen=True)
+class Var(IExpr):
+    """A pure loop variable."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class RVar(IExpr):
+    """One axis of a reduction domain."""
+
+    name: str
+    min: int
+    extent: int
+
+
+@dataclass(frozen=True)
+class ILit(IExpr):
+    value: int
+
+
+@dataclass(frozen=True)
+class IAdd(IExpr):
+    left: IExpr
+    right: IExpr
+
+
+@dataclass(frozen=True)
+class IScale(IExpr):
+    inner: IExpr
+    factor: int
+
+
+def _coerce_index(value) -> IExpr:
+    if isinstance(value, IExpr):
+        return value
+    if isinstance(value, int):
+        return ILit(value)
+    raise TypeError(f"not an index expression: {value!r}")
+
+
+def linearize(expr: IExpr) -> tuple[int, dict[str, int]]:
+    """Decompose into (constant, {var name: coefficient}); affine only."""
+    if isinstance(expr, ILit):
+        return expr.value, {}
+    if isinstance(expr, (Var, RVar)):
+        return 0, {expr.name: 1}
+    if isinstance(expr, IAdd):
+        const_l, coeffs_l = linearize(expr.left)
+        const_r, coeffs_r = linearize(expr.right)
+        merged = dict(coeffs_l)
+        for name, coeff in coeffs_r.items():
+            merged[name] = merged.get(name, 0) + coeff
+        return const_l + const_r, merged
+    if isinstance(expr, IScale):
+        const, coeffs = linearize(expr.inner)
+        return const * expr.factor, {k: v * expr.factor for k, v in coeffs.items()}
+    raise TypeError(f"not an index expression: {expr!r}")
+
+
+class RDom:
+    """A reduction domain: one or more reduction axes."""
+
+    _counter = itertools.count()
+
+    def __init__(self, *bounds: tuple[int, int]) -> None:
+        if not bounds:
+            raise ValueError("RDom needs at least one (min, extent) pair")
+        base = next(self._counter)
+        self.axes = tuple(
+            RVar(f"r{base}_{i}", lo, extent) for i, (lo, extent) in enumerate(bounds)
+        )
+
+    def __getitem__(self, index: int) -> RVar:
+        return self.axes[index]
+
+    @property
+    def x(self) -> RVar:
+        return self.axes[0]
+
+    @property
+    def y(self) -> RVar:
+        return self.axes[1]
+
+
+# ----------------------------------------------------------------------
+# Value expressions
+# ----------------------------------------------------------------------
+
+
+class Expr:
+    """Integer-typed value expression."""
+
+    elem_width: int
+    signed: bool
+
+    def _binop(self, op: str, other, reverse: bool = False):
+        other = wrap(other, self.elem_width, self.signed)
+        left, right = (other, self) if reverse else (self, other)
+        return BinOp(op, left, right)
+
+    def __add__(self, other):
+        return self._binop("add", other)
+
+    def __radd__(self, other):
+        return self._binop("add", other, reverse=True)
+
+    def __sub__(self, other):
+        return self._binop("sub", other)
+
+    def __rsub__(self, other):
+        return self._binop("sub", other, reverse=True)
+
+    def __mul__(self, other):
+        return self._binop("mul", other)
+
+    __rmul__ = __mul__
+
+    def __lshift__(self, other):
+        return self._binop("shl", other)
+
+    def __rshift__(self, other):
+        op = "ashr" if self.signed else "lshr"
+        return self._binop(op, other)
+
+    def __and__(self, other):
+        return self._binop("and", other)
+
+    def __or__(self, other):
+        return self._binop("or", other)
+
+    def __xor__(self, other):
+        return self._binop("xor", other)
+
+    def __neg__(self):
+        return wrap(0, self.elem_width, self.signed) - self
+
+    # Comparisons build conditions for select(); Python's rich comparisons
+    # are reserved for structural equality of dataclasses, so comparisons
+    # are explicit functions (lt, gt, eq) below.
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    value: int
+    elem_width: int = 32
+    signed: bool = True
+
+
+@dataclass(frozen=True)
+class Param(Expr):
+    """A runtime scalar argument (broadcast when vectorised)."""
+
+    name: str
+    elem_width: int = 32
+    signed: bool = True
+
+
+class Buffer:
+    """An input array of fixed element width."""
+
+    def __init__(self, name: str, elem_width: int, signed: bool = True) -> None:
+        self.name = name
+        self.elem_width = elem_width
+        self.signed = signed
+
+    def __getitem__(self, index) -> "Access":
+        if not isinstance(index, tuple):
+            index = (index,)
+        return Access(self, tuple(_coerce_index(i) for i in index))
+
+    def __repr__(self) -> str:
+        return f"Buffer({self.name}, i{self.elem_width})"
+
+
+@dataclass(frozen=True)
+class Access(Expr):
+    buffer: Buffer
+    index: tuple[IExpr, ...]
+
+    @property
+    def elem_width(self) -> int:  # type: ignore[override]
+        return self.buffer.elem_width
+
+    @property
+    def signed(self) -> bool:  # type: ignore[override]
+        return self.buffer.signed
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.left.elem_width != self.right.elem_width:
+            raise TypeError(
+                f"{self.op}: widths {self.left.elem_width} and "
+                f"{self.right.elem_width} differ; insert casts"
+            )
+
+    @property
+    def elem_width(self) -> int:  # type: ignore[override]
+        return self.left.elem_width
+
+    @property
+    def signed(self) -> bool:  # type: ignore[override]
+        return self.left.signed
+
+
+@dataclass(frozen=True)
+class Cast(Expr):
+    new_width: int
+    src: Expr
+    new_signed: bool = True
+    saturating: bool = False
+
+    @property
+    def elem_width(self) -> int:  # type: ignore[override]
+        return self.new_width
+
+    @property
+    def signed(self) -> bool:  # type: ignore[override]
+        return self.new_signed
+
+
+@dataclass(frozen=True)
+class Cmp(Expr):
+    op: str  # 'lt' | 'gt' | 'eq'
+    left: Expr
+    right: Expr
+
+    @property
+    def elem_width(self) -> int:  # type: ignore[override]
+        return 1
+
+    @property
+    def signed(self) -> bool:  # type: ignore[override]
+        return False
+
+
+@dataclass(frozen=True)
+class Select(Expr):
+    cond: Expr
+    then_expr: Expr
+    else_expr: Expr
+
+    @property
+    def elem_width(self) -> int:  # type: ignore[override]
+        return self.then_expr.elem_width
+
+    @property
+    def signed(self) -> bool:  # type: ignore[override]
+        return self.then_expr.signed
+
+
+@dataclass(frozen=True)
+class Reduce(Expr):
+    """Sum of ``body`` over the axes of an RDom."""
+
+    rdom: RDom
+    body: Expr
+
+    @property
+    def elem_width(self) -> int:  # type: ignore[override]
+        return self.body.elem_width
+
+    @property
+    def signed(self) -> bool:  # type: ignore[override]
+        return self.body.signed
+
+
+@dataclass(frozen=True)
+class FuncRef(Expr):
+    """A call to another Func (inlined during lowering, Halide-style)."""
+
+    func: "Func"
+    index: tuple[IExpr, ...]
+
+    @property
+    def elem_width(self) -> int:  # type: ignore[override]
+        return self.func.expr.elem_width
+
+    @property
+    def signed(self) -> bool:  # type: ignore[override]
+        return self.func.expr.signed
+
+
+def wrap(value, elem_width: int, signed: bool = True) -> Expr:
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, int):
+        return Const(value, elem_width, signed)
+    raise TypeError(f"cannot use {value!r} in a Halide expression")
+
+
+# Helper constructors ----------------------------------------------------
+
+
+def cast(width: int, expr: Expr, signed: bool = True) -> Cast:
+    """Width conversion; extension uses the *source* signedness."""
+    return Cast(width, expr, signed)
+
+
+def sat_cast(width: int, expr: Expr, signed: bool = True) -> Cast:
+    return Cast(width, expr, signed, saturating=True)
+
+
+def minimum(a: Expr, b) -> BinOp:
+    b = wrap(b, a.elem_width, a.signed)
+    return BinOp("min_s" if a.signed else "min_u", a, b)
+
+
+def maximum(a: Expr, b) -> BinOp:
+    b = wrap(b, a.elem_width, a.signed)
+    return BinOp("max_s" if a.signed else "max_u", a, b)
+
+
+def absolute(a: Expr) -> BinOp:
+    """|a| as max(a, -a) — matched to native abs instructions by synthesis."""
+    return maximum(a, -a)
+
+
+def saturating_add(a: Expr, b) -> BinOp:
+    b = wrap(b, a.elem_width, a.signed)
+    return BinOp("adds" if a.signed else "addus", a, b)
+
+
+def saturating_sub(a: Expr, b) -> BinOp:
+    b = wrap(b, a.elem_width, a.signed)
+    return BinOp("subs" if a.signed else "subus", a, b)
+
+
+def rounding_avg_u(a: Expr, b) -> BinOp:
+    b = wrap(b, a.elem_width, a.signed)
+    return BinOp("avg_u", a, b)
+
+
+def lt(a: Expr, b) -> Cmp:
+    return Cmp("lt", a, wrap(b, a.elem_width, a.signed))
+
+
+def gt(a: Expr, b) -> Cmp:
+    return Cmp("gt", a, wrap(b, a.elem_width, a.signed))
+
+
+def eq(a: Expr, b) -> Cmp:
+    return Cmp("eq", a, wrap(b, a.elem_width, a.signed))
+
+
+def select(cond: Cmp, then_expr: Expr, else_expr) -> Select:
+    else_expr = wrap(else_expr, then_expr.elem_width, then_expr.signed)
+    return Select(cond, then_expr, else_expr)
+
+
+def summation(rdom: RDom, body: Expr) -> Reduce:
+    return Reduce(rdom, body)
+
+
+# ----------------------------------------------------------------------
+# Funcs and schedules
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Schedule:
+    vector_var: str | None = None
+    vector_lanes: int = 0
+    reduction_var: str | None = None
+    reduction_factor: int = 0
+    unroll: dict[str, int] = field(default_factory=dict)
+    tile: dict[str, int] = field(default_factory=dict)
+    parallel: list[str] = field(default_factory=list)
+    order: list[str] | None = None
+
+
+class Func:
+    """A pure stage: ``f[args] = expr`` plus its schedule."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.args: tuple[Var, ...] | None = None
+        self.expr: Expr | None = None
+        self.schedule = Schedule()
+
+    def __setitem__(self, args, expr) -> None:
+        if not isinstance(args, tuple):
+            args = (args,)
+        if not all(isinstance(a, Var) for a in args):
+            raise TypeError("Func definition arguments must be Vars")
+        self.args = args
+        if isinstance(expr, int):
+            raise TypeError("Func body must be an expression, not a bare int")
+        self.expr = expr
+
+    def __getitem__(self, index) -> FuncRef:
+        if not isinstance(index, tuple):
+            index = (index,)
+        return FuncRef(self, tuple(_coerce_index(i) for i in index))
+
+    # Schedule directives ------------------------------------------------
+
+    def vectorize(self, var: Var, lanes: int) -> "Func":
+        self.schedule.vector_var = var.name
+        self.schedule.vector_lanes = lanes
+        return self
+
+    def vectorize_reduction(self, rvar: RVar, factor: int | None = None) -> "Func":
+        """Vectorise across a reduction axis so windowed reductions
+        (``reduce-add``) appear in the lowered IR — the schedule move that
+        exposes dot-product patterns without touching the algorithm."""
+        self.schedule.reduction_var = rvar.name
+        self.schedule.reduction_factor = factor or rvar.extent
+        return self
+
+    def unroll(self, var: Var, factor: int) -> "Func":
+        self.schedule.unroll[var.name] = factor
+        return self
+
+    def tile(self, var: Var, factor: int) -> "Func":
+        self.schedule.tile[var.name] = factor
+        return self
+
+    def parallel(self, var: Var) -> "Func":
+        self.schedule.parallel.append(var.name)
+        return self
+
+    def reorder(self, *vars: Var) -> "Func":
+        self.schedule.order = [v.name for v in vars]
+        return self

@@ -1,0 +1,64 @@
+"""Hydride IR: the program representation for instruction semantics.
+
+The paper defines Hydride IR (Fig. 4) as a solver-aided DSL in which the
+operational semantics of every machine instruction is expressed: an outer
+loop over register lanes, an inner loop over elements within a lane, and a
+body of bitvector operations over extracted slices.
+
+Here the IR is a pure-Python expression language with two sorts:
+
+* **index expressions** (:mod:`repro.hydride_ir.indexexpr`) — integer
+  arithmetic over numeric parameters and loop iterators; these are what
+  the Similarity Checking Engine abstracts into symbolic parameters,
+* **bitvector expressions** (:mod:`repro.hydride_ir.ast`) — the value
+  computation, including the ``ForConcat`` lane/element loops.
+
+A :class:`~repro.hydride_ir.ast.SemanticsFunction` packages inputs,
+numeric parameters and a body; it can be interpreted directly
+(:mod:`repro.hydride_ir.interp`) or lowered to a symbolic
+:class:`repro.smt.Term` for solver queries.
+"""
+
+from repro.hydride_ir.indexexpr import IndexExpr, iconst, iparam, ivar
+from repro.hydride_ir.ast import (
+    BvBinOp,
+    BvBroadcastConst,
+    BvCast,
+    BvCmp,
+    BvConcat,
+    BvConst,
+    BvExpr,
+    BvExtract,
+    BvIte,
+    BvUnOp,
+    BvVar,
+    ForConcat,
+    Input,
+    SemanticsFunction,
+)
+from repro.hydride_ir.interp import interpret, to_term
+from repro.hydride_ir.printer import pretty
+
+__all__ = [
+    "IndexExpr",
+    "iconst",
+    "iparam",
+    "ivar",
+    "BvBinOp",
+    "BvBroadcastConst",
+    "BvCast",
+    "BvCmp",
+    "BvConcat",
+    "BvConst",
+    "BvExpr",
+    "BvExtract",
+    "BvIte",
+    "BvUnOp",
+    "BvVar",
+    "ForConcat",
+    "Input",
+    "SemanticsFunction",
+    "interpret",
+    "to_term",
+    "pretty",
+]

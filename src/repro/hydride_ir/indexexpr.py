@@ -1,0 +1,296 @@
+"""Index expressions: integer arithmetic over parameters and iterators.
+
+Widths, loop bounds, slice offsets and literal values in Hydride IR are all
+index expressions.  Keeping them symbolic (over :class:`IParam` nodes) is
+what lets the Similarity Checking Engine compare two instructions "after
+abstracting away target-specific numerical properties".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+
+class IndexExpr:
+    """Base class for integer-valued expressions."""
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        raise NotImplementedError
+
+    def params(self) -> set[str]:
+        """Names of :class:`IParam` nodes appearing in this expression."""
+        return set()
+
+    def ivars(self) -> set[str]:
+        """Names of :class:`IVar` loop iterators appearing here."""
+        return set()
+
+    # Operator sugar -----------------------------------------------------
+
+    def __add__(self, other: "IndexExpr | int") -> "IndexExpr":
+        return ibin("+", self, _coerce(other))
+
+    def __radd__(self, other: int) -> "IndexExpr":
+        return ibin("+", _coerce(other), self)
+
+    def __sub__(self, other: "IndexExpr | int") -> "IndexExpr":
+        return ibin("-", self, _coerce(other))
+
+    def __rsub__(self, other: int) -> "IndexExpr":
+        return ibin("-", _coerce(other), self)
+
+    def __mul__(self, other: "IndexExpr | int") -> "IndexExpr":
+        return ibin("*", self, _coerce(other))
+
+    def __rmul__(self, other: int) -> "IndexExpr":
+        return ibin("*", _coerce(other), self)
+
+    def __floordiv__(self, other: "IndexExpr | int") -> "IndexExpr":
+        return ibin("//", self, _coerce(other))
+
+    def __mod__(self, other: "IndexExpr | int") -> "IndexExpr":
+        return ibin("%", self, _coerce(other))
+
+
+@dataclass(frozen=True)
+class IConst(IndexExpr):
+    value: int
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class IParam(IndexExpr):
+    """A numeric instruction parameter (element width, vector width, ...)."""
+
+    name: str
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        try:
+            return env[self.name]
+        except KeyError:
+            raise KeyError(f"unbound parameter {self.name!r}") from None
+
+    def params(self) -> set[str]:
+        return {self.name}
+
+    def __repr__(self) -> str:
+        return f"${self.name}"
+
+
+@dataclass(frozen=True)
+class IVar(IndexExpr):
+    """A loop iterator introduced by :class:`ForConcat`."""
+
+    name: str
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        try:
+            return env[self.name]
+        except KeyError:
+            raise KeyError(f"unbound loop iterator {self.name!r}") from None
+
+    def ivars(self) -> set[str]:
+        return {self.name}
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class IBin(IndexExpr):
+    op: str
+    left: IndexExpr
+    right: IndexExpr
+
+    _OPS = {
+        "+": lambda a, b: a + b,
+        "-": lambda a, b: a - b,
+        "*": lambda a, b: a * b,
+        "//": lambda a, b: a // b,
+        "%": lambda a, b: a % b,
+    }
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return self._OPS[self.op](self.left.evaluate(env), self.right.evaluate(env))
+
+    def params(self) -> set[str]:
+        return self.left.params() | self.right.params()
+
+    def ivars(self) -> set[str]:
+        return self.left.ivars() | self.right.ivars()
+
+    def __repr__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+def iconst(value: int) -> IConst:
+    return IConst(value)
+
+
+def iparam(name: str) -> IParam:
+    return IParam(name)
+
+
+def ivar(name: str) -> IVar:
+    return IVar(name)
+
+
+def _coerce(value: "IndexExpr | int") -> IndexExpr:
+    return IConst(value) if isinstance(value, int) else value
+
+
+def ibin(op: str, left: IndexExpr, right: IndexExpr) -> IndexExpr:
+    """Build a binary index expression with light constant folding."""
+    if isinstance(left, IConst) and isinstance(right, IConst):
+        return IConst(IBin._OPS[op](left.value, right.value))
+    if op == "+":
+        if isinstance(left, IConst) and left.value == 0:
+            return right
+        if isinstance(right, IConst) and right.value == 0:
+            return left
+    if op == "-" and isinstance(right, IConst) and right.value == 0:
+        return left
+    if op == "*":
+        if isinstance(left, IConst):
+            if left.value == 0:
+                return IConst(0)
+            if left.value == 1:
+                return right
+        if isinstance(right, IConst):
+            if right.value == 0:
+                return IConst(0)
+            if right.value == 1:
+                return left
+    if op == "//" and isinstance(right, IConst) and right.value == 1:
+        return left
+    return IBin(op, left, right)
+
+
+def simplify_index(expr: IndexExpr) -> IndexExpr:
+    """Recursively re-fold an index expression."""
+    if isinstance(expr, IBin):
+        return ibin(expr.op, simplify_index(expr.left), simplify_index(expr.right))
+    return expr
+
+
+def normalize_affine(expr: IndexExpr) -> IndexExpr:
+    """Normalise to an ordered sum-of-products: ``t1 + t2 + ... + c``.
+
+    Terms are ``var``/``var * coeff`` products ordered by first appearance,
+    with the constant offset last and *omitted when zero*.  This canonical
+    shape is what lets the similarity engine align slice offsets across
+    instructions — and what makes the remaining lo/hi-style mismatch (a
+    present vs. absent trailing constant) exactly the gap the hole
+    refinement of Section 3.3 closes.
+
+    Non-affine subexpressions (divisions, modulo over iterators) are kept
+    opaque and treated as unit terms.
+    """
+    const_part = 0
+    coeffs: dict[str, int] = {}
+    atoms: dict[str, IndexExpr] = {}
+    order: list[str] = []
+
+    def add_term(key: str, atom: IndexExpr, coeff: int) -> None:
+        nonlocal const_part
+        if coeff == 0:
+            return
+        if key not in coeffs:
+            coeffs[key] = 0
+            atoms[key] = atom
+            order.append(key)
+        coeffs[key] += coeff
+
+    def walk(node: IndexExpr, sign: int) -> None:
+        nonlocal const_part
+        if isinstance(node, IConst):
+            const_part += sign * node.value
+            return
+        if isinstance(node, (IParam, IVar)):
+            add_term(repr(node), node, sign)
+            return
+        if isinstance(node, IBin):
+            if node.op == "+":
+                walk(node.left, sign)
+                walk(node.right, sign)
+                return
+            if node.op == "-":
+                walk(node.left, sign)
+                walk(node.right, -sign)
+                return
+            if node.op == "*":
+                left_const = isinstance(node.left, IConst)
+                right_const = isinstance(node.right, IConst)
+                if left_const and not right_const:
+                    scale = node.left.value  # type: ignore[union-attr]
+                    inner = normalize_affine(node.right)
+                    _scale_into(inner, sign * scale)
+                    return
+                if right_const and not left_const:
+                    scale = node.right.value  # type: ignore[union-attr]
+                    inner = normalize_affine(node.left)
+                    _scale_into(inner, sign * scale)
+                    return
+        # Opaque: keep as a unit term (normalised internally).
+        if isinstance(node, IBin):
+            node = IBin(node.op, normalize_affine(node.left), normalize_affine(node.right))
+        add_term(repr(node), node, sign)
+
+    def _scale_into(node: IndexExpr, scale: int) -> None:
+        """Add ``scale * node`` where node is already normalised affine."""
+        nonlocal const_part
+        if isinstance(node, IConst):
+            const_part += scale * node.value
+            return
+        if isinstance(node, IBin) and node.op == "+":
+            _scale_into(node.left, scale)
+            _scale_into(node.right, scale)
+            return
+        if isinstance(node, IBin) and node.op == "*" and isinstance(node.right, IConst):
+            add_term(repr(node.left), node.left, scale * node.right.value)
+            return
+        add_term(repr(node), node, scale)
+
+    walk(expr, 1)
+
+    result: IndexExpr | None = None
+    # Order terms by |coefficient| descending (appearance order breaking
+    # ties): outer-loop strides are larger than element strides, so this
+    # aligns the lane term before the element term across instructions
+    # regardless of how each vendor's pseudocode happened to write them.
+    ordered = sorted(
+        range(len(order)), key=lambda idx: (-abs(coeffs[order[idx]]), idx)
+    )
+    for position in ordered:
+        key = order[position]
+        coeff = coeffs[key]
+        if coeff == 0:
+            continue
+        term: IndexExpr = atoms[key] if coeff == 1 else IBin(
+            "*", atoms[key], IConst(coeff)
+        )
+        result = term if result is None else IBin("+", result, term)
+    if result is None:
+        return IConst(const_part)
+    if const_part != 0:
+        result = IBin("+", result, IConst(const_part))
+    return result
+
+
+def substitute_index(expr: IndexExpr, bindings: Mapping[str, IndexExpr]) -> IndexExpr:
+    """Replace parameters and iterators by other index expressions."""
+    if isinstance(expr, (IParam, IVar)):
+        return bindings.get(expr.name, expr)
+    if isinstance(expr, IBin):
+        return ibin(
+            expr.op,
+            substitute_index(expr.left, bindings),
+            substitute_index(expr.right, bindings),
+        )
+    return expr

@@ -1,0 +1,75 @@
+"""S-expression pretty printer for Hydride IR.
+
+The textual form mirrors the Rosette surface syntax the paper's figures
+use, which keeps debugging output and the generated "Rosette code" of the
+similarity engine readable side by side with the paper.
+"""
+
+from __future__ import annotations
+
+from repro.hydride_ir.ast import (
+    BvBinOp,
+    BvBroadcastConst,
+    BvCast,
+    BvCmp,
+    BvConcat,
+    BvConst,
+    BvExpr,
+    BvExtract,
+    BvIte,
+    BvUnOp,
+    BvVar,
+    ForConcat,
+    SemanticsFunction,
+)
+
+
+def pretty_expr(expr: BvExpr, indent: int = 0) -> str:
+    pad = "  " * indent
+
+    if isinstance(expr, BvVar):
+        return f"{pad}%{expr.name}"
+    if isinstance(expr, BvConst):
+        return f"{pad}(bv {expr.value} {expr.width})"
+    if isinstance(expr, BvBroadcastConst):
+        return f"{pad}(splat {expr.value} {expr.elem_width} x{expr.num_elems})"
+    if isinstance(expr, BvExtract):
+        src = pretty_expr(expr.src, indent + 1)
+        return f"{pad}(extract low={expr.low} width={expr.width}\n{src})"
+    if isinstance(expr, (BvBinOp, BvCmp)):
+        left = pretty_expr(expr.left, indent + 1)
+        right = pretty_expr(expr.right, indent + 1)
+        return f"{pad}({expr.op}\n{left}\n{right})"
+    if isinstance(expr, BvUnOp):
+        return f"{pad}({expr.op}\n{pretty_expr(expr.operand, indent + 1)})"
+    if isinstance(expr, BvCast):
+        operand = pretty_expr(expr.operand, indent + 1)
+        return f"{pad}({expr.op} width={expr.new_width}\n{operand})"
+    if isinstance(expr, BvIte):
+        parts = [
+            pretty_expr(expr.cond, indent + 1),
+            pretty_expr(expr.then_expr, indent + 1),
+            pretty_expr(expr.else_expr, indent + 1),
+        ]
+        joined = "\n".join(parts)
+        return f"{pad}(ite\n{joined})"
+    if isinstance(expr, ForConcat):
+        body = pretty_expr(expr.body, indent + 1)
+        return f"{pad}(for-concat {expr.var} in [0, {expr.count})\n{body})"
+    if isinstance(expr, BvConcat):
+        parts = "\n".join(pretty_expr(p, indent + 1) for p in expr.parts)
+        return f"{pad}(concat ; lsb first\n{parts})"
+    return f"{pad}<unknown {type(expr).__name__}>"
+
+
+def pretty(func: SemanticsFunction) -> str:
+    """Full textual form of a semantics function."""
+    inputs = " ".join(
+        f"(%{i.name} : bv[{i.width}]{' imm' if i.is_immediate else ''})"
+        for i in func.inputs
+    )
+    params = " ".join(f"{k}={v}" for k, v in sorted(func.params.items()))
+    header = f"(define ({func.name} {inputs})"
+    if params:
+        header += f"  ; params: {params}"
+    return f"{header}\n{pretty_expr(func.body, 1)})"

@@ -1,0 +1,896 @@
+"""Synthetic Qualcomm HVX programmer's reference manual.
+
+HVX in 128-byte mode has 1024-bit vector registers (``Vd``) and 2048-bit
+register pairs (``Vdd``); element types are bytes/halfwords/words.  The
+catalog covers the families the paper's evaluation depends on: saturating
+vector arithmetic, averaging, absolute difference, widening multiplies,
+the ``vdmpy``/``vrmpy`` dot-product group with accumulating forms, the
+shuffle/deal swizzle group including the cross-vector ``vshuffvdd`` /
+``vdealvdd`` pair (Figure 5 of the paper), pack/unpack, and scalar-vector
+ops.  Accumulating instructions are written with the accumulator as an
+explicit ``Vx`` input operand rather than the manual's ``+=`` shorthand.
+"""
+
+from __future__ import annotations
+
+from repro.bitvector.bv import BitVector
+from repro.bitvector.lanes import Vector, vector_from_elems
+from repro.isa.spec import InstructionSpec, IsaCatalog, OperandSpec
+
+VLEN = 1024  # bits, 128-byte mode
+_SUFFIX = {8: "b", 16: "h", 32: "w"}
+_USUFFIX = {8: "ub", 16: "uh", 32: "uw"}
+
+
+def _spec(name, asm, operands, output_width, pseudocode, family, latency,
+          throughput, reference, **attributes) -> InstructionSpec:
+    return InstructionSpec(
+        name=name,
+        isa="hvx",
+        asm=asm,
+        operands=tuple(operands),
+        output_width=output_width,
+        pseudocode=pseudocode,
+        extension="HVX",
+        family=family,
+        latency=latency,
+        throughput=throughput,
+        reference=reference,
+        attributes=attributes,
+    )
+
+
+def _two_vec() -> list[OperandSpec]:
+    return [OperandSpec("Vu", VLEN), OperandSpec("Vv", VLEN)]
+
+
+def _loop(count: int, body: str) -> str:
+    return f"for (i = 0; i < {count}; i++) {{\n    {body}\n}}\n"
+
+
+def _ref_lanewise(ew, fn, names=("Vu", "Vv"), out_ew=None):
+    def run(env):
+        vecs = [Vector(env[n], ew) for n in names]
+        out = [fn(*(v.elem(i) for v in vecs)) for i in range(vecs[0].num_elems)]
+        return vector_from_elems(out).bits
+
+    return run
+
+
+# ----------------------------------------------------------------------
+# Element-wise arithmetic
+# ----------------------------------------------------------------------
+
+
+def _gen_arith(specs: list[InstructionSpec]) -> None:
+    for ew in (8, 16, 32):
+        sfx = _SUFFIX[ew]
+        count = VLEN // ew
+        elem = lambda n, s=sfx: f"{n}.{s}[i]"
+        cases = [
+            (f"vadd{sfx}", f"{elem('Vu')} + {elem('Vv')}",
+             _ref_lanewise(ew, lambda x, y: x.bvadd(y)), "ew_add"),
+            (f"vsub{sfx}", f"{elem('Vu')} - {elem('Vv')}",
+             _ref_lanewise(ew, lambda x, y: x.bvsub(y)), "ew_sub"),
+            (f"vadd{sfx}sat", f"addsat_s({elem('Vu')}, {elem('Vv')})",
+             _ref_lanewise(ew, lambda x, y: x.bvsaddsat(y)), "ew_adds"),
+            (f"vsub{sfx}sat", f"subsat_s({elem('Vu')}, {elem('Vv')})",
+             _ref_lanewise(ew, lambda x, y: x.bvssubsat(y)), "ew_subs"),
+            (f"vmax{sfx}", f"max_s({elem('Vu')}, {elem('Vv')})",
+             _ref_lanewise(ew, lambda x, y: x.bvsmax(y)), "ew_max_s"),
+            (f"vmin{sfx}", f"min_s({elem('Vu')}, {elem('Vv')})",
+             _ref_lanewise(ew, lambda x, y: x.bvsmin(y)), "ew_min_s"),
+            (f"vmax{_USUFFIX[ew]}", f"max_u({elem('Vu')}, {elem('Vv')})",
+             _ref_lanewise(ew, lambda x, y: x.bvumax(y)), "ew_max_u"),
+            (f"vmin{_USUFFIX[ew]}", f"min_u({elem('Vu')}, {elem('Vv')})",
+             _ref_lanewise(ew, lambda x, y: x.bvumin(y)), "ew_min_u"),
+            (f"vavg{sfx}", f"avg_s({elem('Vu')}, {elem('Vv')})",
+             _ref_lanewise(ew, lambda x, y: x.bvsavg(y)), "ew_avg_s"),
+            (f"vavg{sfx}rnd", f"avgrnd_s({elem('Vu')}, {elem('Vv')})",
+             _ref_lanewise(ew, lambda x, y: x.bvsavg(y, round_up=True)), "ew_avg_s_rnd"),
+            (f"vavg{_USUFFIX[ew]}", f"avg_u({elem('Vu')}, {elem('Vv')})",
+             _ref_lanewise(ew, lambda x, y: x.bvuavg(y)), "ew_avg_u"),
+            (f"vavg{_USUFFIX[ew]}rnd", f"avgrnd_u({elem('Vu')}, {elem('Vv')})",
+             _ref_lanewise(ew, lambda x, y: x.bvuavg(y, round_up=True)), "ew_avg_u_rnd"),
+            (f"vnavg{sfx}", f"avg_s({elem('Vu')}, -{elem('Vv')})",
+             _ref_lanewise(ew, lambda x, y: x.bvsavg(y.bvneg())), "ew_navg"),
+            (f"vabsdiff{_USUFFIX[ew]}",
+             f"max_u({elem('Vu')}, {elem('Vv')}) - min_u({elem('Vu')}, {elem('Vv')})",
+             _ref_lanewise(ew, lambda x, y: x.bvumax(y).bvsub(x.bvumin(y))),
+             "ew_absdiff_u"),
+            (f"vabs{sfx}", f"abs({elem('Vu')})",
+             _ref_lanewise(ew, lambda x: x.bvabs(), names=("Vu",)), "ew_abs"),
+        ]
+        if ew in (8, 16):
+            cases.append(
+                (f"vadd{_USUFFIX[ew]}sat", f"addsat_u({elem('Vu')}, {elem('Vv')})",
+                 _ref_lanewise(ew, lambda x, y: x.bvuaddsat(y)), "ew_addus"))
+            cases.append(
+                (f"vsub{_USUFFIX[ew]}sat", f"subsat_u({elem('Vu')}, {elem('Vv')})",
+                 _ref_lanewise(ew, lambda x, y: x.bvusubsat(y)), "ew_subus"))
+        for name, rhs, reference, family in cases:
+            unary = "Vv" not in rhs
+            operands = [OperandSpec("Vu", VLEN)] if unary else _two_vec()
+            body = _loop(count, f"Vd.{sfx}[i] = {rhs};")
+            specs.append(
+                _spec(f"V6_{name}", name.rstrip("0123456789"), operands, VLEN,
+                      body, family, 1.0, 0.5, reference, elem_width=ew, simd=True))
+
+
+def _gen_logic(specs: list[InstructionSpec]) -> None:
+    for name, symbol, fn in (
+        ("vand", "&", lambda x, y: x.bvand(y)),
+        ("vor", "|", lambda x, y: x.bvor(y)),
+        ("vxor", "^", lambda x, y: x.bvxor(y)),
+    ):
+        body = _loop(VLEN // 32, f"Vd.w[i] = Vu.w[i] {symbol} Vv.w[i];")
+        specs.append(
+            _spec(f"V6_{name}", name, _two_vec(), VLEN, body,
+                  f"logic_{name[1:]}", 1.0, 0.5, _ref_lanewise(32, fn),
+                  elem_width=32, simd=True))
+    body = _loop(VLEN // 32, "Vd.w[i] = ~Vu.w[i];")
+    specs.append(
+        _spec("V6_vnot", "vnot", [OperandSpec("Vu", VLEN)], VLEN, body,
+              "logic_not", 1.0, 0.5,
+              _ref_lanewise(32, lambda x: x.bvnot(), names=("Vu",)),
+              elem_width=32, simd=True))
+
+
+def _gen_shifts(specs: list[InstructionSpec]) -> None:
+    """Vector shifts by per-element amounts and by a scalar register."""
+    for ew in (16, 32):
+        sfx = _SUFFIX[ew]
+        count = VLEN // ew
+        amount_mask = ew - 1
+        for name, symbol, fn in (
+            (f"vasl{sfx}v", "<<",
+             lambda x, y, ew=ew: x.bvshl(y.bvand(BitVector(ew - 1, ew)))),
+            (f"vlsr{sfx}v", ">>",
+             lambda x, y, ew=ew: x.bvlshr(y.bvand(BitVector(ew - 1, ew)))),
+            (f"vasr{sfx}v", ">>>",
+             lambda x, y, ew=ew: x.bvashr(y.bvand(BitVector(ew - 1, ew)))),
+        ):
+            body = _loop(
+                count,
+                f"Vd.{sfx}[i] = Vu.{sfx}[i] {symbol} "
+                f"(Vv.{sfx}[i] & {amount_mask});",
+            )
+            specs.append(
+                _spec(f"V6_{name}", name, _two_vec(), VLEN, body,
+                      f"shift_var_{symbol}", 1.0, 0.5, _ref_lanewise(ew, fn),
+                      elem_width=ew, simd=True))
+        # Hardware masks the shift amount to log2(element width) bits —
+        # exactly the masking Rake's hand-written semantics forgot
+        # (the paper's Table 2 bugs).
+        mask_high = {16: 3, 32: 4}[ew]
+        for name, symbol, kind in (
+            (f"vasl{sfx}", "<<", "shl"),
+            (f"vlsr{sfx}", ">>", "lshr"),
+            (f"vasr{sfx}", ">>>", "ashr"),
+        ):
+            body = _loop(
+                count,
+                f"Vd.{sfx}[i] = Vu.{sfx}[i] {symbol} zxt{ew}(Rt[{mask_high}:0]);",
+            )
+
+            def make_ref(ew=ew, kind=kind, mask_high=mask_high):
+                def run(env):
+                    amount = env["Rt"].extract(mask_high, 0).zext(ew)
+                    table = {
+                        "shl": lambda x: x.bvshl(amount),
+                        "lshr": lambda x: x.bvlshr(amount),
+                        "ashr": lambda x: x.bvashr(amount),
+                    }
+                    return Vector(env["Vu"], ew).map_lanes(table[kind]).bits
+
+                return run
+
+            specs.append(
+                _spec(f"V6_{name}", name,
+                      [OperandSpec("Vu", VLEN), OperandSpec("Rt", 32)], VLEN,
+                      body, f"shift_scalar_{kind}", 1.0, 0.5, make_ref(),
+                      elem_width=ew, simd=True))
+
+
+def _gen_multiply(specs: list[InstructionSpec]) -> None:
+    # Widening multiplies producing a register pair (Vdd).
+    for src_ew, signed in ((8, True), (8, False), (16, True), (16, False)):
+        dst_ew = 2 * src_ew
+        src_sfx = _SUFFIX[src_ew] if signed else _USUFFIX[src_ew]
+        dst_sfx = _SUFFIX[dst_ew] if dst_ew in _SUFFIX else "w"
+        ext = "sxt" if signed else "zxt"
+        count = VLEN // src_ew
+        body = _loop(
+            count,
+            f"Vd.{dst_sfx}[i] = {ext}{dst_ew}(Vu.{src_sfx}[i]) * "
+            f"{ext}{dst_ew}(Vv.{src_sfx}[i]);",
+        )
+
+        def make_ref(src_ew=src_ew, dst_ew=dst_ew, signed=signed):
+            def run(env):
+                vu, vv = Vector(env["Vu"], src_ew), Vector(env["Vv"], src_ew)
+                out = []
+                for i in range(vu.num_elems):
+                    x, y = vu.elem(i), vv.elem(i)
+                    if signed:
+                        out.append(x.sext(dst_ew).bvmul(y.sext(dst_ew)))
+                    else:
+                        out.append(x.zext(dst_ew).bvmul(y.zext(dst_ew)))
+                return vector_from_elems(out).bits
+
+            return run
+
+        specs.append(
+            _spec(f"V6_vmpy{src_sfx}v", f"vmpy{src_sfx}", _two_vec(), 2 * VLEN,
+                  body, "mul_widening" + ("_s" if signed else "_u"), 4.0, 1.0,
+                  make_ref(), elem_width=dst_ew, widening=True))
+    # Low-half multiplies (vmpyi).
+    for ew in (16, 32):
+        sfx = _SUFFIX[ew]
+        count = VLEN // ew
+        body = _loop(
+            count,
+            f"Vd.{sfx}[i] = trunc{ew}(sxt{2 * ew}(Vu.{sfx}[i]) * "
+            f"sxt{2 * ew}(Vv.{sfx}[i]));",
+        )
+        specs.append(
+            _spec(f"V6_vmpyi{sfx}", f"vmpyi{sfx}", _two_vec(), VLEN, body,
+                  "ew_mullo", 4.0, 1.0,
+                  _ref_lanewise(ew, lambda x, y: x.bvmul(y)),
+                  elem_width=ew, simd=True))
+    # Even/odd halfword multiplies (vmpye/vmpyo), word results.
+    for odd in (False, True):
+        which = "o" if odd else "e"
+        offset = 1 if odd else 0
+        count = VLEN // 32
+        body = _loop(
+            count,
+            f"Vd.w[i] = sxt32(Vu.h[2*i+{offset}]) * sxt32(Vv.h[2*i+{offset}]);",
+        )
+
+        def make_ref(offset=offset):
+            def run(env):
+                vu, vv = Vector(env["Vu"], 16), Vector(env["Vv"], 16)
+                out = [
+                    vu.elem(2 * i + offset).sext(32).bvmul(
+                        vv.elem(2 * i + offset).sext(32))
+                    for i in range(VLEN // 32)
+                ]
+                return vector_from_elems(out).bits
+
+            return run
+
+        specs.append(
+            _spec(f"V6_vmpy{which}h", f"vmpy{which}h", _two_vec(), VLEN, body,
+                  f"mul_{which}ven", 4.0, 1.0, make_ref(), elem_width=32))
+    # vmpyieoh / vmpyiewuh_acc — the pair from Table 3 of the paper.
+    count = VLEN // 32
+    body = _loop(count, "Vd.w[i] = trunc32((sxt64(Vu.w[i]) * sxt64(Vv.w[i])) >> 16) << 16;")
+
+    def ref_ieoh(env):
+        vu, vv = Vector(env["Vu"], 32), Vector(env["Vv"], 32)
+        out = []
+        for i in range(VLEN // 32):
+            prod = vu.elem(i).sext(64).bvmul(vv.elem(i).sext(64))
+            out.append(prod.extract(47, 16).bvshl(BitVector(16, 32)))
+        return vector_from_elems(out).bits
+
+    specs.append(
+        _spec("V6_vmpyieoh", "vmpyieoh", _two_vec(), VLEN, body,
+              "mul_partial", 4.0, 1.0, ref_ieoh, elem_width=32))
+    body = _loop(
+        count,
+        "Vd.w[i] = Vx.w[i] + trunc32(zxt64(Vu.w[i] & 65535) * zxt64(Vv.w[i] & 65535));",
+    )
+
+    def ref_iewuh(env):
+        vx = Vector(env["Vx"], 32)
+        vu, vv = Vector(env["Vu"], 32), Vector(env["Vv"], 32)
+        mask = BitVector(65535, 32)
+        out = []
+        for i in range(VLEN // 32):
+            prod = vu.elem(i).bvand(mask).zext(64).bvmul(
+                vv.elem(i).bvand(mask).zext(64))
+            out.append(vx.elem(i).bvadd(prod.trunc(32)))
+        return vector_from_elems(out).bits
+
+    specs.append(
+        _spec("V6_vmpyiewuh_acc", "vmpyiewuh",
+              [OperandSpec("Vx", VLEN)] + _two_vec(), VLEN, body,
+              "mul_partial_acc", 4.0, 1.0, ref_iewuh, elem_width=32, acc=True))
+
+
+def _gen_dot_products(specs: list[InstructionSpec]) -> None:
+    # vdmpy: 2-way halfword dot product into words, optionally accumulating
+    # and saturating (the paper's vmpyhvsat_acc in Table 3 row 1).
+    count = VLEN // 32
+    for acc in (False, True):
+        for sat in (False, True):
+            inner = ("sxt32(Vu.h[2*i]) * sxt32(Vv.h[2*i]) + "
+                     "sxt32(Vu.h[2*i+1]) * sxt32(Vv.h[2*i+1])")
+            if acc and sat:
+                rhs = f"addsat_s(Vx.w[i], {inner})"
+            elif acc:
+                rhs = f"Vx.w[i] + {inner}"
+            elif sat:
+                rhs = f"sat32(sxt64({inner.replace('sxt32', 'sxt64')}))"
+                rhs = ("sat32(sxt64(Vu.h[2*i]) * sxt64(Vv.h[2*i]) + "
+                       "sxt64(Vu.h[2*i+1]) * sxt64(Vv.h[2*i+1]))")
+            else:
+                rhs = inner
+            name = "V6_vdmpyhv" + ("sat" if sat else "") + ("_acc" if acc else "")
+            operands = ([OperandSpec("Vx", VLEN)] if acc else []) + _two_vec()
+            body = _loop(count, f"Vd.w[i] = {rhs};")
+
+            def make_ref(acc=acc, sat=sat):
+                def run(env):
+                    vu, vv = Vector(env["Vu"], 16), Vector(env["Vv"], 16)
+                    out = []
+                    for i in range(VLEN // 32):
+                        if sat and not acc:
+                            lo = vu.elem(2 * i).sext(64).bvmul(vv.elem(2 * i).sext(64))
+                            hi = vu.elem(2 * i + 1).sext(64).bvmul(
+                                vv.elem(2 * i + 1).sext(64))
+                            total64 = lo.bvadd(hi)
+                            out.append(total64.saturate_to_signed(32))
+                            continue
+                        lo = vu.elem(2 * i).sext(32).bvmul(vv.elem(2 * i).sext(32))
+                        hi = vu.elem(2 * i + 1).sext(32).bvmul(
+                            vv.elem(2 * i + 1).sext(32))
+                        total = lo.bvadd(hi)
+                        if acc:
+                            base = Vector(env["Vx"], 32).elem(i)
+                            if sat:
+                                out.append(base.bvsaddsat(total))
+                            else:
+                                out.append(base.bvadd(total))
+                        else:
+                            out.append(total)
+                    return vector_from_elems(out).bits
+
+                return run
+
+            specs.append(
+                _spec(name, "vdmpy", operands, VLEN, body,
+                      "dot_dmpy" + ("_sat" if sat else "") + ("_acc" if acc else ""),
+                      4.0, 1.0, make_ref(), elem_width=32, dot_product=True,
+                      acc=acc))
+    # vrmpy: 4-way byte dot product into words (paper: the wide-window
+    # pattern production Halide exploits on gaussian7x7).
+    for kinds in (("ub", "ub"), ("ub", "b"), ("b", "b")):
+        for acc in (False, True):
+            ext_u = "zxt32" if kinds[0] == "ub" else "sxt32"
+            ext_v = "zxt32" if kinds[1] == "ub" else "sxt32"
+            terms = " + ".join(
+                f"{ext_u}(Vu.{kinds[0]}[4*i+{q}]) * {ext_v}(Vv.{kinds[1]}[4*i+{q}])"
+                for q in range(4)
+            )
+            rhs = f"Vx.w[i] + {terms}" if acc else terms
+            name = f"V6_vrmpy{kinds[0]}{kinds[1]}" + ("_acc" if acc else "")
+            operands = ([OperandSpec("Vx", VLEN)] if acc else []) + _two_vec()
+            body = _loop(count, f"Vd.w[i] = {rhs};")
+
+            def make_ref(kinds=kinds, acc=acc):
+                def run(env):
+                    vu, vv = Vector(env["Vu"], 8), Vector(env["Vv"], 8)
+                    out = []
+                    for i in range(VLEN // 32):
+                        total = BitVector(0, 32)
+                        for q in range(4):
+                            x = vu.elem(4 * i + q)
+                            y = vv.elem(4 * i + q)
+                            wide_x = x.zext(32) if kinds[0] == "ub" else x.sext(32)
+                            wide_y = y.zext(32) if kinds[1] == "ub" else y.sext(32)
+                            total = total.bvadd(wide_x.bvmul(wide_y))
+                        if acc:
+                            total = Vector(env["Vx"], 32).elem(i).bvadd(total)
+                        out.append(total)
+                    return vector_from_elems(out).bits
+
+                return run
+
+            specs.append(
+                _spec(name, "vrmpy", operands, VLEN, body,
+                      "dot_rmpy" + ("_acc" if acc else ""), 4.0, 1.0,
+                      make_ref(), elem_width=32, dot_product=True, acc=acc,
+                      reduction_width=4))
+
+
+def _gen_pair_ops(specs: list[InstructionSpec]) -> None:
+    """Double-vector (register pair) arithmetic, e.g. vaddw_dv_sat."""
+    for ew in (16, 32):
+        sfx = _SUFFIX[ew]
+        count = 2 * VLEN // ew
+        for sat in (False, True):
+            rhs = (f"addsat_s(Vuu.{sfx}[i], Vvv.{sfx}[i])" if sat
+                   else f"Vuu.{sfx}[i] + Vvv.{sfx}[i]")
+            name = f"V6_vadd{sfx}_dv" + ("_sat" if sat else "")
+            body = _loop(count, f"Vd.{sfx}[i] = {rhs};")
+
+            def make_ref(ew=ew, sat=sat):
+                def run(env):
+                    vu, vv = Vector(env["Vuu"], ew), Vector(env["Vvv"], ew)
+                    out = [
+                        (x.bvsaddsat(y) if sat else x.bvadd(y))
+                        for x, y in zip(vu.elems(), vv.elems())
+                    ]
+                    return vector_from_elems(out).bits
+
+                return run
+
+            specs.append(
+                _spec(name, "vadd_dv",
+                      [OperandSpec("Vuu", 2 * VLEN), OperandSpec("Vvv", 2 * VLEN)],
+                      2 * VLEN, body, "dv_add" + ("_sat" if sat else ""),
+                      1.0, 0.5, make_ref(), elem_width=ew, simd=True, pair=True))
+
+
+def _gen_swizzles(specs: list[InstructionSpec]) -> None:
+    # vcombine: two vectors into a pair.
+    body = (
+        f"for (i = 0; i < {VLEN // 32}; i++) {{\n"
+        "    Vd.w[i] = Vv.w[i];\n"
+        "}\n"
+        f"for (i = 0; i < {VLEN // 32}; i++) {{\n"
+        f"    Vd.w[i + {VLEN // 32}] = Vu.w[i];\n"
+        "}\n"
+    )
+
+    def ref_combine(env):
+        return env["Vv"].concat(env["Vu"]).bits if False else env["Vu"].concat(env["Vv"])
+
+    def ref_combine(env):  # noqa: F811 - Vu becomes the high half
+        return env["Vu"].concat(env["Vv"])
+
+    specs.append(
+        _spec("V6_vcombine", "vcombine", _two_vec(), 2 * VLEN, body,
+              "swizzle_combine", 1.0, 0.5, ref_combine, swizzle=True))
+
+    for ew in (8, 16, 32):
+        sfx = _SUFFIX[ew]
+        half = VLEN // ew // 2
+        # vshuff<sfx>: interleave the two halves of one vector.
+        body = (
+            f"for (i = 0; i < {half}; i++) {{\n"
+            f"    Vd.{sfx}[2*i] = Vu.{sfx}[i];\n"
+            f"    Vd.{sfx}[2*i+1] = Vu.{sfx}[i + {half}];\n"
+            "}\n"
+        )
+
+        def make_shuff_ref(ew=ew, half=half):
+            def run(env):
+                vu = Vector(env["Vu"], ew)
+                out = []
+                for i in range(half):
+                    out.append(vu.elem(i))
+                    out.append(vu.elem(i + half))
+                return vector_from_elems(out).bits
+
+            return run
+
+        specs.append(
+            _spec(f"V6_vshuff{sfx}", f"vshuff{sfx}", [OperandSpec("Vu", VLEN)],
+                  VLEN, body, "swizzle_shuff", 1.0, 1.0, make_shuff_ref(),
+                  elem_width=ew, swizzle=True))
+        # vdeal<sfx>: de-interleave even/odd elements of one vector.
+        body = (
+            f"for (i = 0; i < {half}; i++) {{\n"
+            f"    Vd.{sfx}[i] = Vu.{sfx}[2*i];\n"
+            f"    Vd.{sfx}[i + {half}] = Vu.{sfx}[2*i+1];\n"
+            "}\n"
+        )
+
+        def make_deal_ref(ew=ew, half=half):
+            def run(env):
+                vu = Vector(env["Vu"], ew)
+                evens = [vu.elem(2 * i) for i in range(half)]
+                odds = [vu.elem(2 * i + 1) for i in range(half)]
+                return vector_from_elems(evens + odds).bits
+
+            return run
+
+        specs.append(
+            _spec(f"V6_vdeal{sfx}", f"vdeal{sfx}", [OperandSpec("Vu", VLEN)],
+                  VLEN, body, "swizzle_deal", 1.0, 1.0, make_deal_ref(),
+                  elem_width=ew, swizzle=True))
+        # vshuffe/vshuffo: even/odd elements of two vectors.
+        for odd in (False, True):
+            which = "o" if odd else "e"
+            offset = 1 if odd else 0
+            count = VLEN // ew
+            body = (
+                f"for (i = 0; i < {count // 2}; i++) {{\n"
+                f"    Vd.{sfx}[2*i] = Vv.{sfx}[2*i+{offset}];\n"
+                f"    Vd.{sfx}[2*i+1] = Vu.{sfx}[2*i+{offset}];\n"
+                "}\n"
+            )
+
+            def make_ref(ew=ew, offset=offset):
+                def run(env):
+                    vu, vv = Vector(env["Vu"], ew), Vector(env["Vv"], ew)
+                    out = []
+                    for i in range(VLEN // ew // 2):
+                        out.append(vv.elem(2 * i + offset))
+                        out.append(vu.elem(2 * i + offset))
+                    return vector_from_elems(out).bits
+
+                return run
+
+            specs.append(
+                _spec(f"V6_vshuff{which}{sfx}", f"vshuff{which}", _two_vec(),
+                      VLEN, body, f"swizzle_shuff{which}", 1.0, 1.0, make_ref(),
+                      elem_width=ew, swizzle=True))
+    # vshuffvdd / vdealvdd: cross-vector shuffles producing a pair
+    # (paper Figure 5: the 2x2 block transpose workhorse).
+    for ew in (16, 32):
+        sfx = _SUFFIX[ew]
+        count = VLEN // ew
+        body = (
+            f"for (i = 0; i < {count}; i++) {{\n"
+            f"    Vd.{sfx}[2*i] = Vv.{sfx}[i];\n"
+            f"    Vd.{sfx}[2*i+1] = Vu.{sfx}[i];\n"
+            "}\n"
+        )
+
+        def make_vdd_ref(ew=ew):
+            def run(env):
+                vu, vv = Vector(env["Vu"], ew), Vector(env["Vv"], ew)
+                out = []
+                for i in range(VLEN // ew):
+                    out.append(vv.elem(i))
+                    out.append(vu.elem(i))
+                return vector_from_elems(out).bits
+
+            return run
+
+        specs.append(
+            _spec(f"V6_vshuffvdd_{sfx}", "vshuffvdd", _two_vec(), 2 * VLEN,
+                  body, "swizzle_shuffvdd", 1.0, 1.0, make_vdd_ref(),
+                  elem_width=ew, swizzle=True, pair=True))
+        body = (
+            f"for (i = 0; i < {count}; i++) {{\n"
+            f"    Vd.{sfx}[i] = Vv.{sfx}[2*i];\n"
+            f"    Vd.{sfx}[i + {count}] = Vv.{sfx}[2*i+1];\n"
+            "}\n"
+        ).replace("Vv.", "Vuu.")
+
+        def make_dealvdd_ref(ew=ew):
+            def run(env):
+                vuu = Vector(env["Vuu"], ew)
+                count = VLEN // ew
+                evens = [vuu.elem(2 * i) for i in range(count)]
+                odds = [vuu.elem(2 * i + 1) for i in range(count)]
+                return vector_from_elems(evens + odds).bits
+
+            return run
+
+        specs.append(
+            _spec(f"V6_vdealvdd_{sfx}", "vdealvdd",
+                  [OperandSpec("Vuu", 2 * VLEN)], 2 * VLEN, body,
+                  "swizzle_dealvdd", 1.0, 1.0, make_dealvdd_ref(),
+                  elem_width=ew, swizzle=True, pair=True))
+    # vror: rotate the whole vector right by a byte amount.
+    body = (
+        f"for (i = 0; i < {VLEN // 8}; i++) {{\n"
+        f"    Vd.b[i] = Vu.b[(i + 1) % {VLEN // 8}];\n"
+        "}\n"
+    )
+
+    def ref_ror(env):
+        vu = Vector(env["Vu"], 8)
+        count = VLEN // 8
+        return vector_from_elems(
+            [vu.elem((i + 1) % count) for i in range(count)]
+        ).bits
+
+    specs.append(
+        _spec("V6_vror_1", "vror", [OperandSpec("Vu", VLEN)], VLEN, body,
+              "swizzle_ror", 1.0, 1.0, ref_ror, elem_width=8, swizzle=True))
+
+
+def _gen_pack_unpack(specs: list[InstructionSpec]) -> None:
+    # vpacke/vpacko: keep even/odd narrow halves.
+    for src_ew in (16, 32):
+        dst_ew = src_ew // 2
+        src_sfx, dst_sfx = _SUFFIX[src_ew], _SUFFIX[dst_ew]
+        count = VLEN // src_ew
+        for odd in (False, True):
+            which = "o" if odd else "e"
+            # Even pack keeps low halves; odd pack keeps high halves.
+            shift = f" >> {dst_ew}" if odd else ""
+            body = _loop(
+                count * 2 // 2,
+                f"Vd.{dst_sfx}[i] = trunc{dst_ew}(Vuu.{src_sfx}[i]{shift});",
+            ).replace(f"i < {count}", f"i < {2 * count}")
+            body = (
+                f"for (i = 0; i < {2 * count}; i++) {{\n"
+                f"    Vd.{dst_sfx}[i] = trunc{dst_ew}(Vuu.{src_sfx}[i]{shift});\n"
+                "}\n"
+            )
+
+            def make_ref(src_ew=src_ew, dst_ew=dst_ew, odd=odd):
+                def run(env):
+                    vuu = Vector(env["Vuu"], src_ew)
+                    out = []
+                    for i in range(vuu.num_elems):
+                        elem = vuu.elem(i)
+                        if odd:
+                            out.append(elem.extract(src_ew - 1, dst_ew))
+                        else:
+                            out.append(elem.trunc(dst_ew))
+                    return vector_from_elems(out).bits
+
+                return run
+
+            specs.append(
+                _spec(f"V6_vpack{which}{dst_sfx}", f"vpack{which}",
+                      [OperandSpec("Vuu", 2 * VLEN)], VLEN, body,
+                      f"pack_{which}", 1.0, 1.0, make_ref(),
+                      elem_width=dst_ew, swizzle=True))
+        # Saturating packs.
+        for unsigned in (False, True):
+            sat = f"usat{dst_ew}" if unsigned else f"sat{dst_ew}"
+            name = f"V6_vpack{src_sfx}{'u' if unsigned else ''}{dst_sfx}_sat"
+            body = (
+                f"for (i = 0; i < {2 * count}; i++) {{\n"
+                f"    Vd.{dst_sfx}[i] = {sat}(Vuu.{src_sfx}[i]);\n"
+                "}\n"
+            )
+
+            def make_ref(src_ew=src_ew, dst_ew=dst_ew, unsigned=unsigned):
+                def run(env):
+                    vuu = Vector(env["Vuu"], src_ew)
+                    out = []
+                    for i in range(vuu.num_elems):
+                        elem = vuu.elem(i)
+                        if unsigned:
+                            out.append(elem.saturate_to_unsigned(dst_ew))
+                        else:
+                            out.append(elem.saturate_to_signed(dst_ew))
+                    return vector_from_elems(out).bits
+
+                return run
+
+            specs.append(
+                _spec(name, "vpack_sat", [OperandSpec("Vuu", 2 * VLEN)], VLEN,
+                      body, "pack_sat" + ("_u" if unsigned else "_s"), 1.0,
+                      1.0, make_ref(), elem_width=dst_ew, swizzle=True))
+    # vunpack / vsxt / vzxt: widen a vector into a pair.
+    for src_ew in (8, 16):
+        dst_ew = 2 * src_ew
+        dst_sfx = _SUFFIX[dst_ew]
+        count = VLEN // src_ew
+        for unsigned in (False, True):
+            src_sfx = _USUFFIX[src_ew] if unsigned else _SUFFIX[src_ew]
+            ext = "zxt" if unsigned else "sxt"
+            name = f"V6_vunpack{src_sfx}"
+            body = _loop(
+                count, f"Vd.{dst_sfx}[i] = {ext}{dst_ew}(Vu.{src_sfx}[i]);"
+            )
+
+            def make_ref(src_ew=src_ew, dst_ew=dst_ew, unsigned=unsigned):
+                def run(env):
+                    vu = Vector(env["Vu"], src_ew)
+                    out = [
+                        e.zext(dst_ew) if unsigned else e.sext(dst_ew)
+                        for e in vu.elems()
+                    ]
+                    return vector_from_elems(out).bits
+
+                return run
+
+            specs.append(
+                _spec(name, "vunpack", [OperandSpec("Vu", VLEN)], 2 * VLEN,
+                      body, "unpack_widen" + ("_u" if unsigned else "_s"),
+                      1.0, 1.0, make_ref(), elem_width=dst_ew, swizzle=True,
+                      pair=True))
+    # vsb / vsh aliases (sign-extending unpacks, as used in Table 3).
+    for src_ew, alias in ((8, "V6_vsb"), (16, "V6_vsh")):
+        dst_ew = 2 * src_ew
+        dst_sfx = _SUFFIX[dst_ew]
+        src_sfx = _SUFFIX[src_ew]
+        count = VLEN // src_ew
+        body = _loop(count, f"Vd.{dst_sfx}[i] = sxt{dst_ew}(Vu.{src_sfx}[i]);")
+
+        def make_ref(src_ew=src_ew, dst_ew=dst_ew):
+            def run(env):
+                vu = Vector(env["Vu"], src_ew)
+                return vector_from_elems([e.sext(dst_ew) for e in vu.elems()]).bits
+
+            return run
+
+        specs.append(
+            _spec(alias, alias[3:], [OperandSpec("Vu", VLEN)], 2 * VLEN, body,
+                  "unpack_widen_s", 1.0, 1.0, make_ref(), elem_width=dst_ew,
+                  swizzle=True, pair=True))
+
+
+def _gen_splat(specs: list[InstructionSpec]) -> None:
+    for ew in (8, 16, 32):
+        sfx = _SUFFIX[ew]
+        count = VLEN // ew
+        body = _loop(count, f"Vd.{sfx}[i] = Rt[{ew - 1}:0];")
+
+        def make_ref(ew=ew, count=count):
+            def run(env):
+                elem = env["Rt"].trunc(ew)
+                return vector_from_elems([elem] * count).bits
+
+            return run
+
+        specs.append(
+            _spec(f"V6_lvsplat{sfx}", "vsplat", [OperandSpec("Rt", 32)], VLEN,
+                  body, "broadcast", 1.0, 1.0, make_ref(), elem_width=ew,
+                  swizzle=True))
+
+
+def _gen_predicated(specs: list[InstructionSpec]) -> None:
+    """vmux and Q-predicated adds (Q register = one bit per byte)."""
+    qwidth = VLEN // 8
+    for ew in (8, 16, 32):
+        sfx = _SUFFIX[ew]
+        count = VLEN // ew
+        stride = ew // 8
+        body = (
+            f"for (i = 0; i < {count}; i++) {{\n"
+            f"    if (Qt[i*{stride}:i*{stride}] == 1) {{\n"
+            f"        Vd.{sfx}[i] = Vu.{sfx}[i];\n"
+            "    } else {\n"
+            f"        Vd.{sfx}[i] = Vv.{sfx}[i];\n"
+            "    }\n"
+            "}\n"
+        )
+
+        def make_ref(ew=ew, stride=stride):
+            def run(env):
+                vu, vv = Vector(env["Vu"], ew), Vector(env["Vv"], ew)
+                qt = env["Qt"]
+                out = []
+                for i in range(vu.num_elems):
+                    bit = (qt.value >> (i * stride)) & 1
+                    out.append(vu.elem(i) if bit else vv.elem(i))
+                return vector_from_elems(out).bits
+
+            return run
+
+        specs.append(
+            _spec(f"V6_vmux_{sfx}", "vmux",
+                  [OperandSpec("Qt", qwidth)] + _two_vec(), VLEN, body,
+                  "predicated_mux", 1.0, 0.5, make_ref(), elem_width=ew,
+                  swizzle=True))
+
+
+def _gen_narrowing_shifts(specs: list[InstructionSpec]) -> None:
+    """vasr-with-narrowing: shift right, saturate into the narrow type.
+
+    These are the HVX workhorses for fixed-point requantization
+    (``vasrwh``, ``vasrhub_sat`` and friends)."""
+    cases = [
+        # (name, src_ew, dst unsigned?, saturating?)
+        ("vasrwh", 32, False, False),
+        ("vasrwh_sat", 32, False, True),
+        ("vasrwuh_sat", 32, True, True),
+        ("vasrhb", 16, False, False),
+        ("vasrhub_sat", 16, True, True),
+        ("vasrhb_sat", 16, False, True),
+    ]
+    for name, src_ew, unsigned, saturating in cases:
+        dst_ew = src_ew // 2
+        src_sfx = _SUFFIX[src_ew]
+        dst_sfx = _SUFFIX[dst_ew]
+        count = 2 * VLEN // src_ew
+        mask_high = {16: 3, 32: 4}[src_ew]
+        if saturating:
+            sat = f"usat{dst_ew}" if unsigned else f"sat{dst_ew}"
+            rhs = f"{sat}(Vuu.{src_sfx}[i] >>> zxt{src_ew}(Rt[{mask_high}:0]))"
+        else:
+            rhs = f"trunc{dst_ew}(Vuu.{src_sfx}[i] >>> zxt{src_ew}(Rt[{mask_high}:0]))"
+        body = (
+            f"for (i = 0; i < {count}; i++) {{\n"
+            f"    Vd.{dst_sfx}[i] = {rhs};\n"
+            "}\n"
+        )
+
+        def make_ref(src_ew=src_ew, dst_ew=dst_ew, unsigned=unsigned,
+                     saturating=saturating, mask_high=mask_high):
+            def run(env):
+                amount = env["Rt"].extract(mask_high, 0).zext(src_ew)
+                vuu = Vector(env["Vuu"], src_ew)
+                out = []
+                for elem in vuu.elems():
+                    shifted = elem.bvashr(amount)
+                    if not saturating:
+                        out.append(shifted.trunc(dst_ew))
+                    elif unsigned:
+                        out.append(shifted.saturate_to_unsigned(dst_ew))
+                    else:
+                        out.append(shifted.saturate_to_signed(dst_ew))
+                return vector_from_elems(out).bits
+
+            return run
+
+        specs.append(
+            _spec(f"V6_{name}", "vasr",
+                  [OperandSpec("Vuu", 2 * VLEN), OperandSpec("Rt", 32)],
+                  VLEN, body, "narrow_shift" + ("_sat" if saturating else ""),
+                  2.0, 1.0, make_ref(), elem_width=dst_ew, swizzle=True))
+
+
+def _gen_conditional(specs: list[InstructionSpec]) -> None:
+    """Q-predicated arithmetic: if (Q) Vx.w += Vu.w etc."""
+    qwidth = VLEN // 8
+    for ew in (8, 16, 32):
+        sfx = _SUFFIX[ew]
+        count = VLEN // ew
+        stride = ew // 8
+        for op, symbol in (("add", "+"), ("sub", "-")):
+            body = (
+                f"for (i = 0; i < {count}; i++) {{\n"
+                f"    if (Qv[i*{stride}:i*{stride}] == 1) {{\n"
+                f"        Vd.{sfx}[i] = Vx.{sfx}[i] {symbol} Vu.{sfx}[i];\n"
+                "    } else {\n"
+                f"        Vd.{sfx}[i] = Vx.{sfx}[i];\n"
+                "    }\n"
+                "}\n"
+            )
+
+            def make_ref(ew=ew, stride=stride, op=op):
+                def run(env):
+                    vx, vu = Vector(env["Vx"], ew), Vector(env["Vu"], ew)
+                    qv = env["Qv"]
+                    out = []
+                    for i in range(vx.num_elems):
+                        if (qv.value >> (i * stride)) & 1:
+                            if op == "add":
+                                out.append(vx.elem(i).bvadd(vu.elem(i)))
+                            else:
+                                out.append(vx.elem(i).bvsub(vu.elem(i)))
+                        else:
+                            out.append(vx.elem(i))
+                    return vector_from_elems(out).bits
+
+                return run
+
+            specs.append(
+                _spec(f"V6_v{op}{sfx}q", f"v{op}q",
+                      [OperandSpec("Qv", qwidth), OperandSpec("Vx", VLEN),
+                       OperandSpec("Vu", VLEN)],
+                      VLEN, body, f"predicated_{op}", 1.0, 0.5, make_ref(),
+                      elem_width=ew, simd=True))
+
+
+def _gen_counting(specs: list[InstructionSpec]) -> None:
+    for ew in (16, 32):
+        sfx = _SUFFIX[ew]
+        count = VLEN // ew
+        body = _loop(count, f"Vd.{sfx}[i] = popcount(Vu.{sfx}[i]);")
+
+        def make_ref(ew=ew):
+            def run(env):
+                return Vector(env["Vu"], ew).map_lanes(lambda x: x.popcount()).bits
+
+            return run
+
+        specs.append(
+            _spec(f"V6_vpopcount{sfx}", "vpopcount", [OperandSpec("Vu", VLEN)],
+                  VLEN, body, "count_pop", 2.0, 1.0, make_ref(), elem_width=ew,
+                  simd=True))
+
+
+def generate_hvx_catalog() -> IsaCatalog:
+    """Generate the full synthetic HVX manual."""
+    specs: list[InstructionSpec] = []
+    _gen_arith(specs)
+    _gen_logic(specs)
+    _gen_shifts(specs)
+    _gen_multiply(specs)
+    _gen_dot_products(specs)
+    _gen_pair_ops(specs)
+    _gen_swizzles(specs)
+    _gen_pack_unpack(specs)
+    _gen_splat(specs)
+    _gen_predicated(specs)
+    _gen_narrowing_shifts(specs)
+    _gen_conditional(specs)
+    _gen_counting(specs)
+    return IsaCatalog("hvx", specs)

@@ -1,0 +1,68 @@
+"""Central access point for ISA catalogs and parsed semantics.
+
+Catalog generation, pseudocode parsing and canonicalisation together take
+a few seconds per ISA, so everything is cached per process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.hydride_ir.ast import SemanticsFunction
+from repro.hydride_ir.transforms import canonicalize
+from repro.isa.spec import InstructionSpec, IsaCatalog
+
+SUPPORTED_ISAS = ("x86", "hvx", "arm")
+
+
+@dataclass
+class LoadedIsa:
+    """A catalog together with canonicalised semantics per instruction."""
+
+    catalog: IsaCatalog
+    semantics: dict[str, SemanticsFunction]
+
+    @property
+    def isa(self) -> str:
+        return self.catalog.isa
+
+    def spec(self, name: str) -> InstructionSpec:
+        return self.catalog.by_name(name)
+
+    def __len__(self) -> int:
+        return len(self.catalog)
+
+
+def _generate_and_parse(isa: str) -> LoadedIsa:
+    if isa == "x86":
+        from repro.isa.x86 import generate_x86_catalog, x86_semantics
+
+        catalog = generate_x86_catalog()
+        parse = x86_semantics
+    elif isa == "hvx":
+        from repro.isa.hvx import generate_hvx_catalog, hvx_semantics
+
+        catalog = generate_hvx_catalog()
+        parse = hvx_semantics
+    elif isa == "arm":
+        from repro.isa.arm import generate_arm_catalog, arm_semantics
+
+        catalog = generate_arm_catalog()
+        parse = arm_semantics
+    else:
+        raise ValueError(f"unknown ISA {isa!r}; supported: {SUPPORTED_ISAS}")
+    semantics = {
+        spec.name: canonicalize(parse(spec)) for spec in catalog
+    }
+    return LoadedIsa(catalog, semantics)
+
+
+@lru_cache(maxsize=None)
+def load_isa(isa: str) -> LoadedIsa:
+    """Load (generate + parse + canonicalise) one ISA, cached."""
+    return _generate_and_parse(isa)
+
+
+def load_isas(isas: tuple[str, ...]) -> list[LoadedIsa]:
+    return [load_isa(isa) for isa in isas]

@@ -1,0 +1,101 @@
+"""Instruction specification records — the "vendor manual entry" type."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.bitvector.bv import BitVector
+
+
+@dataclass(frozen=True)
+class OperandSpec:
+    """One operand of an instruction as documented by the vendor."""
+
+    name: str
+    width: int
+    is_immediate: bool = False
+
+
+# A reference executable: concrete input registers -> output register.
+Reference = Callable[[Mapping[str, BitVector]], BitVector]
+
+
+@dataclass
+class InstructionSpec:
+    """One manual entry: name, operands, pseudocode text, and metadata.
+
+    ``pseudocode`` is text in the owning ISA's dialect — the parser input.
+    ``reference`` is an independent executable implementation (stand-in for
+    the target C builtin) used only by the differential fuzzer; the
+    compiler pipeline never reads it.
+    """
+
+    name: str
+    isa: str
+    asm: str
+    operands: tuple[OperandSpec, ...]
+    output_width: int
+    pseudocode: str
+    extension: str
+    family: str
+    latency: float
+    throughput: float
+    reference: Reference | None = None
+    attributes: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def vector_width(self) -> int:
+        return self.output_width
+
+    def register_operands(self) -> list[OperandSpec]:
+        return [op for op in self.operands if not op.is_immediate]
+
+    def immediate_operands(self) -> list[OperandSpec]:
+        return [op for op in self.operands if op.is_immediate]
+
+
+@dataclass
+class IsaCatalog:
+    """All instruction specs of one ISA — the "programmer's manual"."""
+
+    isa: str
+    specs: list[InstructionSpec]
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    def by_name(self, name: str) -> InstructionSpec:
+        for spec in self.specs:
+            if spec.name == name:
+                return spec
+        raise KeyError(f"no instruction named {name!r} in {self.isa}")
+
+    def families(self) -> dict[str, list[InstructionSpec]]:
+        grouped: dict[str, list[InstructionSpec]] = {}
+        for spec in self.specs:
+            grouped.setdefault(spec.family, []).append(spec)
+        return grouped
+
+    def filter(self, predicate: Callable[[InstructionSpec], bool]) -> "IsaCatalog":
+        return IsaCatalog(self.isa, [s for s in self.specs if predicate(s)])
+
+
+def validate_catalog(catalog: IsaCatalog) -> list[str]:
+    """Sanity checks a spec generator's output; returns problem strings."""
+    problems: list[str] = []
+    seen: set[str] = set()
+    for spec in catalog:
+        if spec.name in seen:
+            problems.append(f"duplicate instruction name {spec.name}")
+        seen.add(spec.name)
+        if spec.output_width <= 0:
+            problems.append(f"{spec.name}: non-positive output width")
+        if not spec.pseudocode.strip():
+            problems.append(f"{spec.name}: empty pseudocode")
+        if spec.latency <= 0 or spec.throughput <= 0:
+            problems.append(f"{spec.name}: non-positive latency/throughput")
+    return problems

@@ -1,0 +1,1011 @@
+"""Synthetic Intel-style manual: generates the x86 instruction catalog.
+
+Real vendor manuals are themselves template-generated across element
+widths, vector widths and signedness — ``_mm_add_epi8`` /
+``_mm256_add_epi16`` / ``_mm512_add_epi32`` share one operation section
+with different numbers plugged in.  This module plays the role of those
+manual pages: each generator emits the *pseudocode text* (in the dialect
+of :mod:`repro.isa.x86.parser`), the operand list, a latency/throughput
+estimate, and an independent reference executable for fuzzing.
+
+Coverage follows the families the paper's evaluation leans on: SSE2/AVX2
+element-wise integer ops, AVX-512 masked and zero-masked forms, saturating
+arithmetic, pack/unpack swizzles, widening conversions, the pmaddwd /
+pmaddubsw / VNNI dot-product group, horizontal adds, SADs, and the scalar
+integer ALU ops (the paper's 2,029 x86 instructions include scalars).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.isa import reference as ref
+from repro.isa.spec import InstructionSpec, IsaCatalog, OperandSpec
+
+VEC_WIDTHS = (128, 256, 512)
+
+_PREFIX = {128: "_mm", 256: "_mm256", 512: "_mm512"}
+_EXT = {128: "SSE2", 256: "AVX2", 512: "AVX512"}
+
+
+def _spec(
+    name: str,
+    asm: str,
+    operands: list[OperandSpec],
+    output_width: int,
+    pseudocode: str,
+    family: str,
+    latency: float,
+    throughput: float,
+    reference,
+    extension: str,
+    **attributes,
+) -> InstructionSpec:
+    return InstructionSpec(
+        name=name,
+        isa="x86",
+        asm=asm,
+        operands=tuple(operands),
+        output_width=output_width,
+        pseudocode=pseudocode,
+        extension=extension,
+        family=family,
+        latency=latency,
+        throughput=throughput,
+        reference=reference,
+        attributes=attributes,
+    )
+
+
+def _two_vec(width: int) -> list[OperandSpec]:
+    return [OperandSpec("a", width), OperandSpec("b", width)]
+
+
+# ----------------------------------------------------------------------
+# Element-wise templates
+# ----------------------------------------------------------------------
+
+
+def _elementwise_body(vec: int, ew: int, rhs: str) -> str:
+    count = vec // ew
+    return (
+        f"FOR j := 0 to {count - 1}\n"
+        f"    i := j*{ew}\n"
+        f"    dst[i+{ew - 1}:i] := {rhs}\n"
+        "ENDFOR\n"
+    )
+
+
+def _lane(name: str, ew: int) -> str:
+    return f"{name}[i+{ew - 1}:i]"
+
+
+_EW_BIN_FAMILIES: list[tuple[str, str, Callable, list[int], float, float]] = [
+    # (intrinsic op name, rhs template key, reference maker, widths, lat, tpt)
+    ("add", "{a} + {b}", ref.ref_add, [8, 16, 32, 64], 1.0, 0.33),
+    ("sub", "{a} - {b}", ref.ref_sub, [8, 16, 32, 64], 1.0, 0.33),
+    ("mullo", "Truncate{ew}(SignExtend{ew2}({a}) * SignExtend{ew2}({b}))",
+     ref.ref_mullo, [16, 32, 64], 5.0, 0.5),
+    ("min_s", "MIN_S({a}, {b})", ref.ref_min_s, [8, 16, 32, 64], 1.0, 0.5),
+    ("max_s", "MAX_S({a}, {b})", ref.ref_max_s, [8, 16, 32, 64], 1.0, 0.5),
+    ("min_u", "MIN_U({a}, {b})", ref.ref_min_u, [8, 16, 32, 64], 1.0, 0.5),
+    ("max_u", "MAX_U({a}, {b})", ref.ref_max_u, [8, 16, 32, 64], 1.0, 0.5),
+    ("adds", "AddSatS({a}, {b})", ref.ref_adds, [8, 16], 1.0, 0.5),
+    ("addus", "AddSatU({a}, {b})", ref.ref_addus, [8, 16], 1.0, 0.5),
+    ("subs", "SubSatS({a}, {b})", ref.ref_subs, [8, 16], 1.0, 0.5),
+    ("subus", "SubSatU({a}, {b})", ref.ref_subus, [8, 16], 1.0, 0.5),
+    ("avg", "AVG_U_RND({a}, {b})", ref.ref_avg_u_rnd, [8, 16], 1.0, 0.5),
+]
+
+_EW_SUFFIX = {8: "epi8", 16: "epi16", 32: "epi32", 64: "epi64"}
+_EW_SUFFIX_U = {8: "epu8", 16: "epu16", 32: "epu32", 64: "epu64"}
+
+
+def _ew_rhs(template: str, ew: int) -> str:
+    return template.format(a=_lane("a", ew), b=_lane("b", ew), ew=ew, ew2=2 * ew)
+
+
+def _gen_elementwise(specs: list[InstructionSpec]) -> None:
+    for op, template, make_ref, widths, lat, tpt in _EW_BIN_FAMILIES:
+        unsigned = op in ("min_u", "max_u", "addus", "subus", "avg")
+        suffix_table = _EW_SUFFIX_U if unsigned else _EW_SUFFIX
+        base_op = op.removesuffix("_s").removesuffix("_u")
+        for vec in VEC_WIDTHS:
+            for ew in widths:
+                name = f"{_PREFIX[vec]}_{base_op}_{suffix_table[ew]}"
+                body = _elementwise_body(vec, ew, _ew_rhs(template, ew))
+                specs.append(
+                    _spec(
+                        name,
+                        f"vp{base_op}",
+                        _two_vec(vec),
+                        vec,
+                        body,
+                        family=f"ew_{op}",
+                        latency=lat,
+                        throughput=tpt,
+                        reference=make_ref(ew),
+                        extension=_EXT[vec],
+                        elem_width=ew,
+                        simd=True,
+                    )
+                )
+
+
+def _gen_mulhi(specs: list[InstructionSpec]) -> None:
+    for vec in VEC_WIDTHS:
+        for signed in (True, False):
+            suffix = "epi16" if signed else "epu16"
+            extend = "SignExtend32" if signed else "ZeroExtend32"
+            rhs_tmp = (
+                f"    t := {extend}(a[i+15:i]) * {extend}(b[i+15:i])\n"
+                f"    dst[i+15:i] := t[31:16]\n"
+            )
+            count = vec // 16
+            body = (
+                f"FOR j := 0 to {count - 1}\n"
+                f"    i := j*16\n"
+                f"{rhs_tmp}"
+                "ENDFOR\n"
+            )
+            specs.append(
+                _spec(
+                    f"{_PREFIX[vec]}_mulhi_{suffix}",
+                    "vpmulh",
+                    _two_vec(vec),
+                    vec,
+                    body,
+                    family="ew_mulhi" + ("_s" if signed else "_u"),
+                    latency=5.0,
+                    throughput=0.5,
+                    reference=ref.ref_mulhi(16, signed),
+                    extension=_EXT[vec],
+                    elem_width=16,
+                    simd=True,
+                )
+            )
+
+
+def _gen_widening_mul(specs: list[InstructionSpec]) -> None:
+    """pmuldq / pmuludq: multiply even 32-bit elements into 64-bit lanes."""
+    for vec in VEC_WIDTHS:
+        for signed in (True, False):
+            extend = "SignExtend64" if signed else "ZeroExtend64"
+            count = vec // 64
+            body = (
+                f"FOR j := 0 to {count - 1}\n"
+                f"    i := j*64\n"
+                f"    dst[i+63:i] := {extend}(a[i+31:i]) * {extend}(b[i+31:i])\n"
+                "ENDFOR\n"
+            )
+            name = f"{_PREFIX[vec]}_mul_{'epi32' if signed else 'epu32'}"
+
+            def make_reference(vec=vec, signed=signed):
+                def run(env):
+                    from repro.bitvector.lanes import Vector, vector_from_elems
+
+                    va, vb = Vector(env["a"], 64), Vector(env["b"], 64)
+                    out = []
+                    for k in range(vec // 64):
+                        x = va.elem(k).trunc(32)
+                        y = vb.elem(k).trunc(32)
+                        if signed:
+                            out.append(x.sext(64).bvmul(y.sext(64)))
+                        else:
+                            out.append(x.zext(64).bvmul(y.zext(64)))
+                    return vector_from_elems(out).bits
+
+                return run
+
+            specs.append(
+                _spec(
+                    name,
+                    "vpmuldq",
+                    _two_vec(vec),
+                    vec,
+                    body,
+                    family="widening_mul" + ("_s" if signed else "_u"),
+                    latency=5.0,
+                    throughput=0.5,
+                    reference=make_reference(),
+                    extension=_EXT[vec],
+                    elem_width=32,
+                    simd=True,
+                )
+            )
+
+
+def _gen_logic(specs: list[InstructionSpec]) -> None:
+    for vec in VEC_WIDTHS:
+        suffix = f"si{vec}"
+        for op, symbol, make_ref in (
+            ("and", "&", ref.ref_and),
+            ("or", "|", ref.ref_or),
+            ("xor", "^", ref.ref_xor),
+        ):
+            body = f"dst[{vec - 1}:0] := a[{vec - 1}:0] {symbol} b[{vec - 1}:0]\n"
+            specs.append(
+                _spec(
+                    f"{_PREFIX[vec]}_{op}_{suffix}",
+                    f"vp{op}",
+                    _two_vec(vec),
+                    vec,
+                    body,
+                    family=f"logic_{op}",
+                    latency=1.0,
+                    throughput=0.33,
+                    reference=make_ref(vec),
+                    extension=_EXT[vec],
+                    elem_width=vec,
+                    simd=True,
+                )
+            )
+        body = f"dst[{vec - 1}:0] := (~a[{vec - 1}:0]) & b[{vec - 1}:0]\n"
+        specs.append(
+            _spec(
+                f"{_PREFIX[vec]}_andnot_{suffix}",
+                "vpandn",
+                _two_vec(vec),
+                vec,
+                body,
+                family="logic_andnot",
+                latency=1.0,
+                throughput=0.33,
+                reference=ref.ref_andnot(vec),
+                extension=_EXT[vec],
+                elem_width=vec,
+                simd=True,
+            )
+        )
+
+
+def _gen_abs(specs: list[InstructionSpec]) -> None:
+    for vec in VEC_WIDTHS:
+        for ew in (8, 16, 32):
+            body = _elementwise_body(vec, ew, f"ABS({_lane('a', ew)})")
+            specs.append(
+                _spec(
+                    f"{_PREFIX[vec]}_abs_{_EW_SUFFIX[ew]}",
+                    "vpabs",
+                    [OperandSpec("a", vec)],
+                    vec,
+                    body,
+                    family="ew_abs",
+                    latency=1.0,
+                    throughput=0.5,
+                    reference=ref.ref_abs(ew),
+                    extension=_EXT[vec],
+                    elem_width=ew,
+                    simd=True,
+                )
+            )
+
+
+def _gen_compare(specs: list[InstructionSpec]) -> None:
+    for vec in VEC_WIDTHS:
+        for ew in (8, 16, 32, 64):
+            for kind, op_text in (("eq", "=="), ("gt", ">s")):
+                rhs = (
+                    f"FullMask{ew}({_lane('a', ew)} {op_text} {_lane('b', ew)})"
+                )
+                body = _elementwise_body(vec, ew, rhs)
+                specs.append(
+                    _spec(
+                        f"{_PREFIX[vec]}_cmp{kind}_{_EW_SUFFIX[ew]}",
+                        f"vpcmp{kind}",
+                        _two_vec(vec),
+                        vec,
+                        body,
+                        family=f"cmp_{kind}",
+                        latency=1.0,
+                        throughput=0.5,
+                        reference=ref.ref_cmp(ew, "eq" if kind == "eq" else "gt_s"),
+                        extension=_EXT[vec],
+                        elem_width=ew,
+                        simd=True,
+                    )
+                )
+
+
+def _gen_shifts(specs: list[InstructionSpec]) -> None:
+    imm = OperandSpec("imm", 8, is_immediate=True)
+    for vec in VEC_WIDTHS:
+        for ew in (16, 32, 64):
+            count = vec // ew
+            for op, symbol, kind, asm in (
+                ("slli", "<<", "shl", "vpsll"),
+                ("srli", ">>", "lshr", "vpsrl"),
+                ("srai", ">>>", "ashr", "vpsra"),
+            ):
+                rhs = f"{_lane('a', ew)} {symbol} ZeroExtend{ew}(imm)"
+                body = (
+                    f"FOR j := 0 to {count - 1}\n"
+                    f"    i := j*{ew}\n"
+                    f"    dst[i+{ew - 1}:i] := {rhs}\n"
+                    "ENDFOR\n"
+                )
+                specs.append(
+                    _spec(
+                        f"{_PREFIX[vec]}_{op}_{_EW_SUFFIX[ew]}",
+                        asm,
+                        [OperandSpec("a", vec), imm],
+                        vec,
+                        body,
+                        family=f"shift_imm_{kind}",
+                        latency=1.0,
+                        throughput=0.5,
+                        reference=ref.ref_shift_imm(ew, kind),
+                        extension=_EXT[vec],
+                        elem_width=ew,
+                        simd=True,
+                    )
+                )
+            # Per-element variable shifts (AVX2 sllv family).
+            for op, symbol, kind, asm in (
+                ("sllv", "<<", "shl", "vpsllv"),
+                ("srlv", ">>", "lshr", "vpsrlv"),
+                ("srav", ">>>", "ashr", "vpsrav"),
+            ):
+                if ew == 16 and vec != 512:
+                    continue  # 16-bit variable shifts are AVX512BW-only
+                rhs = f"{_lane('a', ew)} {symbol} {_lane('b', ew)}"
+                body = _elementwise_body(vec, ew, rhs)
+                specs.append(
+                    _spec(
+                        f"{_PREFIX[vec]}_{op}_{_EW_SUFFIX[ew]}",
+                        asm,
+                        _two_vec(vec),
+                        vec,
+                        body,
+                        family=f"shift_var_{kind}",
+                        latency=1.0,
+                        throughput=0.5,
+                        reference=ref.ref_shift_var(ew, kind),
+                        extension=_EXT[vec] if ew != 16 else "AVX512",
+                        elem_width=ew,
+                        simd=True,
+                    )
+                )
+
+
+def _gen_rotates(specs: list[InstructionSpec]) -> None:
+    imm = OperandSpec("imm", 8, is_immediate=True)
+    for vec in VEC_WIDTHS:
+        for ew in (32, 64):
+            count = vec // ew
+            for op, builtin, left in (("rol", "RotL", True), ("ror", "RotR", False)):
+                rhs = f"{builtin}({_lane('a', ew)}, ZeroExtend{ew}(imm))"
+                body = (
+                    f"FOR j := 0 to {count - 1}\n"
+                    f"    i := j*{ew}\n"
+                    f"    dst[i+{ew - 1}:i] := {rhs}\n"
+                    "ENDFOR\n"
+                )
+                specs.append(
+                    _spec(
+                        f"{_PREFIX[vec]}_{op}_{_EW_SUFFIX[ew]}",
+                        f"vp{op}",
+                        [OperandSpec("a", vec), imm],
+                        vec,
+                        body,
+                        family=f"rotate_{'l' if left else 'r'}",
+                        latency=1.0,
+                        throughput=0.5,
+                        reference=ref.ref_rotate(ew, left),
+                        extension="AVX512",
+                        elem_width=ew,
+                        simd=True,
+                    )
+                )
+
+
+# ----------------------------------------------------------------------
+# Swizzles
+# ----------------------------------------------------------------------
+
+
+def _unpack_body(vec: int, ew: int, high: bool) -> str:
+    lanes = vec // 128
+    half = 128 // ew // 2
+    offset = 64 if high else 0
+    return (
+        f"FOR lane := 0 to {lanes - 1}\n"
+        f"    base := lane*128\n"
+        f"    FOR k := 0 to {half - 1}\n"
+        f"        src := base + {offset} + k*{ew}\n"
+        f"        dstpos := base + k*{2 * ew}\n"
+        f"        dst[dstpos+{ew - 1}:dstpos] := a[src+{ew - 1}:src]\n"
+        f"        dst[dstpos+{2 * ew - 1}:dstpos+{ew}] := b[src+{ew - 1}:src]\n"
+        "    ENDFOR\n"
+        "ENDFOR\n"
+    )
+
+
+def _gen_unpack(specs: list[InstructionSpec]) -> None:
+    for vec in VEC_WIDTHS:
+        for ew in (8, 16, 32, 64):
+            for high in (False, True):
+                pos = "hi" if high else "lo"
+                specs.append(
+                    _spec(
+                        f"{_PREFIX[vec]}_unpack{pos}_{_EW_SUFFIX[ew]}",
+                        f"vpunpck{pos}",
+                        _two_vec(vec),
+                        vec,
+                        _unpack_body(vec, ew, high),
+                        family=f"unpack_{pos}",
+                        latency=1.0,
+                        throughput=1.0,
+                        reference=ref.ref_unpack(ew, vec, high),
+                        extension=_EXT[vec],
+                        elem_width=ew,
+                        swizzle=True,
+                    )
+                )
+
+
+def _pack_body(vec: int, src_ew: int, unsigned: bool) -> str:
+    lanes = vec // 128
+    per_lane = 128 // src_ew
+    dst_ew = src_ew // 2
+    sat = f"SaturateU{dst_ew}" if unsigned else f"Saturate{dst_ew}"
+    return (
+        f"FOR lane := 0 to {lanes - 1}\n"
+        f"    base := lane*128\n"
+        f"    FOR k := 0 to {per_lane - 1}\n"
+        f"        s := base + k*{src_ew}\n"
+        f"        d := base + k*{dst_ew}\n"
+        f"        dst[d+{dst_ew - 1}:d] := {sat}(a[s+{src_ew - 1}:s])\n"
+        f"        d2 := d + {per_lane * dst_ew}\n"
+        f"        dst[d2+{dst_ew - 1}:d2] := {sat}(b[s+{src_ew - 1}:s])\n"
+        "    ENDFOR\n"
+        "ENDFOR\n"
+    )
+
+
+def _gen_pack(specs: list[InstructionSpec]) -> None:
+    for vec in VEC_WIDTHS:
+        for src_ew in (16, 32):
+            for unsigned in (False, True):
+                dst = src_ew // 2
+                kind = "us" if unsigned else "s"
+                suffix = _EW_SUFFIX[src_ew].replace("epi", "epi")
+                specs.append(
+                    _spec(
+                        f"{_PREFIX[vec]}_pack{kind}_{suffix}",
+                        f"vpack{'us' if unsigned else 'ss'}",
+                        _two_vec(vec),
+                        vec,
+                        _pack_body(vec, src_ew, unsigned),
+                        family=f"pack_{kind}",
+                        latency=1.0,
+                        throughput=1.0,
+                        reference=ref.ref_pack(src_ew, vec, unsigned),
+                        extension=_EXT[vec],
+                        elem_width=dst,
+                        swizzle=True,
+                    )
+                )
+
+
+def _gen_broadcast(specs: list[InstructionSpec]) -> None:
+    for vec in VEC_WIDTHS:
+        for ew in (8, 16, 32, 64):
+            count = vec // ew
+            body = (
+                f"FOR j := 0 to {count - 1}\n"
+                f"    i := j*{ew}\n"
+                f"    dst[i+{ew - 1}:i] := a[{ew - 1}:0]\n"
+                "ENDFOR\n"
+            )
+            specs.append(
+                _spec(
+                    f"{_PREFIX[vec]}_broadcast{_EW_SUFFIX[ew][-1]}_{_EW_SUFFIX[ew]}",
+                    "vpbroadcast",
+                    [OperandSpec("a", ew)],
+                    vec,
+                    body,
+                    family="broadcast",
+                    latency=3.0,
+                    throughput=1.0,
+                    reference=ref.ref_broadcast(ew, count),
+                    extension=_EXT[vec],
+                    elem_width=ew,
+                    swizzle=True,
+                )
+            )
+
+
+def _gen_blendv(specs: list[InstructionSpec]) -> None:
+    for vec in VEC_WIDTHS:
+        count = vec // 8
+        body = (
+            f"FOR j := 0 to {count - 1}\n"
+            f"    i := j*8\n"
+            f"    dst[i+7:i] := (m[i+7:i] <s 0) ? b[i+7:i] : a[i+7:i]\n"
+            "ENDFOR\n"
+        )
+        specs.append(
+            _spec(
+                f"{_PREFIX[vec]}_blendv_epi8",
+                "vpblendvb",
+                [OperandSpec("a", vec), OperandSpec("b", vec), OperandSpec("m", vec)],
+                vec,
+                body,
+                family="blendv",
+                latency=1.0,
+                throughput=0.66,
+                reference=ref.ref_blendv(8),
+                extension=_EXT[vec],
+                elem_width=8,
+                swizzle=True,
+            )
+        )
+
+
+def _gen_convert(specs: list[InstructionSpec]) -> None:
+    pairs = [(8, 16), (8, 32), (8, 64), (16, 32), (16, 64), (32, 64)]
+    for vec in VEC_WIDTHS:
+        for src_ew, dst_ew in pairs:
+            count = vec // dst_ew
+            src_width = count * src_ew
+            if src_width < 32:
+                continue  # no such narrow source register form
+            for signed in (True, False):
+                extend = f"SignExtend{dst_ew}" if signed else f"ZeroExtend{dst_ew}"
+                src_sfx = _EW_SUFFIX[src_ew] if signed else _EW_SUFFIX_U[src_ew]
+                body = (
+                    f"FOR j := 0 to {count - 1}\n"
+                    f"    i := j*{dst_ew}\n"
+                    f"    s := j*{src_ew}\n"
+                    f"    dst[i+{dst_ew - 1}:i] := {extend}(a[s+{src_ew - 1}:s])\n"
+                    "ENDFOR\n"
+                )
+                specs.append(
+                    _spec(
+                        f"{_PREFIX[vec]}_cvt{src_sfx}_{_EW_SUFFIX[dst_ew]}",
+                        "vpmov",
+                        [OperandSpec("a", src_width)],
+                        vec,
+                        body,
+                        family="convert_s" if signed else "convert_u",
+                        latency=3.0,
+                        throughput=1.0,
+                        reference=ref.ref_convert(src_ew, dst_ew, count, signed),
+                        extension="SSE4" if vec == 128 else _EXT[vec],
+                        elem_width=dst_ew,
+                        swizzle=False,
+                    )
+                )
+
+
+# ----------------------------------------------------------------------
+# Dot products, horizontal ops, SAD
+# ----------------------------------------------------------------------
+
+
+def _gen_madd(specs: list[InstructionSpec]) -> None:
+    for vec in VEC_WIDTHS:
+        count = vec // 32
+        body = (
+            f"FOR j := 0 to {count - 1}\n"
+            f"    i := j*32\n"
+            f"    dst[i+31:i] := SignExtend32(a[i+15:i]) * SignExtend32(b[i+15:i])"
+            f" + SignExtend32(a[i+31:i+16]) * SignExtend32(b[i+31:i+16])\n"
+            "ENDFOR\n"
+        )
+        specs.append(
+            _spec(
+                f"{_PREFIX[vec]}_madd_epi16",
+                "vpmaddwd",
+                _two_vec(vec),
+                vec,
+                body,
+                family="dot_madd",
+                latency=5.0,
+                throughput=0.5,
+                reference=ref.ref_maddwd(vec),
+                extension=_EXT[vec],
+                elem_width=32,
+                dot_product=True,
+            )
+        )
+        body = (
+            f"FOR j := 0 to {2 * count - 1}\n"
+            f"    i := j*16\n"
+            f"    dst[i+15:i] := AddSatS("
+            f"ZeroExtend16(a[i+7:i]) * SignExtend16(b[i+7:i]), "
+            f"ZeroExtend16(a[i+15:i+8]) * SignExtend16(b[i+15:i+8]))\n"
+            "ENDFOR\n"
+        )
+        specs.append(
+            _spec(
+                f"{_PREFIX[vec]}_maddubs_epi16",
+                "vpmaddubsw",
+                _two_vec(vec),
+                vec,
+                body,
+                family="dot_maddubs",
+                latency=5.0,
+                throughput=0.5,
+                reference=ref.ref_maddubs(vec),
+                extension=_EXT[vec],
+                elem_width=16,
+                dot_product=True,
+            )
+        )
+
+
+def _gen_vnni(specs: list[InstructionSpec]) -> None:
+    for vec in VEC_WIDTHS:
+        count = vec // 32
+        for saturating in (False, True):
+            sat = "s" if saturating else ""
+            plus = "AddSatS" if saturating else ""
+            inner = (
+                "SignExtend32(a[i+15:i]) * SignExtend32(b[i+15:i])"
+                " + SignExtend32(a[i+31:i+16]) * SignExtend32(b[i+31:i+16])"
+            )
+            if saturating:
+                rhs = f"AddSatS(src[i+31:i], {inner.replace(' + ', ' + ')})"
+                rhs = f"AddSatS(src[i+31:i], {inner})"
+            else:
+                rhs = f"src[i+31:i] + {inner}"
+            del plus
+            body = (
+                f"FOR j := 0 to {count - 1}\n"
+                f"    i := j*32\n"
+                f"    dst[i+31:i] := {rhs}\n"
+                "ENDFOR\n"
+            )
+            specs.append(
+                _spec(
+                    f"{_PREFIX[vec]}_dpwssd{sat}_epi32",
+                    f"vpdpwssd{sat}",
+                    [OperandSpec("src", vec), OperandSpec("a", vec), OperandSpec("b", vec)],
+                    vec,
+                    body,
+                    family=f"dot_dpwssd{sat}",
+                    latency=5.0,
+                    throughput=0.5,
+                    reference=ref.ref_dpwssd(vec, saturating),
+                    extension="AVX512",
+                    elem_width=32,
+                    dot_product=True,
+                )
+            )
+            inner4 = " + ".join(
+                f"ZeroExtend32(a[i+{8 * q + 7}:i+{8 * q}]) * "
+                f"SignExtend32(b[i+{8 * q + 7}:i+{8 * q}])"
+                for q in range(4)
+            )
+            if saturating:
+                rhs = f"AddSatS(src[i+31:i], {inner4})"
+            else:
+                rhs = f"src[i+31:i] + {inner4}"
+            body = (
+                f"FOR j := 0 to {count - 1}\n"
+                f"    i := j*32\n"
+                f"    dst[i+31:i] := {rhs}\n"
+                "ENDFOR\n"
+            )
+            specs.append(
+                _spec(
+                    f"{_PREFIX[vec]}_dpbusd{sat}_epi32",
+                    f"vpdpbusd{sat}",
+                    [OperandSpec("src", vec), OperandSpec("a", vec), OperandSpec("b", vec)],
+                    vec,
+                    body,
+                    family=f"dot_dpbusd{sat}",
+                    latency=5.0,
+                    throughput=0.5,
+                    reference=ref.ref_dpbusd(vec, saturating),
+                    extension="AVX512",
+                    elem_width=32,
+                    dot_product=True,
+                )
+            )
+
+
+def _gen_hadd(specs: list[InstructionSpec]) -> None:
+    for vec in (128, 256):  # no 512-bit phadd exists
+        for ew in (16, 32):
+            lanes = vec // 128
+            half = 128 // ew // 2
+            for sub in (False, True):
+                op = "-" if sub else "+"
+                name = "hsub" if sub else "hadd"
+                body_lines = [f"FOR lane := 0 to {lanes - 1}", "    base := lane*128"]
+                body_lines.append(f"    FOR k := 0 to {half - 1}")
+                body_lines.append(f"        s := base + k*{2 * ew}")
+                body_lines.append(f"        d := base + k*{ew}")
+                body_lines.append(
+                    f"        dst[d+{ew - 1}:d] := a[s+{ew - 1}:s] {op} "
+                    f"a[s+{2 * ew - 1}:s+{ew}]"
+                )
+                body_lines.append(f"        d2 := d + {half * ew}")
+                body_lines.append(
+                    f"        dst[d2+{ew - 1}:d2] := b[s+{ew - 1}:s] {op} "
+                    f"b[s+{2 * ew - 1}:s+{ew}]"
+                )
+                body_lines.append("    ENDFOR")
+                body_lines.append("ENDFOR")
+                specs.append(
+                    _spec(
+                        f"{_PREFIX[vec]}_{name}_{_EW_SUFFIX[ew]}",
+                        f"vph{name[1:]}",
+                        _two_vec(vec),
+                        vec,
+                        "\n".join(body_lines) + "\n",
+                        family=f"horizontal_{name}",
+                        latency=3.0,
+                        throughput=2.0,
+                        reference=ref.ref_hadd(ew, vec, sub),
+                        extension="SSE4" if vec == 128 else "AVX2",
+                        elem_width=ew,
+                        dot_product=True,
+                    )
+                )
+
+
+def _gen_sad(specs: list[InstructionSpec]) -> None:
+    for vec in VEC_WIDTHS:
+        groups = vec // 64
+        terms = " + ".join(
+            f"ZeroExtend64(ABS(SignExtend16(a[i+{8 * q + 7}:i+{8 * q}]) - "
+            f"SignExtend16(b[i+{8 * q + 7}:i+{8 * q}]))[7:0])"
+            for q in range(8)
+        )
+        del terms
+        # Keep widths honest: compute |a-b| in 16 bits, then widen the low 8.
+        lines = [f"FOR g := 0 to {groups - 1}", "    i := g*64"]
+        acc_terms = []
+        for q in range(8):
+            lines.append(
+                f"    d{q} := ABS(ZeroExtend16(a[i+{8 * q + 7}:i+{8 * q}]) - "
+                f"ZeroExtend16(b[i+{8 * q + 7}:i+{8 * q}]))"
+            )
+            acc_terms.append(f"ZeroExtend64(d{q})")
+        lines.append(f"    dst[i+63:i] := {' + '.join(acc_terms)}")
+        lines.append("ENDFOR")
+        specs.append(
+            _spec(
+                f"{_PREFIX[vec]}_sad_epu8",
+                "vpsadbw",
+                _two_vec(vec),
+                vec,
+                "\n".join(lines) + "\n",
+                family="sad",
+                latency=3.0,
+                throughput=1.0,
+                reference=ref.ref_sad(vec),
+                extension=_EXT[vec],
+                elem_width=64,
+                dot_product=True,
+            )
+        )
+
+
+# ----------------------------------------------------------------------
+# AVX-512 masked variants
+# ----------------------------------------------------------------------
+
+_MASKABLE_FAMILIES = {
+    "ew_add": ("add", "{a} + {b}", ref.ref_add, [8, 16, 32, 64]),
+    "ew_sub": ("sub", "{a} - {b}", ref.ref_sub, [8, 16, 32, 64]),
+    "ew_mullo": (
+        "mullo",
+        "Truncate{ew}(SignExtend{ew2}({a}) * SignExtend{ew2}({b}))",
+        ref.ref_mullo,
+        [16, 32, 64],
+    ),
+    "ew_min_s": ("min", "MIN_S({a}, {b})", ref.ref_min_s, [8, 16, 32, 64]),
+    "ew_max_s": ("max", "MAX_S({a}, {b})", ref.ref_max_s, [8, 16, 32, 64]),
+    "ew_min_u": ("min_epu", "MIN_U({a}, {b})", ref.ref_min_u, [8, 16, 32, 64]),
+    "ew_max_u": ("max_epu", "MAX_U({a}, {b})", ref.ref_max_u, [8, 16, 32, 64]),
+    "ew_adds": ("adds", "AddSatS({a}, {b})", ref.ref_adds, [8, 16]),
+    "ew_subs": ("subs", "SubSatS({a}, {b})", ref.ref_subs, [8, 16]),
+    "ew_addus": ("addus", "AddSatU({a}, {b})", ref.ref_addus, [8, 16]),
+    "ew_subus": ("subus", "SubSatU({a}, {b})", ref.ref_subus, [8, 16]),
+    "ew_avg": ("avg", "AVG_U_RND({a}, {b})", ref.ref_avg_u_rnd, [8, 16]),
+    "logic_and": ("and", "{a} & {b}", ref.ref_and, [32, 64]),
+    "logic_or": ("or", "{a} | {b}", ref.ref_or, [32, 64]),
+    "logic_xor": ("xor", "{a} ^ {b}", ref.ref_xor, [32, 64]),
+}
+
+
+def _gen_masked(specs: list[InstructionSpec]) -> None:
+    for vec in VEC_WIDTHS:
+        for family, (op, template, make_ref, widths) in _MASKABLE_FAMILIES.items():
+            for ew in widths:
+                count = vec // ew
+                rhs = _ew_rhs(template, ew)
+                for zeroing in (False, True):
+                    kind = "maskz" if zeroing else "mask"
+                    else_value = "0" if zeroing else "src[i+{hi}:i]".format(hi=ew - 1)
+                    body = (
+                        f"FOR j := 0 to {count - 1}\n"
+                        f"    i := j*{ew}\n"
+                        f"    IF k[j:j] == 1 THEN\n"
+                        f"        dst[i+{ew - 1}:i] := {rhs}\n"
+                        f"    ELSE\n"
+                        f"        dst[i+{ew - 1}:i] := {else_value}\n"
+                        f"    FI\n"
+                        "ENDFOR\n"
+                    )
+                    operands = [OperandSpec("k", count)]
+                    if not zeroing:
+                        operands.insert(0, OperandSpec("src", vec))
+                    operands += _two_vec(vec)
+                    specs.append(
+                        _spec(
+                            f"{_PREFIX[vec]}_{kind}_{op}_{_EW_SUFFIX[ew]}",
+                            f"vp{op}",
+                            operands,
+                            vec,
+                            body,
+                            family=f"{family}_{kind}",
+                            latency=1.0,
+                            throughput=0.5,
+                            reference=ref.ref_masked(make_ref(ew), ew, count, zeroing),
+                            extension="AVX512",
+                            elem_width=ew,
+                            simd=True,
+                            masked=True,
+                        )
+                    )
+
+
+# ----------------------------------------------------------------------
+# Scalar ALU
+# ----------------------------------------------------------------------
+
+
+_MASK_PREDICATES = [
+    ("eq", "==", lambda x, y, s: x.value == y.value),
+    ("neq", "!=", lambda x, y, s: x.value != y.value),
+    ("lt", "<", lambda x, y, s: (x.signed < y.signed) if s else (x.unsigned < y.unsigned)),
+    ("le", "<=", lambda x, y, s: (x.signed <= y.signed) if s else (x.unsigned <= y.unsigned)),
+    ("gt", ">", lambda x, y, s: (x.signed > y.signed) if s else (x.unsigned > y.unsigned)),
+    ("ge", ">=", lambda x, y, s: (x.signed >= y.signed) if s else (x.unsigned >= y.unsigned)),
+]
+
+
+def _gen_mask_compares(specs: list[InstructionSpec]) -> None:
+    """AVX-512 compares producing k-mask registers (one bit per lane)."""
+    from repro.bitvector.bv import BitVector
+    from repro.bitvector.lanes import Vector
+
+    for vec in VEC_WIDTHS:
+        for ew in (8, 16, 32, 64):
+            count = vec // ew
+            for pred, op_text, judge in _MASK_PREDICATES:
+                for signed in (True, False):
+                    if pred in ("eq", "neq") and not signed:
+                        continue  # sign-agnostic; Intel names them once
+                    suffix = _EW_SUFFIX[ew] if signed else _EW_SUFFIX_U[ew]
+                    marker = "s" if signed else "u"
+                    operator = op_text
+                    if op_text in ("<", "<=", ">", ">="):
+                        operator = op_text + marker
+                    body = (
+                        f"FOR j := 0 to {count - 1}\n"
+                        f"    i := j*{ew}\n"
+                        f"    dst[j:j] := (a[i+{ew - 1}:i] {operator} "
+                        f"b[i+{ew - 1}:i]) ? 1 : 0\n"
+                        "ENDFOR\n"
+                    )
+
+                    def make_ref(ew=ew, count=count, judge=judge, signed=signed):
+                        def run(env):
+                            va, vb = Vector(env["a"], ew), Vector(env["b"], ew)
+                            value = 0
+                            for i in range(count):
+                                if judge(va.elem(i), vb.elem(i), signed):
+                                    value |= 1 << i
+                            return BitVector(value, count)
+
+                        return run
+
+                    specs.append(
+                        _spec(
+                            f"{_PREFIX[vec]}_cmp{pred}_{suffix}_mask",
+                            f"vpcmp{pred}",
+                            _two_vec(vec),
+                            count,
+                            body,
+                            family=f"cmpmask_{pred}_{marker if pred not in ('eq','neq') else ''}",
+                            latency=3.0,
+                            throughput=1.0,
+                            reference=make_ref(),
+                            extension="AVX512",
+                            elem_width=1,
+                            mask_output=True,
+                        )
+                    )
+
+
+def _gen_scalar(specs: list[InstructionSpec]) -> None:
+    widths = (8, 16, 32, 64)
+    binary = {
+        "add": "a[{hi}:0] + b[{hi}:0]",
+        "sub": "a[{hi}:0] - b[{hi}:0]",
+        "and": "a[{hi}:0] & b[{hi}:0]",
+        "or": "a[{hi}:0] | b[{hi}:0]",
+        "xor": "a[{hi}:0] ^ b[{hi}:0]",
+        "shl": "a[{hi}:0] << b[{hi}:0]",
+        "shr": "a[{hi}:0] >> b[{hi}:0]",
+        "sar": "a[{hi}:0] >>> b[{hi}:0]",
+        "rol": "RotL(a[{hi}:0], b[{hi}:0])",
+        "ror": "RotR(a[{hi}:0], b[{hi}:0])",
+        "mul": "Truncate{w}(SignExtend{w2}(a[{hi}:0]) * SignExtend{w2}(b[{hi}:0]))",
+    }
+    for op, template in binary.items():
+        for width in widths:
+            body = (
+                f"dst[{width - 1}:0] := "
+                + template.format(hi=width - 1, w=width, w2=2 * width)
+                + "\n"
+            )
+            specs.append(
+                _spec(
+                    f"_scalar_{op}_i{width}",
+                    op,
+                    [OperandSpec("a", width), OperandSpec("b", width)],
+                    width,
+                    body,
+                    family=f"scalar_{op}",
+                    latency=3.0 if op == "mul" else 1.0,
+                    throughput=1.0 if op == "mul" else 0.25,
+                    reference=ref.ref_scalar(op, width),
+                    extension="BASE",
+                    elem_width=width,
+                    scalar=True,
+                )
+            )
+    for op in ("not", "neg"):
+        symbol = "~" if op == "not" else "-"
+        for width in widths:
+            body = f"dst[{width - 1}:0] := {symbol}a[{width - 1}:0]\n"
+            specs.append(
+                _spec(
+                    f"_scalar_{op}_i{width}",
+                    op,
+                    [OperandSpec("a", width)],
+                    width,
+                    body,
+                    family=f"scalar_{op}",
+                    latency=1.0,
+                    throughput=0.25,
+                    reference=ref.ref_scalar(op, width),
+                    extension="BASE",
+                    elem_width=width,
+                    scalar=True,
+                )
+            )
+
+
+def generate_x86_catalog() -> IsaCatalog:
+    """Generate the full synthetic x86 manual."""
+    specs: list[InstructionSpec] = []
+    _gen_elementwise(specs)
+    _gen_mulhi(specs)
+    _gen_widening_mul(specs)
+    _gen_logic(specs)
+    _gen_abs(specs)
+    _gen_compare(specs)
+    _gen_shifts(specs)
+    _gen_rotates(specs)
+    _gen_unpack(specs)
+    _gen_pack(specs)
+    _gen_broadcast(specs)
+    _gen_blendv(specs)
+    _gen_convert(specs)
+    _gen_madd(specs)
+    _gen_vnni(specs)
+    _gen_hadd(specs)
+    _gen_sad(specs)
+    _gen_masked(specs)
+    _gen_mask_compares(specs)
+    _gen_scalar(specs)
+    return IsaCatalog("x86", specs)

@@ -1,0 +1,62 @@
+"""Machine operation records: what every compiler backend emits.
+
+Each backend (Hydride, production-Halide-style, LLVM-generic, Rake)
+lowers a kernel window to a list of :class:`MachineOp`; the simulator
+costs the list against a target description.  Ports follow the usual
+split of vector execution resources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+PORT_CLASSES = ("alu", "mul", "shuffle", "load", "store")
+
+
+@dataclass(frozen=True)
+class MachineOp:
+    """One dynamic instruction in the innermost loop body."""
+
+    name: str
+    port: str
+    latency: float
+    rthroughput: float
+    # True when the op is part of the loop-carried accumulator chain and
+    # therefore serialises across iterations.
+    carried: bool = False
+
+    def __post_init__(self) -> None:
+        if self.port not in PORT_CLASSES:
+            raise ValueError(f"unknown port {self.port!r}")
+
+
+# Family -> port classification for catalog instructions.
+_MUL_FAMILIES = (
+    "mul", "dot", "mulhi", "widening_mul", "qdmulh", "sad", "mla", "mls",
+    "mpy", "madd",
+)
+_SHUFFLE_FAMILIES = (
+    "swizzle", "unpack", "pack", "broadcast", "blend", "narrow", "widen",
+    "convert", "zip", "uzp", "trn", "ext", "rev", "dup", "mux", "predicated",
+)
+
+
+def port_for_family(family: str) -> str:
+    for token in _MUL_FAMILIES:
+        if token in family:
+            return "mul"
+    for token in _SHUFFLE_FAMILIES:
+        if token in family:
+            return "shuffle"
+    return "alu"
+
+
+def op_from_spec(spec, carried: bool = False) -> MachineOp:
+    """A MachineOp for one catalog instruction."""
+    return MachineOp(
+        name=spec.name,
+        port=port_for_family(spec.family),
+        latency=spec.latency,
+        rthroughput=spec.throughput,
+        carried=carried,
+    )

@@ -1,0 +1,71 @@
+"""Target machine descriptions.
+
+Shapes follow the paper's evaluation hardware: a Xeon Silver 4216
+(AVX-512, 2 vector ALU ports, 1 shuffle port), Hexagon HVX (wide vectors,
+fewer ports, in-order), and an Apple-M2-class NEON core (4 vector pipes,
+narrow vectors, high frequency).  Absolute numbers are representative,
+not measured; the experiments report ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TargetDescription:
+    name: str
+    vector_bits: int
+    frequency_ghz: float
+    # Number of execution units per port class.
+    ports: dict[str, int] = field(default_factory=dict)
+    # Cost (reciprocal throughput) of a contiguous vector load/store.
+    load_rthroughput: float = 0.5
+    store_rthroughput: float = 1.0
+    # Multiplier applied to strided / gathered loads.
+    strided_load_penalty: float = 2.0
+    # Latency of a generic cross-lane permute (the fallback for swizzle
+    # patterns with no native instruction).
+    generic_permute_latency: float = 3.0
+    vector_registers: int = 32
+    spill_rthroughput: float = 2.0
+
+    def port_count(self, port: str) -> int:
+        return self.ports.get(port, 1)
+
+
+TARGETS: dict[str, TargetDescription] = {
+    "x86": TargetDescription(
+        name="x86",
+        vector_bits=512,
+        frequency_ghz=2.1,
+        ports={"alu": 2, "mul": 1, "shuffle": 1, "load": 3, "store": 1},
+        load_rthroughput=0.33,
+        store_rthroughput=0.5,
+        strided_load_penalty=3.0,
+        generic_permute_latency=3.0,
+        vector_registers=32,
+    ),
+    "hvx": TargetDescription(
+        name="hvx",
+        vector_bits=1024,
+        frequency_ghz=1.0,
+        ports={"alu": 2, "mul": 1, "shuffle": 1, "load": 2, "store": 1},
+        load_rthroughput=0.5,
+        store_rthroughput=0.5,
+        strided_load_penalty=4.0,
+        generic_permute_latency=4.0,
+        vector_registers=32,
+    ),
+    "arm": TargetDescription(
+        name="arm",
+        vector_bits=128,
+        frequency_ghz=3.49,
+        ports={"alu": 4, "mul": 2, "shuffle": 2, "load": 4, "store": 2},
+        load_rthroughput=0.25,
+        store_rthroughput=0.5,
+        strided_load_penalty=2.0,
+        generic_permute_latency=2.0,
+        vector_registers=32,
+    ),
+}

@@ -1,0 +1,260 @@
+"""The Similarity Checking Engine driver — the paper's Algorithm 1.
+
+Pipeline::
+
+    SymSema   <- ExtractConstants(ISA_Sema)
+    EqClasses <- PerformEqChecking(SymSema)       (pass 1: plain)
+    PermuteArgs(EqClasses); PerformEqChecking     (pass 2: arg orders)
+    RefineEqClasses(EqClasses)                    (pass 3: offset holes)
+    ExtractConstants; PerformEqChecking           (re-extract + recheck)
+    EliminateUnnecessaryArgs(EqClasses)
+
+Cost control mirrors the paper's pre-checks: instructions are only
+compared when their argument signatures match (number of register
+arguments, of immediate arguments, and of extracted parameters), plus an
+operator-multiset screen; the structural fast path in the solver ladder
+discharges the vast majority of the remaining queries without touching
+the SAT backend.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.smt.solver import EquivalenceChecker
+from repro.isa.registry import load_isa
+from repro.similarity.constants import SymbolicSemantics, extract_constants
+from repro.similarity.eqclass import ClassMember, EquivalenceClass
+from repro.similarity.equivalence import check_similar, find_similar_permutation
+from repro.similarity.holes import synthesize_offset_hole
+
+
+def _op_multiset(symbolic: SymbolicSemantics) -> tuple[tuple[str, int], ...]:
+    counter: Counter[str] = Counter()
+    for node in symbolic.body.walk():
+        op = getattr(node, "op", None)
+        if op is not None:
+            counter[op] += 1
+    return tuple(sorted(counter.items()))
+
+
+@dataclass
+class EngineStats:
+    instructions: int = 0
+    classes: int = 0
+    checks: int = 0
+    permute_merges: int = 0
+    hole_merges: int = 0
+    seconds: float = 0.0
+    checker_stats: dict[str, int] = field(default_factory=dict)
+
+
+class SimilarityEngine:
+    """Builds equivalence classes over one or more loaded ISAs."""
+
+    def __init__(self, checker: EquivalenceChecker | None = None) -> None:
+        self.checker = checker or EquivalenceChecker(seed=1)
+        self.stats = EngineStats()
+        # Class bookkeeping: bucket key -> list of class indices.
+        self._classes: list[EquivalenceClass] = []
+        self._buckets: dict[tuple, list[int]] = {}
+        self._class_ops: dict[int, tuple] = {}
+        self._class_skeletons: dict[int, str] = {}
+        # How many non-skeleton-equal candidate classes to try per insert.
+        self.max_semantic_attempts = 8
+
+    # ------------------------------------------------------------------
+    # Pass 1: plain placement
+    # ------------------------------------------------------------------
+
+    def _bucket_key(self, symbolic: SymbolicSemantics) -> tuple:
+        return symbolic.signature()
+
+    def _new_class(self, symbolic: SymbolicSemantics) -> None:
+        index = len(self._classes)
+        cls = EquivalenceClass(index)
+        cls.members.append(
+            ClassMember(symbolic, tuple(range(len(symbolic.inputs))))
+        )
+        self._classes.append(cls)
+        self._buckets.setdefault(self._bucket_key(symbolic), []).append(index)
+        self._class_ops[index] = _op_multiset(symbolic)
+        self._class_skeletons[index] = symbolic.skeleton
+
+    def insert(self, symbolic: SymbolicSemantics) -> None:
+        """Place one instruction into an existing class or a new one."""
+        key = self._bucket_key(symbolic)
+        ops = _op_multiset(symbolic)
+        candidates = self._buckets.get(key, [])
+        # Skeleton-identical classes first: these almost always merge via
+        # the structural fast path.
+        ordered = sorted(
+            candidates,
+            key=lambda i: 0 if self._class_skeletons[i] == symbolic.skeleton else 1,
+        )
+        attempts = 0
+        for class_index in ordered:
+            if self._class_ops[class_index] != ops:
+                continue
+            skeleton_equal = self._class_skeletons[class_index] == symbolic.skeleton
+            if not skeleton_equal:
+                if attempts >= self.max_semantic_attempts:
+                    continue
+                attempts += 1
+            cls = self._classes[class_index]
+            self.stats.checks += 1
+            if check_similar(cls.representative, symbolic, self.checker):
+                cls.members.append(
+                    ClassMember(symbolic, tuple(range(len(symbolic.inputs))))
+                )
+                return
+        self._new_class(symbolic)
+
+    # ------------------------------------------------------------------
+    # Pass 2: argument permutation merges
+    # ------------------------------------------------------------------
+
+    def permute_and_merge(self) -> None:
+        for key, indices in list(self._buckets.items()):
+            live = [i for i in indices if self._classes[i] is not None]
+            for position_a in range(len(live)):
+                index_a = live[position_a]
+                if self._classes[index_a] is None:
+                    continue
+                for position_b in range(position_a + 1, len(live)):
+                    index_b = live[position_b]
+                    if self._classes[index_b] is None:
+                        continue
+                    if self._class_ops[index_a] != self._class_ops[index_b]:
+                        continue
+                    rep_a = self._classes[index_a].representative
+                    rep_b = self._classes[index_b].representative
+                    self.stats.checks += 1
+                    order = find_similar_permutation(rep_a, rep_b, self.checker)
+                    if order is None:
+                        continue
+                    self._merge_with_order(index_a, index_b, order)
+                    self.stats.permute_merges += 1
+
+    def _merge_with_order(
+        self, index_into: int, index_from: int, order: tuple[int, ...]
+    ) -> None:
+        """Fold class ``index_from`` into ``index_into``; ``order`` aligns
+        the absorbed representative's args with the canonical order."""
+        target = self._classes[index_into]
+        source = self._classes[index_from]
+        for member in source.members:
+            # Compose the member's own alignment with the class alignment.
+            composed = tuple(member.arg_order[order[i]] for i in range(len(order)))
+            target.members.append(ClassMember(member.symbolic, composed))
+        self._classes[index_from] = None  # type: ignore[call-overload]
+
+    # ------------------------------------------------------------------
+    # Pass 3: hole refinement merges
+    # ------------------------------------------------------------------
+
+    def refine_with_holes(self) -> None:
+        """Insert offset holes into class representatives and re-check.
+
+        Classes whose refined representatives become similar are merged;
+        all members of merged classes are re-extracted with holes so the
+        class shares one parameterization.
+        """
+        refined: dict[int, SymbolicSemantics] = {}
+        for index, cls in enumerate(self._classes):
+            if cls is None:
+                continue
+            result = synthesize_offset_hole(cls.representative, self.checker)
+            if result is not None:
+                refined[index] = result
+
+        by_signature: dict[tuple, list[int]] = {}
+        for index, cls in enumerate(self._classes):
+            if cls is None:
+                continue
+            rep = refined.get(index, cls.representative)
+            by_signature.setdefault(rep.signature(), []).append(index)
+
+        for indices in by_signature.values():
+            for position_a in range(len(indices)):
+                index_a = indices[position_a]
+                if self._classes[index_a] is None:
+                    continue
+                rep_a = refined.get(index_a, self._classes[index_a].representative)
+                for position_b in range(position_a + 1, len(indices)):
+                    index_b = indices[position_b]
+                    if self._classes[index_b] is None:
+                        continue
+                    rep_b = refined.get(
+                        index_b, self._classes[index_b].representative
+                    )
+                    if _op_multiset(rep_a) != _op_multiset(rep_b):
+                        continue
+                    if rep_a.skeleton != rep_b.skeleton:
+                        continue
+                    self.stats.checks += 1
+                    if not check_similar(rep_a, rep_b, self.checker):
+                        continue
+                    self._merge_refined(index_a, index_b, refined)
+                    self.stats.hole_merges += 1
+
+    def _merge_refined(
+        self, index_into: int, index_from: int, refined: dict[int, SymbolicSemantics]
+    ) -> None:
+        target = self._classes[index_into]
+        source = self._classes[index_from]
+        # Re-extract every member with holes so parameter positions align
+        # across the merged class (the paper's second ExtractConstants).
+        new_members: list[ClassMember] = []
+        for member in list(target.members) + list(source.members):
+            symbolic = member.symbolic
+            hole_version = synthesize_offset_hole(symbolic, self.checker)
+            if hole_version is not None:
+                symbolic = hole_version
+            new_members.append(ClassMember(symbolic, member.arg_order))
+        target.members = new_members
+        self._classes[index_from] = None  # type: ignore[call-overload]
+
+    # ------------------------------------------------------------------
+    # Driver
+    # ------------------------------------------------------------------
+
+    def run(self, symbolics: list[SymbolicSemantics]) -> list[EquivalenceClass]:
+        start = time.time()
+        self.stats.instructions = len(symbolics)
+        for symbolic in symbolics:
+            self.insert(symbolic)
+        self.permute_and_merge()
+        self.refine_with_holes()
+        classes = [c for c in self._classes if c is not None]
+        for index, cls in enumerate(classes):
+            cls.class_id = index
+            cls.compute_fixed_params()
+        self.stats.classes = len(classes)
+        self.stats.seconds = time.time() - start
+        self.stats.checker_stats = dict(self.checker.stats)
+        return classes
+
+
+def _symbolics_for_isa(isa: str) -> list[SymbolicSemantics]:
+    loaded = load_isa(isa)
+    return [
+        extract_constants(loaded.semantics[spec.name], isa)
+        for spec in loaded.catalog
+    ]
+
+
+@lru_cache(maxsize=None)
+def build_equivalence_classes(
+    isas: tuple[str, ...] = ("x86", "hvx", "arm"),
+) -> tuple:
+    """Run the engine over the given ISAs; returns (classes, stats)."""
+    symbolics: list[SymbolicSemantics] = []
+    for isa in isas:
+        symbolics.extend(_symbolics_for_isa(isa))
+    engine = SimilarityEngine()
+    classes = engine.run(symbolics)
+    return classes, engine.stats

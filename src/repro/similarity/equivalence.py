@@ -1,0 +1,100 @@
+"""Semantic similarity checks between parameterized instructions.
+
+Two instructions are *similar* (Section 3.1) when their parameter counts
+match and their parameterized semantics are equivalent under the same
+concrete parameter values.  Following the paper's example, we verify
+equivalence under both instructions' own parameter vectors: substituting
+k^J into Sigma(I, alpha) must yield semantics equivalent to Phi(J, k^J),
+and vice versa.
+"""
+
+from __future__ import annotations
+
+from repro.hydride_ir.interp import SemanticsError, to_term
+from repro.smt.solver import EquivalenceChecker, SolverTimeout
+from repro.similarity.constants import SymbolicSemantics
+
+
+def instantiate_term(
+    symbolic: SymbolicSemantics,
+    values: tuple[int, ...],
+    order: tuple[int, ...] | None = None,
+):
+    """Lower Sigma(I, alpha) at a concrete assignment to a solver term.
+
+    Inputs are renamed positionally to ``x0, x1, ...`` so that two
+    instructions' terms share variables.  ``order`` optionally permutes
+    the positional alignment: ``order[i]`` names which of this
+    instruction's inputs plays canonical role ``i`` (the PermuteArgs step
+    of Algorithm 1).  Raises on invalid instantiations (negative widths,
+    out-of-range slices).
+    """
+    assignment = dict(zip(symbolic.param_names, values))
+    func = symbolic.to_function(assignment)
+    if order is None:
+        order = tuple(range(len(symbolic.inputs)))
+    rename = {
+        symbolic.inputs[member_index].name: f"x{position}"
+        for position, member_index in enumerate(order)
+    }
+    return to_term(func, assignment, rename)
+
+
+def check_similar(
+    a: SymbolicSemantics,
+    b: SymbolicSemantics,
+    checker: EquivalenceChecker,
+    order_b: tuple[int, ...] | None = None,
+) -> bool:
+    """Decide Sigma(I, alpha) === Sigma(J, alpha) per the paper's criteria.
+
+    ``order_b`` permutes instruction ``b``'s argument alignment.
+    """
+    if a.signature() != b.signature():
+        return False
+    assignments = {a.values_vector(), b.values_vector()}
+    for values in sorted(assignments):
+        try:
+            term_a = instantiate_term(a, values)
+            term_b = instantiate_term(b, values, order_b)
+        except (SemanticsError, ValueError, KeyError, IndexError):
+            return False
+        if term_a.width != term_b.width:
+            return False
+        try:
+            result = checker.check_equivalence(term_a, term_b)
+        except (SolverTimeout, ValueError):
+            return False
+        if not result.equivalent:
+            return False
+    return True
+
+
+def find_similar_permutation(
+    a: SymbolicSemantics,
+    b: SymbolicSemantics,
+    checker: EquivalenceChecker,
+    max_arity: int = 3,
+) -> tuple[int, ...] | None:
+    """Search non-identity argument orders of ``b`` that make it similar
+    to ``a`` (e.g. x86 ``andnot`` = NOT(a) AND b vs ARM ``bic`` =
+    a AND NOT(b)).  Immediate operands keep their positions."""
+    import itertools
+
+    if a.signature() != b.signature():
+        return None
+    arity = len(b.inputs)
+    if arity < 2 or arity > max_arity:
+        return None
+    register_positions = [
+        i for i, inp in enumerate(b.inputs) if not inp.is_immediate
+    ]
+    for permuted in itertools.permutations(register_positions):
+        if permuted == tuple(register_positions):
+            continue
+        order = list(range(arity))
+        for position, member_index in zip(register_positions, permuted):
+            order[position] = member_index
+        if check_similar(a, b, checker, tuple(order)):
+            return tuple(order)
+    return None

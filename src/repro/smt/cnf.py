@@ -1,0 +1,115 @@
+"""CNF formula container with Tseitin gate helpers.
+
+Literals use the DIMACS convention: a positive integer ``v`` is variable
+``v``, ``-v`` is its negation.  Variable 0 is never used.  Two reserved
+variables encode the constants true/false so gate encodings never need
+special cases for constant inputs.
+"""
+
+from __future__ import annotations
+
+
+class CnfBuilder:
+    """Accumulates clauses and allocates fresh variables."""
+
+    def __init__(self) -> None:
+        self._next_var = 1
+        self.clauses: list[tuple[int, ...]] = []
+        # Reserved constant-true variable; its clause pins it true, and
+        # ``-self.true_lit`` serves as constant false.
+        self.true_lit = self.new_var()
+        self.add_clause([self.true_lit])
+
+    @property
+    def false_lit(self) -> int:
+        return -self.true_lit
+
+    @property
+    def num_vars(self) -> int:
+        return self._next_var - 1
+
+    def new_var(self) -> int:
+        v = self._next_var
+        self._next_var += 1
+        return v
+
+    def new_vars(self, count: int) -> list[int]:
+        return [self.new_var() for _ in range(count)]
+
+    def add_clause(self, lits: list[int]) -> None:
+        self.clauses.append(tuple(lits))
+
+    # ------------------------------------------------------------------
+    # Gates.  Each returns the output literal.
+    # ------------------------------------------------------------------
+
+    def gate_and(self, a: int, b: int) -> int:
+        if a == self.false_lit or b == self.false_lit:
+            return self.false_lit
+        if a == self.true_lit:
+            return b
+        if b == self.true_lit:
+            return a
+        if a == b:
+            return a
+        if a == -b:
+            return self.false_lit
+        out = self.new_var()
+        self.add_clause([-out, a])
+        self.add_clause([-out, b])
+        self.add_clause([out, -a, -b])
+        return out
+
+    def gate_or(self, a: int, b: int) -> int:
+        return -self.gate_and(-a, -b)
+
+    def gate_xor(self, a: int, b: int) -> int:
+        if a == self.false_lit:
+            return b
+        if b == self.false_lit:
+            return a
+        if a == self.true_lit:
+            return -b
+        if b == self.true_lit:
+            return -a
+        if a == b:
+            return self.false_lit
+        if a == -b:
+            return self.true_lit
+        out = self.new_var()
+        self.add_clause([-out, a, b])
+        self.add_clause([-out, -a, -b])
+        self.add_clause([out, -a, b])
+        self.add_clause([out, a, -b])
+        return out
+
+    def gate_mux(self, sel: int, when_true: int, when_false: int) -> int:
+        """``sel ? when_true : when_false``."""
+        if sel == self.true_lit:
+            return when_true
+        if sel == self.false_lit:
+            return when_false
+        if when_true == when_false:
+            return when_true
+        out = self.new_var()
+        self.add_clause([-out, -sel, when_true])
+        self.add_clause([-out, sel, when_false])
+        self.add_clause([out, -sel, -when_true])
+        self.add_clause([out, sel, -when_false])
+        return out
+
+    def gate_full_adder(self, a: int, b: int, carry_in: int) -> tuple[int, int]:
+        """Returns ``(sum, carry_out)``."""
+        partial = self.gate_xor(a, b)
+        total = self.gate_xor(partial, carry_in)
+        carry_out = self.gate_or(self.gate_and(a, b), self.gate_and(partial, carry_in))
+        return total, carry_out
+
+    def assert_lit(self, lit: int) -> None:
+        self.add_clause([lit])
+
+    def gate_big_or(self, lits: list[int]) -> int:
+        out = self.false_lit
+        for lit in lits:
+            out = self.gate_or(out, lit)
+        return out

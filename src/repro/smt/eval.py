@@ -1,0 +1,107 @@
+"""Concrete evaluation of symbolic terms over :class:`BitVector` values."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.bitvector.bv import BitVector
+from repro.smt.terms import App, Const, Term, Var
+
+# Ops whose App name maps directly to a same-named BitVector method taking
+# the remaining args.
+_DIRECT_BINARY = {
+    "bvadd",
+    "bvsub",
+    "bvmul",
+    "bvudiv",
+    "bvurem",
+    "bvsdiv",
+    "bvsrem",
+    "bvand",
+    "bvor",
+    "bvxor",
+    "bvshl",
+    "bvlshr",
+    "bvashr",
+    "bvrotl",
+    "bvrotr",
+    "bveq",
+    "bvne",
+    "bvult",
+    "bvule",
+    "bvugt",
+    "bvuge",
+    "bvslt",
+    "bvsle",
+    "bvsgt",
+    "bvsge",
+    "bvsmin",
+    "bvsmax",
+    "bvumin",
+    "bvumax",
+    "bvsaddsat",
+    "bvuaddsat",
+    "bvssubsat",
+    "bvusubsat",
+    "bvsshlsat",
+    "bvuavg",
+    "bvsavg",
+}
+
+_DIRECT_UNARY = {"bvneg", "bvnot", "bvabs", "popcount"}
+
+
+def evaluate(term: Term, env: Mapping[str, BitVector]) -> BitVector:
+    """Evaluate ``term`` with variables bound by ``env``.
+
+    Shared subterms are evaluated once (memoised by node identity), so DAGs
+    with heavy sharing — typical after lane expansion — stay linear.
+    """
+    cache: dict[int, BitVector] = {}
+
+    def run(node: Term) -> BitVector:
+        cached = cache.get(id(node))
+        if cached is not None:
+            return cached
+        result = _eval_node(node, env, run)
+        cache[id(node)] = result
+        return result
+
+    return run(term)
+
+
+def _eval_node(node: Term, env: Mapping[str, BitVector], run) -> BitVector:
+    if isinstance(node, Const):
+        return BitVector(node.value, node.width)
+    if isinstance(node, Var):
+        try:
+            value = env[node.name]
+        except KeyError:
+            raise KeyError(f"unbound variable {node.name!r}") from None
+        if value.width != node.width:
+            raise ValueError(
+                f"variable {node.name!r} bound at width {value.width}, "
+                f"expected {node.width}"
+            )
+        return value
+    assert isinstance(node, App)
+    op = node.op
+    if op in _DIRECT_BINARY:
+        return getattr(run(node.args[0]), op)(run(node.args[1]))
+    if op in _DIRECT_UNARY:
+        return getattr(run(node.args[0]), op)()
+    if op == "bvuavg_round":
+        return run(node.args[0]).bvuavg(run(node.args[1]), round_up=True)
+    if op == "bvsavg_round":
+        return run(node.args[0]).bvsavg(run(node.args[1]), round_up=True)
+    if op == "extract":
+        high, low = node.params
+        return run(node.args[0]).extract(high, low)
+    if op == "concat":
+        return run(node.args[0]).concat(run(node.args[1]))
+    if op in ("zext", "sext", "trunc", "saturate_to_signed", "saturate_to_unsigned"):
+        return getattr(run(node.args[0]), op)(node.params[0])
+    if op == "ite":
+        cond = run(node.args[0])
+        return run(node.args[1]) if cond.value else run(node.args[2])
+    raise ValueError(f"unknown operator {op!r}")

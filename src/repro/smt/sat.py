@@ -1,0 +1,265 @@
+"""A CDCL SAT solver with two-watched-literal propagation.
+
+This is the decision procedure under every symbolic query in the
+reproduction: first-UIP clause learning, VSIDS-style activity decay,
+geometric restarts, and non-chronological backjumping.  It is deliberately
+compact — the paper's tractability tricks (lane scaling) keep our CNF
+instances small enough that a clean Python CDCL suffices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SatResult:
+    satisfiable: bool
+    # Model maps variable -> bool for satisfiable results.
+    model: dict[int, bool] = field(default_factory=dict)
+
+
+class CdclSolver:
+    """Solve one CNF instance (one-shot; build a new solver per query)."""
+
+    def __init__(self, num_vars: int, clauses: list[tuple[int, ...]]) -> None:
+        self.num_vars = num_vars
+        # assignment[v]: None unassigned, else bool.
+        self.assignment: list[bool | None] = [None] * (num_vars + 1)
+        self.level: list[int] = [0] * (num_vars + 1)
+        self.reason: list[list[int] | None] = [None] * (num_vars + 1)
+        self.trail: list[int] = []
+        self.trail_marks: list[int] = []
+        self.activity: list[float] = [0.0] * (num_vars + 1)
+        self.activity_inc = 1.0
+        self.clauses: list[list[int]] = []
+        self.watches: dict[int, list[list[int]]] = {}
+        self._empty_clause = False
+        self._units: list[int] = []
+        for clause in clauses:
+            self._add_clause(list(clause))
+
+    # ------------------------------------------------------------------
+    # Clause database
+    # ------------------------------------------------------------------
+
+    def _add_clause(self, lits: list[int]) -> None:
+        # Dedup literals; drop tautologies.
+        seen: set[int] = set()
+        unique: list[int] = []
+        for lit in lits:
+            if -lit in seen:
+                return
+            if lit not in seen:
+                seen.add(lit)
+                unique.append(lit)
+        if not unique:
+            self._empty_clause = True
+            return
+        if len(unique) == 1:
+            self._units.append(unique[0])
+            return
+        self.clauses.append(unique)
+        self._watch(unique[0], unique)
+        self._watch(unique[1], unique)
+
+    def _watch(self, lit: int, clause: list[int]) -> None:
+        self.watches.setdefault(lit, []).append(clause)
+
+    # ------------------------------------------------------------------
+    # Assignment machinery
+    # ------------------------------------------------------------------
+
+    def _lit_value(self, lit: int) -> bool | None:
+        value = self.assignment[abs(lit)]
+        if value is None:
+            return None
+        return value if lit > 0 else not value
+
+    def _enqueue(self, lit: int, reason: list[int] | None, level: int) -> None:
+        variable = abs(lit)
+        self.assignment[variable] = lit > 0
+        self.level[variable] = level
+        self.reason[variable] = reason
+        self.trail.append(lit)
+
+    def _propagate(self, level: int) -> list[int] | None:
+        """Unit propagation; returns a conflicting clause or None."""
+        index = len(self.trail) - 1 if self.trail else 0
+        queue_start = getattr(self, "_prop_head", 0)
+        del index
+        head = queue_start
+        while head < len(self.trail):
+            lit = self.trail[head]
+            head += 1
+            falsified = -lit
+            watch_list = self.watches.get(falsified)
+            if not watch_list:
+                continue
+            new_watch_list: list[list[int]] = []
+            conflict: list[int] | None = None
+            for clause in watch_list:
+                if conflict is not None:
+                    new_watch_list.append(clause)
+                    continue
+                # Ensure the falsified literal is in slot 1.
+                if clause[0] == falsified:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._lit_value(first) is True:
+                    new_watch_list.append(clause)
+                    continue
+                # Look for a replacement watch.
+                replaced = False
+                for slot in range(2, len(clause)):
+                    if self._lit_value(clause[slot]) is not False:
+                        clause[1], clause[slot] = clause[slot], clause[1]
+                        self._watch(clause[1], clause)
+                        replaced = True
+                        break
+                if replaced:
+                    continue
+                new_watch_list.append(clause)
+                if self._lit_value(first) is False:
+                    conflict = clause
+                else:
+                    self._enqueue(first, clause, level)
+            self.watches[falsified] = new_watch_list
+            if conflict is not None:
+                self._prop_head = head
+                return conflict
+        self._prop_head = head
+        return None
+
+    # ------------------------------------------------------------------
+    # Conflict analysis (first UIP)
+    # ------------------------------------------------------------------
+
+    def _bump(self, variable: int) -> None:
+        self.activity[variable] += self.activity_inc
+        if self.activity[variable] > 1e100:
+            for v in range(1, self.num_vars + 1):
+                self.activity[v] *= 1e-100
+            self.activity_inc *= 1e-100
+
+    def _analyze(self, conflict: list[int], level: int) -> tuple[list[int], int]:
+        learned: list[int] = []
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        lit = 0
+        clause: list[int] | None = conflict
+        trail_index = len(self.trail) - 1
+        while True:
+            assert clause is not None
+            for clause_lit in clause:
+                variable = abs(clause_lit)
+                if clause_lit == lit or seen[variable]:
+                    continue
+                seen[variable] = True
+                self._bump(variable)
+                if self.level[variable] == level:
+                    counter += 1
+                elif self.level[variable] > 0:
+                    learned.append(clause_lit)
+            # Walk the trail backwards to the next seen literal.
+            while not seen[abs(self.trail[trail_index])]:
+                trail_index -= 1
+            lit = self.trail[trail_index]
+            trail_index -= 1
+            counter -= 1
+            if counter == 0:
+                break
+            clause = self.reason[abs(lit)]
+        learned.insert(0, -lit)
+        if len(learned) == 1:
+            return learned, 0
+        backjump = max(self.level[abs(l)] for l in learned[1:])
+        return learned, backjump
+
+    def _backtrack(self, target_level: int) -> None:
+        while self.trail and self.level[abs(self.trail[-1])] > target_level:
+            lit = self.trail.pop()
+            variable = abs(lit)
+            self.assignment[variable] = None
+            self.reason[variable] = None
+        self._prop_head = len(self.trail)
+
+    def _pick_branch(self) -> int:
+        best_var = 0
+        best_activity = -1.0
+        for variable in range(1, self.num_vars + 1):
+            if self.assignment[variable] is None and self.activity[variable] > best_activity:
+                best_activity = self.activity[variable]
+                best_var = variable
+        return best_var
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def solve(self, max_conflicts: int | None = None) -> SatResult:
+        if self._empty_clause:
+            return SatResult(False)
+        self._prop_head = 0
+        for lit in self._units:
+            current = self._lit_value(lit)
+            if current is False:
+                return SatResult(False)
+            if current is None:
+                self._enqueue(lit, None, 0)
+        if self._propagate(0) is not None:
+            return SatResult(False)
+
+        level = 0
+        conflicts = 0
+        restart_limit = 100
+        while True:
+            branch_var = self._pick_branch()
+            if branch_var == 0:
+                model = {
+                    v: bool(self.assignment[v]) for v in range(1, self.num_vars + 1)
+                }
+                return SatResult(True, model)
+            level += 1
+            self.trail_marks.append(len(self.trail))
+            self._enqueue(branch_var, None, level)
+            while True:
+                conflict = self._propagate(level)
+                if conflict is None:
+                    break
+                conflicts += 1
+                if max_conflicts is not None and conflicts > max_conflicts:
+                    raise SolverBudgetExceeded(conflicts)
+                if level == 0:
+                    return SatResult(False)
+                learned, backjump = self._analyze(conflict, level)
+                self._backtrack(backjump)
+                level = backjump
+                self.activity_inc *= 1.05
+                if len(learned) == 1:
+                    self._enqueue(learned[0], None, 0)
+                else:
+                    self.clauses.append(learned)
+                    self._watch(learned[0], learned)
+                    self._watch(learned[1], learned)
+                    self._enqueue(learned[0], learned, level)
+                if conflicts >= restart_limit and level > 0:
+                    restart_limit = int(restart_limit * 1.5)
+                    self._backtrack(0)
+                    level = 0
+                    break
+
+
+class SolverBudgetExceeded(Exception):
+    """Raised when a query exceeds its conflict budget (treated as timeout)."""
+
+    def __init__(self, conflicts: int) -> None:
+        super().__init__(f"SAT query exceeded {conflicts} conflicts")
+        self.conflicts = conflicts
+
+
+def solve_cnf(
+    num_vars: int, clauses: list[tuple[int, ...]], max_conflicts: int | None = None
+) -> SatResult:
+    """Convenience one-shot entry point."""
+    return CdclSolver(num_vars, clauses).solve(max_conflicts)

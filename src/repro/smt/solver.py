@@ -1,0 +1,255 @@
+"""High-level decision interface: equivalence checking and model finding.
+
+Strategy ladder, cheapest first — mirroring how Hydride keeps its Rosette
+queries tractable:
+
+1. *structural*: both terms normalise to the identical tree,
+2. *fuzz*: a handful of random inputs finds a counterexample quickly,
+3. *exhaustive*: the symbolic input space is tiny (after lane scaling it
+   usually is), so enumerate it completely,
+4. *sat*: bit-blast ``a != b`` and run CDCL,
+5. *probabilistic*: for operators with no circuit encoding (division,
+   popcount), a large randomized battery; documented as incomplete.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+
+from repro.bitvector.bv import BitVector
+from repro.smt.bitblast import BitBlaster, NotBitblastable
+from repro.smt.eval import evaluate
+from repro.smt.sat import CdclSolver, SolverBudgetExceeded
+from repro.smt.simplify import simplify
+from repro.smt.terms import App, Term, apply_op
+
+# Input spaces up to this many total bits are enumerated exhaustively.
+EXHAUSTIVE_BIT_LIMIT = 14
+
+# Random samples tried before falling through to heavier methods.
+QUICK_FUZZ_SAMPLES = 48
+PROBABILISTIC_SAMPLES = 512
+
+
+class SolverTimeout(Exception):
+    """A query exceeded its conflict budget."""
+
+
+@dataclass
+class CheckResult:
+    """Outcome of an equivalence query."""
+
+    equivalent: bool
+    counterexample: dict[str, BitVector] | None
+    method: str
+
+    def __bool__(self) -> bool:
+        return self.equivalent
+
+
+def _merged_variables(a: Term, b: Term) -> dict[str, int]:
+    variables = dict(a.variables())
+    for name, width in b.variables().items():
+        if variables.setdefault(name, width) != width:
+            raise ValueError(f"variable {name!r} has conflicting widths")
+    return variables
+
+
+def _random_env(
+    variables: dict[str, int], rng: random.Random
+) -> dict[str, BitVector]:
+    env: dict[str, BitVector] = {}
+    for name, width in variables.items():
+        # Mix uniform values with boundary-ish values: all-zeros, all-ones,
+        # sign-boundary patterns shake out saturation/overflow bugs.
+        choice = rng.randrange(6)
+        if choice == 0:
+            value = 0
+        elif choice == 1:
+            value = (1 << width) - 1
+        elif choice == 2:
+            value = 1 << (width - 1)
+        else:
+            value = rng.getrandbits(width)
+        env[name] = BitVector(value, width)
+    return env
+
+
+class EquivalenceChecker:
+    """Reusable checker carrying an RNG and a conflict budget."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        max_conflicts: int | None = 200_000,
+        exhaustive_bit_limit: int = EXHAUSTIVE_BIT_LIMIT,
+        sat_node_limit: int = 6_000,
+        probabilistic_samples: int = PROBABILISTIC_SAMPLES,
+    ) -> None:
+        self.rng = random.Random(seed)
+        self.max_conflicts = max_conflicts
+        self.exhaustive_bit_limit = exhaustive_bit_limit
+        self.probabilistic_samples = probabilistic_samples
+        # Terms larger than this skip bit-blasting (the CNF would dwarf the
+        # budget) and rely on the randomized battery instead.
+        self.sat_node_limit = sat_node_limit
+        self.stats = {"structural": 0, "fuzz": 0, "exhaustive": 0, "sat": 0, "probabilistic": 0}
+
+    # ------------------------------------------------------------------
+
+    def check_equivalence(self, a: Term, b: Term) -> CheckResult:
+        """Decide whether ``a`` and ``b`` agree on every input."""
+        if a.width != b.width:
+            return CheckResult(False, None, "width")
+        sa, sb = simplify(a), simplify(b)
+        if sa == sb:
+            self.stats["structural"] += 1
+            return CheckResult(True, None, "structural")
+
+        variables = _merged_variables(sa, sb)
+
+        # Quick randomized refutation.
+        for _ in range(QUICK_FUZZ_SAMPLES):
+            env = _random_env(variables, self.rng)
+            if evaluate(sa, env).value != evaluate(sb, env).value:
+                self.stats["fuzz"] += 1
+                return CheckResult(False, env, "fuzz")
+
+        total_bits = sum(variables.values())
+        if total_bits <= self.exhaustive_bit_limit:
+            self.stats["exhaustive"] += 1
+            return self._exhaustive(sa, sb, variables)
+
+        if sa.size() + sb.size() <= self.sat_node_limit and not (
+            _has_wide_multiply(sa) or _has_wide_multiply(sb)
+        ):
+            try:
+                result = self._sat_check(sa, sb, variables)
+                self.stats["sat"] += 1
+                return result
+            except NotBitblastable:
+                pass
+
+        for _ in range(self.probabilistic_samples):
+            env = _random_env(variables, self.rng)
+            if evaluate(sa, env).value != evaluate(sb, env).value:
+                self.stats["probabilistic"] += 1
+                return CheckResult(False, env, "probabilistic")
+        self.stats["probabilistic"] += 1
+        return CheckResult(True, None, "probabilistic")
+
+    # ------------------------------------------------------------------
+
+    def _exhaustive(
+        self, a: Term, b: Term, variables: dict[str, int]
+    ) -> CheckResult:
+        names = sorted(variables)
+        spaces = [range(1 << variables[n]) for n in names]
+        for values in itertools.product(*spaces):
+            env = {
+                name: BitVector(value, variables[name])
+                for name, value in zip(names, values)
+            }
+            if evaluate(a, env).value != evaluate(b, env).value:
+                return CheckResult(False, env, "exhaustive")
+        return CheckResult(True, None, "exhaustive")
+
+    def _sat_check(
+        self, a: Term, b: Term, variables: dict[str, int]
+    ) -> CheckResult:
+        blaster = BitBlaster()
+        bits_a = blaster.blast(a)
+        bits_b = blaster.blast(b)
+        # Assert that some output bit differs.
+        diff_lits = [blaster.cnf.gate_xor(x, y) for x, y in zip(bits_a, bits_b)]
+        blaster.cnf.assert_lit(blaster.cnf.gate_big_or(diff_lits))
+        solver = CdclSolver(blaster.cnf.num_vars, blaster.cnf.clauses)
+        try:
+            result = solver.solve(self.max_conflicts)
+        except SolverBudgetExceeded as exc:
+            raise SolverTimeout(str(exc)) from exc
+        if not result.satisfiable:
+            return CheckResult(True, None, "sat")
+        env = self._model_to_env(result.model, blaster, variables)
+        return CheckResult(False, env, "sat")
+
+    @staticmethod
+    def _model_to_env(
+        model: dict[int, bool], blaster: BitBlaster, variables: dict[str, int]
+    ) -> dict[str, BitVector]:
+        env: dict[str, BitVector] = {}
+        for name, width in variables.items():
+            bits = blaster.var_bits.get(name)
+            value = 0
+            if bits is not None:
+                for i, lit in enumerate(bits):
+                    assigned = model.get(abs(lit), False)
+                    bit = assigned if lit > 0 else not assigned
+                    if bit:
+                        value |= 1 << i
+            env[name] = BitVector(value, width)
+        return env
+
+    # ------------------------------------------------------------------
+
+    def find_model(self, constraint: Term) -> dict[str, BitVector] | None:
+        """Find variable values making a 1-bit ``constraint`` true, or None."""
+        if constraint.width != 1:
+            raise ValueError("constraint must be a 1-bit term")
+        constraint = simplify(constraint)
+        variables = constraint.variables()
+        total_bits = sum(variables.values())
+        if total_bits <= self.exhaustive_bit_limit:
+            names = sorted(variables)
+            spaces = [range(1 << variables[n]) for n in names]
+            for values in itertools.product(*spaces):
+                env = {
+                    name: BitVector(value, variables[name])
+                    for name, value in zip(names, values)
+                }
+                if evaluate(constraint, env).value:
+                    return env
+            return None
+        blaster = BitBlaster()
+        bits = blaster.blast(constraint)
+        blaster.cnf.assert_lit(bits[0])
+        solver = CdclSolver(blaster.cnf.num_vars, blaster.cnf.clauses)
+        try:
+            result = solver.solve(self.max_conflicts)
+        except SolverBudgetExceeded as exc:
+            raise SolverTimeout(str(exc)) from exc
+        if not result.satisfiable:
+            return None
+        return self._model_to_env(result.model, blaster, variables)
+
+
+_DEFAULT_CHECKER = EquivalenceChecker()
+
+
+def check_equivalence(a: Term, b: Term) -> CheckResult:
+    """Module-level convenience using a shared default checker."""
+    return _DEFAULT_CHECKER.check_equivalence(a, b)
+
+
+def find_model(constraint: Term) -> dict[str, BitVector] | None:
+    return _DEFAULT_CHECKER.find_model(constraint)
+
+
+# Multiplier circuits beyond this operand width produce CNF the CDCL
+# budget cannot usefully chew through; such queries go to the battery.
+SAT_MULTIPLY_WIDTH_LIMIT = 12
+
+
+def _has_wide_multiply(term: Term) -> bool:
+    for node in term.walk():
+        if isinstance(node, App) and node.op == "bvmul":
+            if node.width > SAT_MULTIPLY_WIDTH_LIMIT:
+                return True
+    return False
+
+
+def not_equal(a: Term, b: Term) -> Term:
+    """A 1-bit term that is true iff ``a != b`` (for model queries)."""
+    return apply_op("bvne", [a, b])

@@ -1,0 +1,257 @@
+"""Symbolic bitvector terms.
+
+Terms form an immutable DAG.  There are three node kinds:
+
+* :class:`Const` — a concrete bitvector literal,
+* :class:`Var` — a named symbolic input of known width,
+* :class:`App` — an operator applied to argument terms, optionally with
+  integer attributes (``params``) for things like extract bounds.
+
+Operator names match the methods of :class:`repro.bitvector.BitVector`
+one-for-one, so evaluation is a direct dispatch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# Operators producing a result of the same width as their (equal-width) args.
+BINARY_SAME_WIDTH = frozenset(
+    {
+        "bvadd",
+        "bvsub",
+        "bvmul",
+        "bvudiv",
+        "bvurem",
+        "bvsdiv",
+        "bvsrem",
+        "bvand",
+        "bvor",
+        "bvxor",
+        "bvshl",
+        "bvlshr",
+        "bvashr",
+        "bvrotl",
+        "bvrotr",
+        "bvsmin",
+        "bvsmax",
+        "bvumin",
+        "bvumax",
+        "bvsaddsat",
+        "bvuaddsat",
+        "bvssubsat",
+        "bvusubsat",
+        "bvsshlsat",
+        "bvuavg",
+        "bvsavg",
+        "bvuavg_round",
+        "bvsavg_round",
+    }
+)
+
+UNARY_SAME_WIDTH = frozenset({"bvneg", "bvnot", "bvabs", "popcount"})
+
+# Predicates producing a 1-bit result from equal-width args.
+COMPARISONS = frozenset(
+    {"bveq", "bvne", "bvult", "bvule", "bvugt", "bvuge", "bvslt", "bvsle", "bvsgt", "bvsge"}
+)
+
+# Width-changing operators; the new width travels in ``params[0]`` except
+# for extract, whose params are ``(high, low)``.
+WIDTH_CHANGING = frozenset(
+    {"zext", "sext", "trunc", "saturate_to_signed", "saturate_to_unsigned"}
+)
+
+ALL_OPS = (
+    BINARY_SAME_WIDTH
+    | UNARY_SAME_WIDTH
+    | COMPARISONS
+    | WIDTH_CHANGING
+    | {"extract", "concat", "ite"}
+)
+
+# Operators the bit-blaster does not support; equivalence queries containing
+# them fall back to exhaustive or randomized checking.
+NOT_BITBLASTABLE = frozenset({"bvudiv", "bvurem", "bvsdiv", "bvsrem", "popcount"})
+
+
+@dataclass(frozen=True)
+class Term:
+    """Base class for symbolic bitvector terms."""
+
+    width: int
+
+    def walk(self):
+        """Yield every node in this term DAG exactly once (post-order)."""
+        seen: set[int] = set()
+        stack: list[tuple[Term, bool]] = [(self, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if id(node) in seen:
+                continue
+            if expanded:
+                seen.add(id(node))
+                yield node
+                continue
+            stack.append((node, True))
+            if isinstance(node, App):
+                for arg in node.args:
+                    if id(arg) not in seen:
+                        stack.append((arg, False))
+
+    def variables(self) -> dict[str, int]:
+        """Map of variable name to width for every Var in this term."""
+        return {n.name: n.width for n in self.walk() if isinstance(n, Var)}
+
+    def ops_used(self) -> set[str]:
+        return {n.op for n in self.walk() if isinstance(n, App)}
+
+    def size(self) -> int:
+        """Number of nodes in the DAG."""
+        return sum(1 for _ in self.walk())
+
+
+@dataclass(frozen=True)
+class Const(Term):
+    value: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "value", self.value & ((1 << self.width) - 1))
+
+    def __repr__(self) -> str:
+        return f"c{self.width}({self.value:#x})"
+
+
+@dataclass(frozen=True)
+class Var(Term):
+    name: str = ""
+
+    def __repr__(self) -> str:
+        return f"{self.name}:bv{self.width}"
+
+
+@dataclass(frozen=True)
+class App(Term):
+    op: str = ""
+    args: tuple[Term, ...] = ()
+    params: tuple[int, ...] = field(default=())
+
+    def __repr__(self) -> str:
+        parts = [repr(a) for a in self.args] + [str(p) for p in self.params]
+        return f"({self.op} {' '.join(parts)}):bv{self.width}"
+
+
+def const(value: int, width: int) -> Const:
+    return Const(width, value)
+
+
+def var(name: str, width: int) -> Var:
+    return Var(width, name)
+
+
+def _require_same_width(op: str, a: Term, b: Term) -> None:
+    if a.width != b.width:
+        raise ValueError(f"{op}: width mismatch {a.width} vs {b.width}")
+
+
+def apply_op(op: str, args: list[Term], params: tuple[int, ...] = ()) -> App:
+    """Construct an :class:`App` with width inference and legality checks."""
+    if op in BINARY_SAME_WIDTH:
+        first, second = args
+        _require_same_width(op, first, second)
+        return App(first.width, op, (first, second))
+    if op in UNARY_SAME_WIDTH:
+        (operand,) = args
+        return App(operand.width, op, (operand,))
+    if op in COMPARISONS:
+        first, second = args
+        _require_same_width(op, first, second)
+        return App(1, op, (first, second))
+    if op in WIDTH_CHANGING:
+        (operand,) = args
+        (new_width,) = params
+        return App(new_width, op, (operand,), params)
+    if op == "extract":
+        (operand,) = args
+        high, low = params
+        if not 0 <= low <= high < operand.width:
+            raise ValueError(
+                f"extract [{high}:{low}] out of range for width {operand.width}"
+            )
+        return App(high - low + 1, op, (operand,), params)
+    if op == "concat":
+        high_part, low_part = args
+        return App(high_part.width + low_part.width, op, (high_part, low_part))
+    if op == "ite":
+        cond, then_term, else_term = args
+        if cond.width != 1:
+            raise ValueError("ite condition must be 1 bit wide")
+        _require_same_width(op, then_term, else_term)
+        return App(then_term.width, op, (cond, then_term, else_term))
+    raise ValueError(f"unknown operator {op!r}")
+
+
+# ----------------------------------------------------------------------
+# Convenience builders (make test and semantics code readable)
+# ----------------------------------------------------------------------
+
+
+def bvadd(a: Term, b: Term) -> App:
+    return apply_op("bvadd", [a, b])
+
+
+def bvsub(a: Term, b: Term) -> App:
+    return apply_op("bvsub", [a, b])
+
+
+def bvmul(a: Term, b: Term) -> App:
+    return apply_op("bvmul", [a, b])
+
+
+def bvand(a: Term, b: Term) -> App:
+    return apply_op("bvand", [a, b])
+
+
+def bvor(a: Term, b: Term) -> App:
+    return apply_op("bvor", [a, b])
+
+
+def bvxor(a: Term, b: Term) -> App:
+    return apply_op("bvxor", [a, b])
+
+
+def bvnot(a: Term) -> App:
+    return apply_op("bvnot", [a])
+
+
+def bvneg(a: Term) -> App:
+    return apply_op("bvneg", [a])
+
+
+def extract(a: Term, high: int, low: int) -> App:
+    return apply_op("extract", [a], (high, low))
+
+
+def concat(high_part: Term, low_part: Term) -> App:
+    return apply_op("concat", [high_part, low_part])
+
+
+def zext(a: Term, width: int) -> App:
+    return apply_op("zext", [a], (width,))
+
+
+def sext(a: Term, width: int) -> App:
+    return apply_op("sext", [a], (width,))
+
+
+def trunc(a: Term, width: int) -> App:
+    return apply_op("trunc", [a], (width,))
+
+
+def ite(cond: Term, then_term: Term, else_term: Term) -> App:
+    return apply_op("ite", [cond, then_term, else_term])
+
+
+def bveq(a: Term, b: Term) -> App:
+    return apply_op("bveq", [a, b])

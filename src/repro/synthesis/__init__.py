@@ -1,0 +1,48 @@
+"""The Hydride Code Synthesizer (paper Section 4).
+
+Compiles vectorised Halide IR expressions ("windows") into sequences of
+AutoLLVM operations using counterexample-guided inductive synthesis:
+
+* :mod:`repro.synthesis.program` — candidate programs: DAGs of target
+  instruction applications, swizzle patterns and register views;
+* :mod:`repro.synthesis.scale` — lane scaling (Section 4.2): synthesize
+  at reduced vector width, verify, scale back up;
+* :mod:`repro.synthesis.swizzles` — the five specialized swizzle
+  patterns (Section 4.4) added to every grammar;
+* :mod:`repro.synthesis.grammar` — pruned grammar generation with
+  bitvector-based screening (BVS) and score-based operation selection
+  (SBOS) (Section 4.3, Table 5);
+* :mod:`repro.synthesis.cost` — the latency-sum cost model;
+* :mod:`repro.synthesis.cegis` — Algorithm 2: lane-wise CEGIS with an
+  enumerative, cost-ordered Optimize step;
+* :mod:`repro.synthesis.cache` — the memoization cache (Table 4);
+* :mod:`repro.synthesis.translate` — the Rosette-to-LLVM analogue:
+  synthesized programs to AutoLLVM IR calls.
+"""
+
+from repro.synthesis.cegis import (
+    CegisOptions,
+    SynthesisFailure,
+    SynthesisResult,
+    synthesize,
+)
+from repro.synthesis.cache import MemoCache
+from repro.synthesis.grammar import Grammar, GrammarOptions, build_grammar
+from repro.synthesis.program import SConstant, SInput, SOp, SSlice, SConcat, SSwizzle
+
+__all__ = [
+    "CegisOptions",
+    "SynthesisFailure",
+    "SynthesisResult",
+    "synthesize",
+    "MemoCache",
+    "Grammar",
+    "GrammarOptions",
+    "build_grammar",
+    "SConstant",
+    "SInput",
+    "SOp",
+    "SSlice",
+    "SConcat",
+    "SSwizzle",
+]

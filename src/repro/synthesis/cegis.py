@@ -1,0 +1,885 @@
+"""Lane-wise CEGIS — the paper's Algorithm 2.
+
+The ``Optimize`` step is realized as bottom-up enumerative search over
+the pruned grammar, deduplicated by observational equivalence on the
+current counterexample set and explored in cost order; constraints are
+asserted only on the *failing lanes* (lane-wise synthesis), with full
+symbolic verification afterwards.  Synthesis runs at a scaled-down lane
+count and the winning program is scaled back up and re-verified, falling
+back to unscaled synthesis on failure — exactly the structure of
+Algorithm 2 (lines 2, 7, 9, 11-12, 15-21, 23-26).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.bitvector.bv import BitVector
+from repro.bitvector.lanes import Vector
+from repro.halide import ir as hir
+from repro.smt.solver import EquivalenceChecker, SolverTimeout
+from repro.synthesis.cache import MemoCache
+from repro.synthesis.grammar import Grammar, GrammarEntry
+from repro.synthesis.program import (
+    SConcat,
+    SConstant,
+    SInput,
+    SNode,
+    SOp,
+    SSlice,
+    SSwizzle,
+    SWIZZLE_SHAPES,
+    apply_node,
+    evaluate_program,
+    program_to_term,
+)
+from repro.synthesis.scale import scale_spec, scaled_member_values
+
+
+class SynthesisFailure(Exception):
+    """Synthesis did not find an equivalent program within its budget."""
+
+    def __init__(self, message: str, timed_out: bool = False) -> None:
+        super().__init__(message)
+        self.timed_out = timed_out
+
+
+@dataclass
+class CegisOptions:
+    scale_factor: int = 8
+    lanewise: bool = True
+    scaling: bool = True
+    max_depth: int = 3
+    seed: int = 7
+    timeout_seconds: float = 240.0
+    # Enumeration bounds.
+    args_per_width: int = 12
+    pool_per_width: int = 350
+    round_budget: int = 20_000
+    rotate_amounts: tuple[int, ...] = (1,)
+    # Verification budgets.
+    verify_conflicts: int = 4_000
+    full_scale_fuzz: int = 64
+
+
+@dataclass
+class SynthStats:
+    seconds: float = 0.0
+    iterations: int = 0
+    candidates: int = 0
+    depth_reached: int = 0
+    grammar_size: int = 0
+    scale_factor: int = 1
+    cache_hit: bool = False
+    verified: str = ""
+
+
+@dataclass
+class SynthesisResult:
+    program: SNode
+    cost: float
+    stats: SynthStats
+    spec: hir.HExpr
+
+
+@dataclass
+class _Candidate:
+    node: SNode
+    cost: float
+    outs: list[int] = field(default_factory=list)
+    depth: int = 0
+    # Argument candidates this node was built from (None for leaves):
+    # counterexample additions re-evaluate the pool incrementally in
+    # creation (= topological) order through these links.
+    args: tuple["_Candidate", ...] | None = None
+    # The element width this value is structured at (its producer's view);
+    # None when unknown.  Depth-0 leaves are untyped raw bits and match
+    # any requirement.
+    elem: int | None = None
+    # True when the candidate's outputs coincide with a subexpression of
+    # the specification (or a register half of one) on every seed input —
+    # a proven-useful intermediate, ranked first in argument pools.
+    landmark: bool = False
+
+
+class _Enumerator:
+    """Pool of observationally-distinct candidates, grown depth by depth."""
+
+    def __init__(
+        self,
+        grammar: Grammar,
+        options: CegisOptions,
+        spec: hir.HExpr,
+        rng: random.Random,
+        deadline: float,
+    ) -> None:
+        self.grammar = grammar
+        self.options = options
+        self.spec = spec
+        self.rng = rng
+        self.deadline = deadline
+        self.envs: list[dict[str, BitVector]] = []
+        self.spec_outs: list[BitVector] = []
+        self.pool: list[_Candidate] = []
+        self.by_width: dict[int, list[_Candidate]] = {}
+        self._kind_counts: dict[tuple[int, str, int], int] = {}
+        self._landmarks: set[tuple[int, tuple[int, ...]]] = set()
+        # Candidates computing exactly the spec's low / high output half.
+        self._half_lo: list[_Candidate] = []
+        self._half_hi: list[_Candidate] = []
+        self._half_paired: set[tuple[int, int]] = set()
+        self.seen: set[tuple] = set()
+        self.depth = 0
+        self.total_candidates = 0
+        self.max_bits = 2 * max(
+            [spec.type.bits] + [i.bits for i in grammar.inputs] + [1]
+        )
+        from repro.synthesis.grammar import _spec_profile
+
+        self.spec_bv_ops, _, _ = _spec_profile(spec)
+        # Pre-resolve entry shapes (scaled widths computed lazily).
+        self._entry_shapes: list[tuple[GrammarEntry, tuple[int, ...], list[int], int]] = []
+
+    def _check_deadline(self) -> None:
+        if time.time() > self.deadline:
+            raise SynthesisFailure("synthesis timed out", timed_out=True)
+
+    # -- environments ---------------------------------------------------
+
+    def add_env(self, env: dict[str, BitVector]) -> None:
+        self.envs.append(env)
+        self.spec_outs.append(hir.interpret(self.spec, env))
+        # The pool is in creation order, which is topological: each
+        # candidate's value on the new input derives from its arguments'
+        # freshly appended values with a single node application.
+        env_index = len(self.envs) - 1
+        for candidate in self.pool:
+            try:
+                if candidate.args is None:
+                    value = evaluate_program(candidate.node, env).value
+                else:
+                    args = [
+                        BitVector(a.outs[env_index], a.node.bits)
+                        for a in candidate.args
+                    ]
+                    value = apply_node(candidate.node, args).value
+                candidate.outs.append(value)
+            except Exception:
+                candidate.outs.append(-1)
+        # Re-key dedup (outputs grew).
+        self.seen = {
+            (c.node.bits, tuple(c.outs)) for c in self.pool
+        }
+        self._rebuild_landmarks()
+        for candidate in self.pool:
+            candidate.landmark = (
+                (candidate.node.bits, tuple(candidate.outs)) in self._landmarks
+            )
+
+    def _rebuild_landmarks(self) -> None:
+        """Values of every specification subexpression (and their register
+        halves) on the current seed inputs: goal-directed waypoints."""
+        per_node: dict[int, list[int]] = {}
+        node_bits: dict[int, int] = {}
+        for env_index, env in enumerate(self.envs):
+            cache: dict[int, BitVector] = {}
+
+            def run(node: hir.HExpr) -> BitVector:
+                hit = cache.get(id(node))
+                if hit is not None:
+                    return hit
+                for kid in node.children():
+                    run(kid)
+                value = hir.interpret(node, env)
+                cache[id(node)] = value
+                return value
+
+            run(self.spec)
+            for node_id, value in cache.items():
+                per_node.setdefault(node_id, []).append(value.value)
+                node_bits[node_id] = value.width
+        self._landmarks = set()
+        for node_id, values in per_node.items():
+            if len(values) != len(self.envs):
+                continue
+            bits = node_bits[node_id]
+            self._landmarks.add((bits, tuple(values)))
+            if bits % 2 == 0 and bits >= 16:
+                half = bits // 2
+                mask = (1 << half) - 1
+                self._landmarks.add((half, tuple(v & mask for v in values)))
+                self._landmarks.add((half, tuple((v >> half) & mask for v in values)))
+
+    def random_env(self) -> dict[str, BitVector]:
+        """Uniformly random register values.
+
+        Deliberately *not* seeded with all-zeros/all-ones boundary values:
+        a zeroed multiplicand collapses the specification onto its
+        accumulator, making trivial candidates "match" and poisoning the
+        landmark table.  Boundary cases reach CEGIS through verification
+        counterexamples instead."""
+        env: dict[str, BitVector] = {}
+        for name, load_type in sorted(self.spec.loads().items()):
+            bits = load_type.bits
+            value = self.rng.getrandbits(bits)
+            if value == 0:
+                value = self.rng.getrandbits(bits) | 1
+            env[name] = BitVector(value, bits)
+        return env
+
+    # -- pool growth ------------------------------------------------------
+
+    def _admit(
+        self,
+        node: SNode,
+        cost: float,
+        depth: int,
+        force: bool = False,
+        arg_candidates: tuple["_Candidate", ...] | None = None,
+    ) -> None:
+        if node.bits <= 0 or node.bits > self.max_bits:
+            return
+        outs: list[int] = []
+        if arg_candidates is None and not isinstance(node, (SInput, SConstant)):
+            arg_candidates = getattr(node, "_arg_candidates", None)
+        for env_index, env in enumerate(self.envs):
+            try:
+                if arg_candidates is not None:
+                    args = [
+                        BitVector(c.outs[env_index], c.node.bits)
+                        for c in arg_candidates
+                    ]
+                    outs.append(apply_node(node, args).value)
+                else:
+                    outs.append(evaluate_program(node, env).value)
+            except Exception:
+                return
+        key = (node.bits, tuple(outs))
+        if key in self.seen:
+            return
+        is_landmark = key in self._landmarks
+        # Potential solutions, spec-subexpression landmarks and free views
+        # always enter the pool; the per-width cap only sheds junk.
+        if is_landmark:
+            force = True
+        if not force and node.bits == self.spec.type.bits:
+            force = self._matches_lane0(outs)
+        bucket = self.by_width.setdefault(node.bits, [])
+        kind = _node_kind(node)
+        # Caps are per (width, kind, depth): each enumeration round gets
+        # its own allowance, so early rounds cannot starve later ones of
+        # pool space — only same-round volume is shed.
+        kind_key = (node.bits, kind, depth)
+        kind_count = self._kind_counts.get(kind_key, 0)
+        cap = self.options.pool_per_width if kind == "op" else (
+            self.options.pool_per_width // 2
+        )
+        if not force and kind_count >= cap:
+            return
+        self._kind_counts[kind_key] = kind_count + 1
+        self.seen.add(key)
+        elem = _elem_view(node, arg_candidates)
+        candidate = _Candidate(
+            node, cost, outs, depth, arg_candidates, elem, is_landmark
+        )
+        self.pool.append(candidate)
+        bucket.append(candidate)
+        bucket.sort(key=lambda c: c.cost)
+        self.total_candidates += 1
+        # Goal-directed register assembly: a candidate that computes
+        # exactly the low or high half of the specification is queued so
+        # matching halves concatenate into full-width solutions — how a
+        # window wider than one target register gets its per-register
+        # program without spending a grammar-depth level per concat.
+        half_bits = self.spec.type.bits // 2
+        if node.bits == half_bits and half_bits > 0:
+            mask = (1 << half_bits) - 1
+            if all(
+                out == self.spec_outs[i].value & mask
+                for i, out in enumerate(outs)
+            ):
+                self._half_lo.append(candidate)
+            if all(
+                out == (self.spec_outs[i].value >> half_bits) & mask
+                for i, out in enumerate(outs)
+            ):
+                self._half_hi.append(candidate)
+
+    def _matches_lane0(self, outs: list[int]) -> bool:
+        elem_width = self.spec.type.elem_width
+        mask = (1 << elem_width) - 1
+        for env_index, got in enumerate(outs):
+            if got & mask != self.spec_outs[env_index].value & mask:
+                return False
+        return True
+
+    def seed_pool(self) -> None:
+        # Leaves come from the (possibly scaled) specification itself so
+        # their widths match the scaled search space.
+        for name, load_type in sorted(self.spec.loads().items()):
+            self._admit(
+                SInput(name, load_type.lanes, load_type.elem_width), 0.0, 0
+            )
+        # Constant splats from the specification's literals, seeded at
+        # every (lanes, elem-width) shape the specification mentions —
+        # immediate vectors for fused ops often live at a narrower width
+        # than the output (e.g. the interleaved byte weights of a
+        # pmaddubsw rewrite).
+        shapes = {
+            (node.type.lanes, node.type.elem_width)
+            for node in self.spec.walk()
+            if node.type.elem_width > 1
+        }
+        constants = {
+            node.value
+            for node in self.spec.walk()
+            if isinstance(node, hir.HConst)
+        }
+        for value in sorted(constants):
+            for lanes, elem_width in sorted(shapes):
+                if value < (1 << elem_width):
+                    self._admit(SConstant(value, lanes, elem_width), 0.0, 0)
+        # Half-register views of the leaves are free on real hardware and
+        # are needed immediately by D-register (64-bit) ARM instructions.
+        for candidate in list(self.pool):
+            self._admit_views(candidate, 0)
+
+    def _admit_views(self, candidate: _Candidate, depth: int) -> None:
+        """Free half-slices of a value, admitted at the same depth —
+        register views never consume a grammar-depth level.  Only one
+        level of views: slices of slices/concats add nothing but volume."""
+        if isinstance(candidate.node, (SSlice, SConcat)):
+            return
+        bits = candidate.node.bits
+        if bits % 2 == 0 and bits >= 16:
+            for high in (False, True):
+                self._admit(
+                    SSlice(candidate.node, high),
+                    candidate.cost,
+                    depth,
+                    force=True,
+                    arg_candidates=(candidate,),
+                )
+
+    def _args_for(
+        self, bits: int, cap: int | None = None, elem: int | None = None
+    ):
+        """Argument pool for one instruction input: width-exact, and
+        element-typed when the semantics dictates a width (a 16-bit-element
+        multiply only composes with 16-bit-element producers; untyped
+        depth-0 leaves match anything).  Per-kind quotas keep instruction
+        results, swizzles and views all represented, and the newest
+        round's intermediates always get slots."""
+        bucket = self.by_width.get(bits, [])
+        if elem is not None:
+            bucket = [
+                c
+                for c in bucket
+                if c.elem is None or c.elem == elem or c.depth == 0
+            ]
+        cap = cap or self.options.args_per_width
+
+        def pick(candidates, count):
+            return sorted(
+                candidates, key=lambda c: (not c.landmark, c.cost)
+            )[:count]
+
+        ops = [c for c in bucket if isinstance(c.node, SOp)]
+        swizzles = [c for c in bucket if isinstance(c.node, SSwizzle)]
+        others = [
+            c for c in bucket if not isinstance(c.node, (SOp, SSwizzle))
+        ]
+        chosen = (
+            pick(ops, cap)
+            + pick(swizzles, max(3, cap // 2))
+            + pick(others, max(4, cap // 2))
+        )
+        seen_ids = {id(c) for c in chosen}
+        frontier = self.depth - 1
+        if frontier > 0:
+            fresh = pick((c for c in bucket if c.depth >= frontier), cap)
+            chosen.extend(c for c in fresh if id(c) not in seen_ids)
+        return chosen
+
+    def grow(self) -> None:
+        """One depth round: apply every grammar production once."""
+        self._check_deadline()
+        self.depth += 1
+        new_nodes: list[tuple[SNode, float, int]] = []
+        frontier = self.depth - 1  # at least one arg from the last round
+
+        # Target instruction applications.
+        for entry in self.grammar.entries:
+            values = self._scaled_values(entry)
+            if values is None:
+                continue
+            try:
+                widths = entry.register_widths(values)
+                out_bits = entry.output_bits(values)
+            except Exception:
+                continue
+            if out_bits > self.max_bits:
+                continue
+            arity = len(widths)
+            if arity == 0 or arity > 3:
+                continue
+            arg_cap = self.options.args_per_width
+            elem_reqs = entry.input_elem_widths(values)
+            if len(elem_reqs) != arity:
+                elem_reqs = [None] * arity
+            pools = [
+                self._args_for(w, arg_cap, e)
+                for w, e in zip(widths, elem_reqs)
+            ]
+            if any(not p for p in pools):
+                continue
+            base_cost = self.grammar.cost_model.op_cost  # noqa: F841
+            latency = entry.binding.spec.latency
+            group: list = []
+            for combo in _combinations(pools, frontier):
+                node = SOp(
+                    entry.op,
+                    entry.binding,
+                    tuple(c.node for c in combo),
+                    entry.imm_values,
+                    values,
+                    out_bits,
+                )
+                cost = latency + sum(c.cost for c in combo)
+                group.append((node, cost, self.depth, tuple(combo)))
+            group.sort(key=_group_key)
+            for rank, item in enumerate(group):
+                new_nodes.append((*item, rank))
+
+        # Swizzle patterns (always in the grammar).
+        elem_widths = sorted(
+            {n.type.elem_width for n in self.spec.walk() if n.type.elem_width > 1}
+        )
+        for pattern in self.grammar.swizzle_patterns:
+            arity, ratio = SWIZZLE_SHAPES[pattern]
+            for elem_width in elem_widths:
+                for bits in list(self.by_width):
+                    if bits % elem_width or (bits // elem_width) < 2:
+                        continue
+                    out_bits = int(bits * ratio) * (2 if pattern == "interleave_full" and arity == 2 else 1)
+                    out_bits = bits * 2 if pattern == "interleave_full" else bits
+                    if out_bits > self.max_bits:
+                        continue
+                    pools = [self._args_for(bits)] * arity
+                    if any(not p for p in pools):
+                        continue
+                    amounts = (
+                        self.options.rotate_amounts
+                        if pattern == "rotate_right"
+                        else (0,)
+                    )
+                    for amount in amounts:
+                        group = []
+                        for combo in _combinations(pools, frontier):
+                            node = SSwizzle(
+                                pattern,
+                                tuple(c.node for c in combo),
+                                elem_width,
+                                out_bits,
+                                amount,
+                            )
+                            cost = self.grammar.cost_model.swizzle_cost(node) + sum(
+                                c.cost for c in combo
+                            )
+                            group.append((node, cost, self.depth, tuple(combo)))
+                        group.sort(key=_group_key)
+                        for rank, item in enumerate(group):
+                            new_nodes.append((*item, rank))
+
+        # Concatenations of equal-width values (free register pairing).
+        for bits in list(self.by_width):
+            if bits * 2 <= self.max_bits:
+                pool = self._args_for(bits, max(4, self.options.args_per_width // 2))
+                group = []
+                for combo in _combinations([pool, pool], frontier):
+                    group.append(
+                        (
+                            SConcat(combo[0].node, combo[1].node),
+                            combo[0].cost + combo[1].cost,
+                            self.depth,
+                            tuple(combo),
+                        )
+                    )
+                group.sort(key=lambda item: item[1])
+                for rank, item in enumerate(group):
+                    new_nodes.append((*item, rank))
+
+        # Deterministic, fair per-round work bound: candidates are taken
+        # round-robin across generating instructions (each instruction's
+        # combos cost-sorted), so cheap high-fanout families cannot starve
+        # expensive three-operand instructions of their budget share.
+        new_nodes.sort(key=lambda item: (item[4], item[1]))
+        del new_nodes[self.options.round_budget :]
+        admitted_before = self.total_candidates
+        for node, cost, depth, args, _rank in new_nodes:
+            self._check_deadline()
+            self._admit(node, cost, depth, arg_candidates=args)
+        # Close the new round under free register views so a slice or a
+        # register-pair of this round's results is usable immediately —
+        # multi-register outputs (concat of per-register results) would
+        # otherwise cost an extra grammar-depth level.
+        fresh = [c for c in self.pool if c.depth == self.depth]
+        for candidate in fresh:
+            self._admit_views(candidate, self.depth)
+        for candidate in fresh:
+            bits = candidate.node.bits
+            if bits * 2 > self.max_bits:
+                continue
+            partners = self._args_for(bits, 8)
+            for partner in partners:
+                self._admit(
+                    SConcat(candidate.node, partner.node),
+                    candidate.cost + partner.cost,
+                    self.depth,
+                    arg_candidates=(candidate, partner),
+                )
+                self._admit(
+                    SConcat(partner.node, candidate.node),
+                    candidate.cost + partner.cost,
+                    self.depth,
+                    arg_candidates=(partner, candidate),
+                )
+        # Assemble solutions from exact half-matches.
+        for hi in list(self._half_hi):
+            for lo in list(self._half_lo):
+                pair_key = (id(hi), id(lo))
+                if pair_key in self._half_paired:
+                    continue
+                self._half_paired.add(pair_key)
+                self._admit(
+                    SConcat(hi.node, lo.node),
+                    hi.cost + lo.cost,
+                    self.depth,
+                    force=True,
+                    arg_candidates=(hi, lo),
+                )
+        del admitted_before
+
+    def _scaled_values(self, entry: GrammarEntry):
+        factor = getattr(self, "scale_factor", 1)
+        if factor == 1:
+            return entry.binding.member.values()
+        cache = getattr(self, "_scaled_cache", None)
+        if cache is None:
+            cache = self._scaled_cache = {}
+        key = id(entry)
+        if key not in cache:
+            cache[key] = scaled_member_values(entry.binding, factor)
+        return cache[key]
+
+    # -- solution extraction ----------------------------------------------
+
+    def matching_candidates(self, failing_lanes: set[int], lanewise: bool):
+        """Candidates equal to the spec on the asserted lanes (line 7)."""
+        out_bits = self.spec.type.bits
+        elem_width = self.spec.type.elem_width
+        matches = []
+        for candidate in self.by_width.get(out_bits, []):
+            ok = True
+            for env_index in range(len(self.envs)):
+                spec_out = self.spec_outs[env_index]
+                got = candidate.outs[env_index]
+                if got < 0:
+                    ok = False
+                    break
+                if lanewise:
+                    for lane in failing_lanes:
+                        low = lane * elem_width
+                        mask = (1 << elem_width) - 1
+                        if (got >> low) & mask != (spec_out.value >> low) & mask:
+                            ok = False
+                            break
+                    if not ok:
+                        break
+                elif got != spec_out.value:
+                    ok = False
+                    break
+            if ok:
+                matches.append(candidate)
+        matches.sort(key=lambda c: c.cost)
+        return matches
+
+
+def _elem_view(node: SNode, args) -> int | None:
+    """The element width a candidate's value is structured at."""
+    if isinstance(node, (SInput, SConstant)):
+        return node.elem_width
+    if isinstance(node, SSwizzle):
+        return node.elem_width
+    if isinstance(node, SOp):
+        # Layout-producing instructions (broadcasts, packs, interleaves)
+        # are routinely reinterpreted at other element widths; leave them
+        # untyped so they can feed any consumer.
+        if node.binding.spec.attributes.get("swizzle"):
+            return None
+        value = node.binding.spec.attributes.get("elem_width")
+        return value if isinstance(value, int) else None
+    # Views inherit their source's structure.
+    if args:
+        return args[0].elem
+    return None
+
+
+def _group_key(item) -> tuple:
+    """Within one instruction's combo group: combos built from proven
+    landmark intermediates first, then cheapest."""
+    combo = item[3]
+    non_landmark = sum(0 if c.landmark else 1 for c in combo)
+    return (non_landmark, item[1])
+
+
+def _node_kind(node: SNode) -> str:
+    if isinstance(node, (SSlice, SConcat)):
+        return "view"
+    if isinstance(node, SSwizzle):
+        return "swizzle"
+    if isinstance(node, (SInput, SConstant)):
+        return "leaf"
+    return "op"
+
+
+def _combinations(pools, frontier_depth):
+    """Cartesian product requiring at least one arg from the newest round."""
+    import itertools
+
+    for combo in itertools.product(*pools):
+        if frontier_depth > 0 and all(c.depth < frontier_depth for c in combo):
+            continue
+        yield combo
+
+
+# ----------------------------------------------------------------------
+# Scale-up of a synthesized program
+# ----------------------------------------------------------------------
+
+
+def _scale_up(node: SNode, factor: int) -> SNode:
+    if factor == 1:
+        return node
+    if isinstance(node, SInput):
+        return SInput(node.name, node.lanes * factor, node.elem_width)
+    if isinstance(node, SConstant):
+        return SConstant(node.value, node.lanes * factor, node.elem_width)
+    if isinstance(node, SSlice):
+        return SSlice(_scale_up(node.src, factor), node.high)
+    if isinstance(node, SConcat):
+        return SConcat(
+            _scale_up(node.high_part, factor), _scale_up(node.low_part, factor)
+        )
+    if isinstance(node, SSwizzle):
+        return SSwizzle(
+            node.pattern,
+            tuple(_scale_up(a, factor) for a in node.args),
+            node.elem_width,
+            node.out_bits * factor,
+            node.amount * factor if node.pattern == "rotate_right" else node.amount,
+        )
+    assert isinstance(node, SOp)
+    return SOp(
+        node.op,
+        node.binding,
+        tuple(_scale_up(a, factor) for a in node.args),
+        node.imm_values,
+        None,  # full-scale: the member's own parameter values
+        node.out_bits * factor,
+    )
+
+
+# ----------------------------------------------------------------------
+# The CEGIS driver
+# ----------------------------------------------------------------------
+
+
+def synthesize(
+    spec: hir.HExpr,
+    grammar: Grammar,
+    options: CegisOptions | None = None,
+    cache: MemoCache | None = None,
+) -> SynthesisResult:
+    """Compile one Halide IR window to a target program (Algorithm 2)."""
+    options = options or CegisOptions()
+    start = time.time()
+    if cache is not None:
+        if cache.lookup_failure(spec, grammar.isa):
+            raise SynthesisFailure("window previously failed (cached)")
+        hit = cache.lookup(spec, grammar.isa)
+        if hit is not None:
+            stats = SynthStats(
+                seconds=time.time() - start, cache_hit=True,
+                grammar_size=grammar.size(),
+            )
+            return SynthesisResult(hit.program, hit.cost, stats, spec)
+
+    deadline = start + options.timeout_seconds
+    factor = options.scale_factor if options.scaling else 1
+    spec_scaled = None
+    while factor > 1:
+        spec_scaled = scale_spec(spec, factor)
+        if spec_scaled is not None and spec_scaled.type.lanes >= 2:
+            break
+        factor //= 2
+        spec_scaled = None
+    if spec_scaled is None:
+        factor = 1
+        spec_scaled = spec
+
+    try:
+        result = _lanewise_synthesis(spec, spec_scaled, factor, grammar, options, deadline, start)
+    except SynthesisFailure:
+        if factor == 1:
+            if cache is not None:
+                cache.store_failure(spec, grammar.isa)
+            raise
+        # Algorithm 2 line 26: retry without scaling.
+        try:
+            result = _lanewise_synthesis(spec, spec, 1, grammar, options, deadline, start)
+        except SynthesisFailure:
+            if cache is not None:
+                cache.store_failure(spec, grammar.isa)
+            raise
+
+    if cache is not None:
+        cache.store(spec, grammar.isa, result.program, result.cost)
+    return result
+
+
+def _lanewise_synthesis(
+    spec: hir.HExpr,
+    spec_scaled: hir.HExpr,
+    factor: int,
+    grammar: Grammar,
+    options: CegisOptions,
+    deadline: float,
+    start: float,
+) -> SynthesisResult:
+    rng = random.Random(options.seed)
+    checker = EquivalenceChecker(
+        seed=options.seed,
+        max_conflicts=options.verify_conflicts,
+        # Multiply-heavy windows produce CNF beyond this solver's budget;
+        # larger terms go straight to the randomized battery.  Wrong
+        # candidates are refuted by a cheap program-level fuzz pass first,
+        # so the term-level battery can stay small.
+        sat_node_limit=1_500,
+        probabilistic_samples=96,
+    )
+    enumerator = _Enumerator(grammar, options, spec_scaled, rng, deadline)
+    enumerator.scale_factor = factor
+    for _ in range(2):  # line 4: two seed inputs
+        enumerator.add_env(enumerator.random_env())
+    enumerator.seed_pool()
+    failing_lanes: set[int] = {0}  # line 5
+
+    stats = SynthStats(grammar_size=grammar.size(), scale_factor=factor)
+    spec_term = hir.to_term(spec_scaled)
+    rejected: set[int] = set()
+
+    while True:
+        stats.iterations += 1
+        solution = None
+        while solution is None:
+            matches = [
+                c
+                for c in enumerator.matching_candidates(
+                    failing_lanes, options.lanewise
+                )
+                if id(c) not in rejected
+            ]
+            if matches:
+                solution = matches[0]  # line 9: min-cost satisfying candidate
+                break
+            if enumerator.depth >= options.max_depth:
+                raise SynthesisFailure(
+                    f"no solution within depth {options.max_depth} "
+                    f"(grammar size {grammar.size()})"
+                )
+            enumerator.grow()  # line 11: increment grammar depth
+            stats.depth_reached = enumerator.depth
+
+        # Cheap refutation first: program-level evaluation is much faster
+        # than term evaluation, and wrong candidates rarely survive it.
+        refuting_env = _fuzz_refute(solution.node, spec_scaled, enumerator, 96)
+        if refuting_env is not None:
+            enumerator.add_env(refuting_env)
+            failing_lanes.add(
+                _first_failing_lane(solution.node, spec_scaled, refuting_env)
+            )
+            continue
+        # Line 15: verify symbolically over all lanes.
+        candidate_term = program_to_term(solution.node)
+        try:
+            verdict = checker.check_equivalence(candidate_term, spec_term)
+        except SolverTimeout:
+            verdict = None
+        if verdict is not None and verdict.equivalent:
+            stats.verified = verdict.method
+            break
+        if verdict is None:
+            # Conflict budget exceeded: extended fuzz battery as fallback.
+            ok = _fuzz_equal(solution.node, spec_scaled, enumerator, rng, 256)
+            if ok:
+                stats.verified = "fuzz-battery"
+                break
+            rejected.add(id(solution))
+            continue
+        # Lines 16-20: record the counterexample and its failing lane.
+        cex = dict(verdict.counterexample)
+        for name, load_type in spec_scaled.loads().items():
+            cex.setdefault(name, BitVector(0, load_type.bits))
+        enumerator.add_env(cex)
+        failing_lanes.add(
+            _first_failing_lane(solution.node, spec_scaled, cex)
+        )
+
+    # Lines 23-25: scale back up and verify at full width.
+    full = _scale_up(solution.node, factor)
+    if factor > 1 and not _fuzz_equal_full(full, spec, rng, options.full_scale_fuzz):
+        raise SynthesisFailure("scaled-up solution failed full-width check")
+
+    stats.seconds = time.time() - start
+    stats.candidates = enumerator.total_candidates
+    cost_model = grammar.cost_model
+    return SynthesisResult(full, cost_model.cost(full), stats, spec)
+
+
+def _first_failing_lane(node: SNode, spec: hir.HExpr, env) -> int:
+    got = Vector(evaluate_program(node, env), spec.type.elem_width)
+    want = Vector(hir.interpret(spec, env), spec.type.elem_width)
+    for lane in range(want.num_elems):
+        if got.elem(lane).value != want.elem(lane).value:
+            return lane
+    return 0
+
+
+def _fuzz_equal(node: SNode, spec: hir.HExpr, enumerator: _Enumerator, rng, trials: int) -> bool:
+    return _fuzz_refute(node, spec, enumerator, trials) is None
+
+
+def _fuzz_refute(node: SNode, spec: hir.HExpr, enumerator: _Enumerator, trials: int):
+    """Return an input on which the candidate differs from the spec."""
+    for _ in range(trials):
+        env = enumerator.random_env()
+        if evaluate_program(node, env).value != hir.interpret(spec, env).value:
+            return env
+    return None
+
+
+def _fuzz_equal_full(node: SNode, spec: hir.HExpr, rng, trials: int) -> bool:
+    loads = sorted(spec.loads().items())
+    for _ in range(trials):
+        env = {
+            name: BitVector(rng.getrandbits(t.bits), t.bits) for name, t in loads
+        }
+        try:
+            if evaluate_program(node, env).value != hir.interpret(spec, env).value:
+                return False
+        except Exception:
+            return False
+    return True

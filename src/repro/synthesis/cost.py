@@ -1,0 +1,48 @@
+"""Cost model: "a simple sum of the individual latencies" (Section 4.1).
+
+Swizzle patterns cost the latency of the target shuffle instruction that
+realizes them when one exists, and the latency of a generic permute when
+the backend has to fall back to pattern-matching one out of LLVM — the
+mechanism behind the paper's small slowdowns on ``add``/``softmax``.
+Register views (half-slices, concatenations of halves) are free: they are
+subregister addressing on every target.
+"""
+
+from __future__ import annotations
+
+from repro.synthesis.program import SNode, SOp, SSwizzle
+
+# Latency of a swizzle realized by a native shuffle instruction.
+NATIVE_SWIZZLE_LATENCY = 1.0
+# Latency when lowered to a generic (cross-lane) permute instead.
+GENERIC_PERMUTE_LATENCY = 3.0
+
+
+class CostModel:
+    """Sums member-instruction latencies over a candidate DAG."""
+
+    def __init__(self, native_swizzles: set[str] | None = None) -> None:
+        # Patterns the target has a native shuffle for (per-ISA, filled by
+        # the grammar builder); everything else costs a generic permute.
+        self.native_swizzles = native_swizzles if native_swizzles is not None else set()
+
+    def op_cost(self, node: SOp) -> float:
+        return node.binding.spec.latency
+
+    def swizzle_cost(self, node: SSwizzle) -> float:
+        if node.pattern in self.native_swizzles:
+            return NATIVE_SWIZZLE_LATENCY
+        return GENERIC_PERMUTE_LATENCY
+
+    def cost(self, node: SNode) -> float:
+        seen: set[int] = set()
+        total = 0.0
+        for n in node.walk():
+            if id(n) in seen:
+                continue
+            seen.add(id(n))
+            if isinstance(n, SOp):
+                total += self.op_cost(n)
+            elif isinstance(n, SSwizzle):
+                total += self.swizzle_cost(n)
+        return total

@@ -1,0 +1,431 @@
+"""Candidate program representation for the synthesizer.
+
+A candidate is a DAG whose leaves are the specification's input vectors
+and whose interior nodes are target instruction applications (through
+their AutoLLVM equivalence-class bindings), specialized swizzle patterns,
+or register views (half-slices and concatenations, which are free on
+real hardware — subregister addressing).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro.bitvector.bv import BitVector
+from repro.bitvector.lanes import Vector, vector_from_elems
+from repro.autollvm.intrinsics import AutoLLVMOp, TargetBinding
+from repro.hydride_ir.interp import interpret as interpret_semantics
+from repro.hydride_ir.interp import to_term as semantics_to_term
+from repro.smt import terms as smt
+from repro.smt.simplify import substitute
+
+
+@dataclass(frozen=True)
+class SNode:
+    """Base class for candidate program nodes."""
+
+    def children(self) -> tuple["SNode", ...]:
+        return ()
+
+    @property
+    def bits(self) -> int:
+        raise NotImplementedError
+
+    def walk(self):
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children())
+
+    def op_count(self) -> int:
+        return sum(1 for n in self.walk() if isinstance(n, (SOp, SSwizzle)))
+
+
+@dataclass(frozen=True)
+class SInput(SNode):
+    """A specification input vector."""
+
+    name: str
+    lanes: int
+    elem_width: int
+
+    @property
+    def bits(self) -> int:
+        return self.lanes * self.elem_width
+
+    def describe(self) -> str:
+        return f"%{self.name}"
+
+
+@dataclass(frozen=True)
+class SConstant(SNode):
+    """A constant splat vector (drawn from the specification's literals)."""
+
+    value: int
+    lanes: int
+    elem_width: int
+
+    @property
+    def bits(self) -> int:
+        return self.lanes * self.elem_width
+
+    def describe(self) -> str:
+        return f"splat({self.value}, <{self.lanes} x i{self.elem_width}>)"
+
+
+@dataclass(frozen=True)
+class SOp(SNode):
+    """Application of one target instruction (via its AutoLLVM binding).
+
+    ``imm_values`` fixes any immediate operands; ``scaled_values`` holds
+    the member's parameter vector at the current scale factor (equal to
+    the member's own values when unscaled).
+    """
+
+    op: AutoLLVMOp
+    binding: TargetBinding
+    args: tuple[SNode, ...]
+    imm_values: tuple[int, ...] = ()
+    scaled_values: tuple[int, ...] | None = None
+    out_bits: int = 0
+
+    def children(self) -> tuple[SNode, ...]:
+        return self.args
+
+    @property
+    def bits(self) -> int:
+        return self.out_bits
+
+    def values(self) -> tuple[int, ...]:
+        if self.scaled_values is not None:
+            return self.scaled_values
+        return self.binding.member.values()
+
+    def describe(self) -> str:
+        args = ", ".join(
+            a.describe() if hasattr(a, "describe") else "?" for a in self.args
+        )
+        imms = "".join(f", imm={v}" for v in self.imm_values)
+        return f"{self.binding.spec.name}({args}{imms})"
+
+
+@dataclass(frozen=True)
+class SSlice(SNode):
+    """Half-register view: the low or high half of a value."""
+
+    src: SNode
+    high: bool
+
+    def children(self) -> tuple[SNode, ...]:
+        return (self.src,)
+
+    @property
+    def bits(self) -> int:
+        return self.src.bits // 2
+
+    def describe(self) -> str:
+        half = "hi" if self.high else "lo"
+        return f"{half}({self.src.describe()})"
+
+
+@dataclass(frozen=True)
+class SConcat(SNode):
+    """Concatenation of two equal-width values (``high:low``)."""
+
+    high_part: SNode
+    low_part: SNode
+
+    def children(self) -> tuple[SNode, ...]:
+        return (self.high_part, self.low_part)
+
+    @property
+    def bits(self) -> int:
+        return self.high_part.bits + self.low_part.bits
+
+    def describe(self) -> str:
+        return f"concat({self.high_part.describe()}, {self.low_part.describe()})"
+
+
+@dataclass(frozen=True)
+class SSwizzle(SNode):
+    """One of the specialized swizzle patterns (Section 4.4)."""
+
+    pattern: str
+    args: tuple[SNode, ...]
+    elem_width: int
+    out_bits: int = 0
+    amount: int = 0  # rotate amount for rotate_right
+
+    def children(self) -> tuple[SNode, ...]:
+        return self.args
+
+    @property
+    def bits(self) -> int:
+        return self.out_bits
+
+    def describe(self) -> str:
+        args = ", ".join(a.describe() for a in self.args)
+        extra = f", {self.amount}" if self.pattern == "rotate_right" else ""
+        return f"{self.pattern}.i{self.elem_width}({args}{extra})"
+
+
+# ----------------------------------------------------------------------
+# Evaluation
+# ----------------------------------------------------------------------
+
+
+def apply_node(node: SNode, args: list[BitVector]) -> BitVector:
+    """Evaluate one node given its children's already-computed values.
+
+    The enumerator's hot path: pools memoise every candidate's outputs,
+    so a new candidate costs one node application instead of a full DAG
+    re-evaluation.
+    """
+    if isinstance(node, SInput):
+        raise ValueError("inputs have no arguments")
+    if isinstance(node, SConstant):
+        elem = BitVector(node.value, node.elem_width)
+        return vector_from_elems([elem] * node.lanes).bits
+    if isinstance(node, SSlice):
+        src = args[0]
+        half = src.width // 2
+        if node.high:
+            return src.extract(src.width - 1, half)
+        return src.extract(half - 1, 0)
+    if isinstance(node, SConcat):
+        return args[0].concat(args[1])
+    if isinstance(node, SSwizzle):
+        return _eval_swizzle(node, args)
+    assert isinstance(node, SOp)
+    values = dict(zip(node.binding.member.symbolic.param_names, node.values()))
+    func = node.binding.member.symbolic.to_function(values)
+    arg_env: dict[str, BitVector] = {}
+    arg_iter = iter(args)
+    imm_iter = iter(node.imm_values)
+    for inp in func.inputs:
+        if inp.is_immediate:
+            width = inp.width.evaluate(values)
+            arg_env[inp.name] = BitVector(next(imm_iter), width)
+        else:
+            arg_env[inp.name] = next(arg_iter)
+    return interpret_semantics(func, arg_env, values)
+
+
+def evaluate_program(node: SNode, env: Mapping[str, BitVector]) -> BitVector:
+    """Run a candidate on concrete input registers."""
+    cache: dict[int, BitVector] = {}
+
+    def run(n: SNode) -> BitVector:
+        cached = cache.get(id(n))
+        if cached is not None:
+            return cached
+        result = _eval(n)
+        cache[id(n)] = result
+        return result
+
+    def _eval(n: SNode) -> BitVector:
+        if isinstance(n, SInput):
+            return env[n.name]
+        if isinstance(n, SConstant):
+            elem = BitVector(n.value, n.elem_width)
+            return vector_from_elems([elem] * n.lanes).bits
+        if isinstance(n, SSlice):
+            src = run(n.src)
+            half = src.width // 2
+            if n.high:
+                return src.extract(src.width - 1, half)
+            return src.extract(half - 1, 0)
+        if isinstance(n, SConcat):
+            return run(n.high_part).concat(run(n.low_part))
+        if isinstance(n, SSwizzle):
+            return _eval_swizzle(n, [run(a) for a in n.args])
+        assert isinstance(n, SOp)
+        values = dict(zip(n.binding.member.symbolic.param_names, n.values()))
+        func = n.binding.member.symbolic.to_function(values)
+        arg_env: dict[str, BitVector] = {}
+        arg_iter = iter(n.args)
+        imm_iter = iter(n.imm_values)
+        for inp in func.inputs:
+            if inp.is_immediate:
+                width = inp.width.evaluate(values)
+                arg_env[inp.name] = BitVector(next(imm_iter), width)
+            else:
+                arg_env[inp.name] = run(next(arg_iter))
+        return interpret_semantics(func, arg_env, values)
+
+    return run(node)
+
+
+def _eval_swizzle(node: SSwizzle, args: list[BitVector]) -> BitVector:
+    vectors = [Vector(a, node.elem_width) for a in args]
+    out = swizzle_elements(node.pattern, vectors, node.amount)
+    return vector_from_elems(out).bits
+
+
+def swizzle_elements(pattern: str, vectors: list[Vector], amount: int = 0):
+    """Element-level semantics of the five swizzle patterns."""
+    if pattern == "interleave_full":
+        a, b = vectors
+        out = []
+        for i in range(a.num_elems):
+            out.append(a.elem(i))
+            out.append(b.elem(i))
+        return out
+    if pattern == "interleave_single":
+        (a,) = vectors
+        half = a.num_elems // 2
+        out = []
+        for i in range(half):
+            out.append(a.elem(i))
+            out.append(a.elem(half + i))
+        return out
+    if pattern == "deinterleave_single":
+        (a,) = vectors
+        half = a.num_elems // 2
+        return [a.elem(2 * i) for i in range(half)] + [
+            a.elem(2 * i + 1) for i in range(half)
+        ]
+    if pattern in ("interleave_lo", "interleave_hi"):
+        a, b = vectors
+        half = a.num_elems // 2
+        offset = half if pattern == "interleave_hi" else 0
+        out = []
+        for i in range(half):
+            out.append(a.elem(offset + i))
+            out.append(b.elem(offset + i))
+        return out
+    if pattern in ("concat_lo", "concat_hi"):
+        a, b = vectors
+        half = a.num_elems // 2
+        offset = half if pattern == "concat_hi" else 0
+        return [a.elem(offset + i) for i in range(half)] + [
+            b.elem(offset + i) for i in range(half)
+        ]
+    if pattern == "rotate_right":
+        (a,) = vectors
+        n = a.num_elems
+        return [a.elem((i + amount) % n) for i in range(n)]
+    raise ValueError(f"unknown swizzle pattern {pattern!r}")
+
+
+SWIZZLE_PATTERNS = (
+    "interleave_full",
+    "interleave_single",
+    "deinterleave_single",
+    "interleave_lo",
+    "interleave_hi",
+    "concat_lo",
+    "concat_hi",
+    "rotate_right",
+)
+
+# Arity and output size (relative to one input's lanes) per pattern.
+SWIZZLE_SHAPES = {
+    "interleave_full": (2, 2.0),
+    "interleave_single": (1, 1.0),
+    "deinterleave_single": (1, 1.0),
+    "interleave_lo": (2, 1.0),
+    "interleave_hi": (2, 1.0),
+    "concat_lo": (2, 1.0),
+    "concat_hi": (2, 1.0),
+    "rotate_right": (1, 1.0),
+}
+
+
+# ----------------------------------------------------------------------
+# Solver lowering (for CEGIS verification)
+# ----------------------------------------------------------------------
+
+
+def program_to_term(node: SNode) -> smt.Term:
+    """Lower a candidate to a symbolic term over its SInput variables."""
+    cache: dict[int, smt.Term] = {}
+
+    def run(n: SNode) -> smt.Term:
+        cached = cache.get(id(n))
+        if cached is not None:
+            return cached
+        result = _lower(n)
+        cache[id(n)] = result
+        return result
+
+    def _lower(n: SNode) -> smt.Term:
+        if isinstance(n, SInput):
+            return smt.var(n.name, n.bits)
+        if isinstance(n, SConstant):
+            elem = smt.const(n.value, n.elem_width)
+            result: smt.Term = elem
+            for _ in range(n.lanes - 1):
+                result = smt.apply_op("concat", [elem, result])
+            return result
+        if isinstance(n, SSlice):
+            src = run(n.src)
+            half = src.width // 2
+            if n.high:
+                return smt.apply_op("extract", [src], (src.width - 1, half))
+            return smt.apply_op("extract", [src], (half - 1, 0))
+        if isinstance(n, SConcat):
+            return smt.apply_op("concat", [run(n.high_part), run(n.low_part)])
+        if isinstance(n, SSwizzle):
+            return _swizzle_term(n, [run(a) for a in n.args])
+        assert isinstance(n, SOp)
+        values = dict(zip(n.binding.member.symbolic.param_names, n.values()))
+        func = n.binding.member.symbolic.to_function(values)
+        bindings: dict[str, smt.Term] = {}
+        arg_iter = iter(n.args)
+        imm_iter = iter(n.imm_values)
+        for inp in func.inputs:
+            if inp.is_immediate:
+                width = inp.width.evaluate(values)
+                bindings[inp.name] = smt.const(next(imm_iter), width)
+            else:
+                bindings[inp.name] = run(next(arg_iter))
+        base = semantics_to_term(func, values)
+        return substitute(base, bindings)
+
+    return run(node)
+
+
+def _swizzle_term(node: SSwizzle, args: list[smt.Term]) -> smt.Term:
+    width = node.elem_width
+
+    def elem(term: smt.Term, index: int) -> smt.Term:
+        return smt.apply_op(
+            "extract", [term], ((index + 1) * width - 1, index * width)
+        )
+
+    lanes = args[0].width // width
+    if node.pattern == "interleave_full":
+        order = [
+            (source, i) for i in range(lanes) for source in (0, 1)
+        ]
+    elif node.pattern == "interleave_single":
+        half = lanes // 2
+        order = [(0, i if s == 0 else half + i) for i in range(half) for s in (0, 1)]
+    elif node.pattern == "deinterleave_single":
+        half = lanes // 2
+        order = [(0, 2 * i) for i in range(half)] + [
+            (0, 2 * i + 1) for i in range(half)
+        ]
+    elif node.pattern in ("interleave_lo", "interleave_hi"):
+        half = lanes // 2
+        offset = half if node.pattern == "interleave_hi" else 0
+        order = [(s, offset + i) for i in range(half) for s in (0, 1)]
+    elif node.pattern in ("concat_lo", "concat_hi"):
+        half = lanes // 2
+        offset = half if node.pattern == "concat_hi" else 0
+        order = [(0, offset + i) for i in range(half)] + [
+            (1, offset + i) for i in range(half)
+        ]
+    elif node.pattern == "rotate_right":
+        order = [(0, (i + node.amount) % lanes) for i in range(lanes)]
+    else:
+        raise ValueError(node.pattern)
+
+    parts = [elem(args[source], index) for source, index in order]
+    result = parts[0]
+    for part in parts[1:]:
+        result = smt.apply_op("concat", [part, result])
+    return result

@@ -1,0 +1,11 @@
+"""The paper's 33 benchmarks: image processing, deep learning, and fused
+MLP-block kernels, written in the Halide DSL with per-target schedules.
+
+Benchmarks are hand-scheduled (the paper's were tuned by the authors for
+x86 and by Qualcomm/Adobe for HVX/ARM); the vectorisation factor adapts
+to each target's register width, everything else is shared.
+"""
+
+from repro.workloads.registry import ALL_BENCHMARKS, Benchmark, benchmark_named
+
+__all__ = ["ALL_BENCHMARKS", "Benchmark", "benchmark_named"]

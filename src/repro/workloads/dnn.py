@@ -1,0 +1,202 @@
+"""Deep-learning benchmarks: quantized-integer kernels.
+
+Matrix multiplications use small batch sizes (1/2/4) — "low arithmetic
+density and commonly found in large language models" — with the K axis
+vectorised as a windowed reduction, the schedule that exposes the
+dot-product shape of the paper's Table 3.
+"""
+
+from __future__ import annotations
+
+from repro.halide.dsl import (
+    Buffer,
+    Func,
+    Param,
+    RDom,
+    Var,
+    cast,
+    maximum,
+    rounding_avg_u,
+    sat_cast,
+    saturating_add,
+    saturating_sub,
+    summation,
+)
+from repro.workloads.registry import Benchmark
+
+x, y = Var("x"), Var("y")
+
+# Matrix / tensor shapes.
+M, K, N = 512, 512, 512
+POOL_W, POOL_H = 1024, 1024
+
+
+def matmul_stage(batch: int, name: str = "matmul"):
+    """C[x, b] += sum_k A[b, k] * Bp[x, k] with packed weights.
+
+    ``Bp`` is the K-fastest packed weight layout every production GEMM
+    uses; the window becomes ``acc + reduce-add(widening-mul)``.
+    """
+
+    def build(lanes: int):
+        a = Buffer("A", 16)
+        bp = Buffer("Bp", 16)
+        acc = Buffer("Cin", 32)
+        f = Func(name)
+        r = RDom((0, 2))
+        f[x, y] = acc[y, x] + summation(
+            r, cast(32, a[y, r.x]) * cast(32, bp[x * 2 + r.x])
+        )
+        f.vectorize(x, lanes).vectorize_reduction(r.x)
+        return f, {"x": N, "y": batch}
+
+    return build
+
+
+def _fully_connected(lanes: int):
+    a = Buffer("A", 16)
+    w = Buffer("W", 16)
+    bias = Buffer("bias", 32)
+    f = Func("fully_connected")
+    r = RDom((0, 2))
+    f[x, y] = bias[x] + summation(r, cast(32, a[y, r.x]) * cast(32, w[x * 2 + r.x]))
+    f.vectorize(x, lanes).vectorize_reduction(r.x)
+    return f, {"x": N, "y": 1}
+
+
+def _conv_nn(lanes: int):
+    """Quantized channel-reduction convolution: u8 activations times s8
+    weights reduced four at a time — the shape of VNNI ``dpbusd``, HVX
+    ``vrmpy`` and ARM ``sdot``."""
+    src = Buffer("in", 8, signed=False)
+    weights = Buffer("w", 8)
+    bias = Buffer("bias", 32)
+    f = Func("conv_nn")
+    r = RDom((0, 4))
+    accum = bias[x] + summation(
+        r,
+        cast(32, src[y, x * 4 + r.x], signed=False) * cast(32, weights[x * 4 + r.x]),
+    )
+    f[x, y] = sat_cast(16, accum >> 8)
+    f.vectorize(x, lanes).vectorize_reduction(r.x)
+    return f, {"x": N, "y": M}
+
+
+def _conv3x3a16(lanes: int):
+    """3x3 convolution accumulating at 16 bits.
+
+    The horizontal taps form a *sliding* 3-tap weighted sum — the shape
+    production Halide's HVX backend maps to its 3-tap ``vtmpy`` via
+    multi-block pattern analysis, which synthesis cannot reach (the
+    paper's conv3x3a16 slowdown on HVX).
+    """
+    src = Buffer("in", 8, signed=False)
+    f = Func("conv3x3a16")
+    weights = [[1, 2, 1], [2, 4, 2], [1, 2, 1]]
+    total = None
+    for dy in (-1, 0, 1):
+        for dx in (-1, 0, 1):
+            term = cast(16, src[y + dy, x + dx], signed=False) * weights[dy + 1][dx + 1]
+            total = term if total is None else total + term
+    f[x, y] = sat_cast(8, total >> 4, signed=False)
+    f.vectorize(x, lanes).parallel(y)
+    return f, {"x": POOL_W, "y": POOL_H}
+
+
+def _depthwise_conv(lanes: int):
+    src = Buffer("in", 16)
+    f = Func("depthwise_conv")
+    weights = [[1, 3, 1], [3, 9, 3], [1, 3, 1]]
+    total = None
+    for dy in (-1, 0, 1):
+        for dx in (-1, 0, 1):
+            term = cast(32, src[y + dy, x + dx]) * weights[dy + 1][dx + 1]
+            total = term if total is None else total + term
+    f[x, y] = sat_cast(16, total >> 5)
+    f.vectorize(x, lanes).parallel(y)
+    return f, {"x": POOL_W, "y": POOL_H}
+
+
+def average_pool_stage(name: str = "average_pool"):
+    def build(lanes: int):
+        src = Buffer("in", 8, signed=False)
+        f = Func(name)
+        top = rounding_avg_u(src[y * 2, x * 2], src[y * 2, x * 2 + 1])
+        bottom = rounding_avg_u(src[y * 2 + 1, x * 2], src[y * 2 + 1, x * 2 + 1])
+        f[x, y] = rounding_avg_u(top, bottom)
+        f.vectorize(x, lanes).parallel(y)
+        return f, {"x": POOL_W // 2, "y": POOL_H // 2}
+
+    return build
+
+
+def max_pool_stage(name: str = "max_pool"):
+    def build(lanes: int):
+        src = Buffer("in", 8, signed=False)
+        f = Func(name)
+        top = maximum(src[y * 2, x * 2], src[y * 2, x * 2 + 1])
+        bottom = maximum(src[y * 2 + 1, x * 2], src[y * 2 + 1, x * 2 + 1])
+        f[x, y] = maximum(top, bottom)
+        f.vectorize(x, lanes).parallel(y)
+        return f, {"x": POOL_W // 2, "y": POOL_H // 2}
+
+    return build
+
+
+def _add(lanes: int):
+    """Quantized residual add: rescale both operands, saturate back to u8.
+
+    The widening/narrowing traffic makes this kernel swizzle-bound — the
+    case where the paper reports small Hydride losses on x86 because the
+    LLVM backend lowers its interleaves to higher-latency permutes.
+    """
+    a = Buffer("a", 8, signed=False)
+    b = Buffer("b", 8, signed=False)
+    f = Func("add")
+    wide = cast(16, a[y, x], signed=False) * 3 + cast(16, b[y, x], signed=False) * 5
+    f[x, y] = sat_cast(8, wide >> 3, signed=False)
+    f.vectorize(x, lanes).parallel(y)
+    return f, {"x": POOL_W, "y": POOL_H}
+
+
+def _mul(lanes: int):
+    a = Buffer("a", 8, signed=False)
+    b = Buffer("b", 8, signed=False)
+    f = Func("mul")
+    wide = cast(16, a[y, x], signed=False) * cast(16, b[y, x], signed=False)
+    f[x, y] = sat_cast(8, wide >> 7, signed=False)
+    f.vectorize(x, lanes).parallel(y)
+    return f, {"x": POOL_W, "y": POOL_H}
+
+
+def _softmax(lanes: int):
+    """Integer softmax core: subtract the row max, scale by the
+    reciprocal sum (both precomputed scalars), saturate to u8."""
+    src = Buffer("in", 8, signed=False)
+    row_max = Param("row_max", 8, signed=False)
+    inv_sum = Param("inv_sum", 16, signed=False)
+    f = Func("softmax")
+    shifted = saturating_sub(src[y, x], row_max)
+    scaled = cast(16, shifted, signed=False) * inv_sum
+    f[x, y] = sat_cast(8, scaled >> 8, signed=False)
+    f.vectorize(x, lanes).parallel(y)
+    return f, {"x": POOL_W, "y": POOL_H}
+
+
+BENCHMARKS = [
+    Benchmark("conv_nn", "dnn", [_conv_nn], 16),
+    Benchmark(
+        "conv3x3a16", "dnn", [_conv3x3a16], 8,
+        attributes={"sliding_taps": 3},
+    ),
+    Benchmark("depthwise_conv", "dnn", [_depthwise_conv], 16),
+    Benchmark("average_pool", "dnn", [average_pool_stage()], 8),
+    Benchmark("max_pool", "dnn", [max_pool_stage()], 8),
+    Benchmark("fully_connected", "dnn", [_fully_connected], 16),
+    Benchmark("add", "dnn", [_add], 8),
+    Benchmark("mul", "dnn", [_mul], 8),
+    Benchmark("softmax", "dnn", [_softmax], 8),
+    Benchmark("matmul_b1", "dnn", [matmul_stage(1)], 16),
+    Benchmark("matmul_b2", "dnn", [matmul_stage(2)], 16),
+    Benchmark("matmul_b4", "dnn", [matmul_stage(4)], 16),
+]

@@ -1,0 +1,111 @@
+"""Fused kernels: pooling+add and the MLP-block matmul chains.
+
+"We also evaluate some fused versions of deep learning kernels ...
+(average/max pool + add), and in MLP blocks, in particular
+(matmul + bias + activation + matmul)."
+"""
+
+from __future__ import annotations
+
+from repro.halide.dsl import (
+    Buffer,
+    Func,
+    RDom,
+    Var,
+    cast,
+    maximum,
+    minimum,
+    rounding_avg_u,
+    saturating_add,
+    summation,
+)
+from repro.workloads.dnn import matmul_stage, N
+from repro.workloads.registry import Benchmark
+
+x, y = Var("x"), Var("y")
+
+POOL_W, POOL_H = 1024, 1024
+
+
+def _pool_add(kind: str):
+    def build(lanes: int):
+        src = Buffer("in", 8, signed=False)
+        residual = Buffer("res", 8, signed=False)
+        f = Func(f"{kind}_pool_add")
+        if kind == "average":
+            top = rounding_avg_u(src[y * 2, x * 2], src[y * 2, x * 2 + 1])
+            bottom = rounding_avg_u(src[y * 2 + 1, x * 2], src[y * 2 + 1, x * 2 + 1])
+            pooled = rounding_avg_u(top, bottom)
+        else:
+            top = maximum(src[y * 2, x * 2], src[y * 2, x * 2 + 1])
+            bottom = maximum(src[y * 2 + 1, x * 2], src[y * 2 + 1, x * 2 + 1])
+            pooled = maximum(top, bottom)
+        f[x, y] = saturating_add(pooled, residual[y, x])
+        f.vectorize(x, lanes).parallel(y)
+        return f, {"x": POOL_W // 2, "y": POOL_H // 2}
+
+    return build
+
+
+def _matmul_epilogue(name: str, activation: str | None, extra_add: bool):
+    """matmul + bias [+ activation] [+ residual add] as one fused stage."""
+
+    def build(lanes: int):
+        a = Buffer("A", 16)
+        bp = Buffer("Bp", 16)
+        bias = Buffer("bias", 32)
+        residual = Buffer("res", 32)
+        f = Func(name)
+        r = RDom((0, 2))
+        accum = bias[x] + summation(
+            r, cast(32, a[y, r.x]) * cast(32, bp[x * 2 + r.x])
+        )
+        if activation == "relu":
+            accum = maximum(accum, 0)
+        elif activation == "gelu":
+            # Integer GELU approximation: x * clamp(x/2 + 1<<7, 0, 1<<8) >> 8
+            # (a piecewise-linear sigmoid surrogate used by quantized MLPs).
+            gate = minimum(maximum((accum >> 1) + 128, 0), 256)
+            accum = (accum * gate) >> 8
+        if extra_add:
+            accum = accum + residual[y, x]
+        f[x, y] = accum
+        f.vectorize(x, lanes).vectorize_reduction(r.x)
+        return f, {"x": N, "y": 1}
+
+    return build
+
+
+def _mlp_block(name: str, activation: str):
+    """matmul + bias + activation, then a second matmul stage."""
+    first = _matmul_epilogue(f"{name}_stage1", activation, extra_add=False)
+    second = matmul_stage(1, f"{name}_stage2")
+    return [first, second]
+
+
+BENCHMARKS = [
+    Benchmark("average_pool_add", "fused", [_pool_add("average")], 8),
+    Benchmark("max_pool_add", "fused", [_pool_add("max")], 8),
+    Benchmark(
+        "matmul_bias", "fused",
+        [_matmul_epilogue("matmul_bias", None, False)], 16,
+    ),
+    Benchmark(
+        "matmul_bias_relu", "fused",
+        [_matmul_epilogue("matmul_bias_relu", "relu", False)], 16,
+    ),
+    Benchmark(
+        "matmul_bias_gelu", "fused",
+        [_matmul_epilogue("matmul_bias_gelu", "gelu", False)], 16,
+    ),
+    Benchmark(
+        "matmul_bias_add", "fused",
+        [_matmul_epilogue("matmul_bias_add", None, True)], 16,
+    ),
+    Benchmark(
+        "matmul_bias_relu_matmul", "fused", _mlp_block("mlp_relu", "relu"), 16,
+    ),
+    Benchmark(
+        "matmul_bias_gelu_matmul", "fused", _mlp_block("mlp_gelu", "gelu"), 16,
+    ),
+]

@@ -1,0 +1,221 @@
+"""Image-processing benchmarks (the Hexagon benchmark suite family).
+
+Dimensions are HD-ish; all arithmetic is integer with power-of-two or
+fixed-point scaling, as the real kernels are written.
+"""
+
+from __future__ import annotations
+
+from repro.halide.dsl import (
+    Buffer,
+    Func,
+    RDom,
+    Var,
+    absolute,
+    cast,
+    maximum,
+    minimum,
+    sat_cast,
+    saturating_add,
+    summation,
+)
+from repro.workloads.registry import Benchmark
+
+WIDTH, HEIGHT = 1536, 2560
+
+x, y = Var("x"), Var("y")
+
+
+def _extents() -> dict[str, int]:
+    return {"x": WIDTH, "y": HEIGHT}
+
+
+# ----------------------------------------------------------------------
+# Sobel
+# ----------------------------------------------------------------------
+
+
+def _sobel(taps: int):
+    def build(lanes: int):
+        src = Buffer("in", 16)
+        f = Func(f"sobel{taps}x{taps}")
+        reach = taps // 2
+        # Horizontal gradient: smoothed difference of the two edge columns.
+        gx = None
+        gy = None
+        for dy in range(-reach, reach + 1):
+            weight = reach + 1 - abs(dy)
+            term = (src[y + dy, x + reach] - src[y + dy, x - reach]) * 0
+            term = src[y + dy, x + reach] - src[y + dy, x - reach]
+            for _ in range(weight - 1):
+                term = term + (src[y + dy, x + reach] - src[y + dy, x - reach])
+            gx = term if gx is None else gx + term
+        for dx in range(-reach, reach + 1):
+            weight = reach + 1 - abs(dx)
+            term = src[y + reach, x + dx] - src[y - reach, x + dx]
+            for _ in range(weight - 1):
+                term = term + (src[y + reach, x + dx] - src[y - reach, x + dx])
+            gy = term if gy is None else gy + term
+        f[x, y] = saturating_add(absolute(gx), absolute(gy))
+        f.vectorize(x, lanes).parallel(y)
+        return f, _extents()
+
+    return build
+
+
+# ----------------------------------------------------------------------
+# Dilate (grayscale morphological max)
+# ----------------------------------------------------------------------
+
+
+def _dilate(taps: int):
+    def build(lanes: int):
+        src = Buffer("in", 8, signed=False)
+        f = Func(f"dilate{taps}x{taps}")
+        reach = taps // 2
+        acc = None
+        for dy in range(-reach, reach + 1):
+            row = src[y + dy, x - reach]
+            for dx in range(-reach + 1, reach + 1):
+                row = maximum(row, src[y + dy, x + dx])
+            acc = row if acc is None else maximum(acc, row)
+        f[x, y] = acc
+        f.vectorize(x, lanes).parallel(y)
+        return f, _extents()
+
+    return build
+
+
+# ----------------------------------------------------------------------
+# Box blur (fixed-point division by the window area)
+# ----------------------------------------------------------------------
+
+
+def _box_blur(taps: int):
+    scale = (1 << 16) // (taps * taps)
+
+    def build(lanes: int):
+        src = Buffer("in", 8, signed=False)
+        f = Func(f"box_blur{taps}x{taps}")
+        reach = taps // 2
+        total = None
+        for dy in range(-reach, reach + 1):
+            for dx in range(-reach, reach + 1):
+                term = cast(32, src[y + dy, x + dx], signed=False)
+                total = term if total is None else total + term
+        blurred = (total * scale) >> 16
+        f[x, y] = sat_cast(8, blurred, signed=False)
+        f.vectorize(x, lanes).parallel(y)
+        return f, _extents()
+
+    return build
+
+
+# ----------------------------------------------------------------------
+# Median 3x3 (min/max sorting network on the partial median-of-9)
+# ----------------------------------------------------------------------
+
+
+def _median3x3(lanes: int):
+    src = Buffer("in", 8, signed=False)
+    f = Func("median3x3")
+
+    def mn(a, b):
+        return minimum(a, b)
+
+    def mx(a, b):
+        return maximum(a, b)
+
+    p = [src[y + dy, x + dx] for dy in (-1, 0, 1) for dx in (-1, 0, 1)]
+    # Column-wise sort, then the classic median-of-9 network.
+    lo0, mid0, hi0 = mn(p[0], p[1]), mx(mn(p[0], p[1]), p[2]), mx(p[0], p[1])
+    lo1, mid1, hi1 = mn(p[3], p[4]), mx(mn(p[3], p[4]), p[5]), mx(p[3], p[4])
+    lo2, mid2, hi2 = mn(p[6], p[7]), mx(mn(p[6], p[7]), p[8]), mx(p[6], p[7])
+    maxlo = mx(mx(lo0, lo1), lo2)
+    medmid = mx(mn(mid0, mid1), mn(mx(mid0, mid1), mid2))
+    minhi = mn(mn(hi0, hi1), hi2)
+    f[x, y] = mx(mn(mx(maxlo, medmid), minhi), mn(maxlo, medmid))
+    f.vectorize(x, lanes).parallel(y)
+    return f, _extents()
+
+
+# ----------------------------------------------------------------------
+# Gaussian blurs
+# ----------------------------------------------------------------------
+
+
+def _gaussian(taps: int, weights: list[int], shift: int):
+    def build(lanes: int):
+        src = Buffer("in", 8, signed=False)
+        f = Func(f"gaussian{taps}x{taps}")
+        reach = taps // 2
+        total = None
+        for dy in range(-reach, reach + 1):
+            for dx in range(-reach, reach + 1):
+                weight = weights[dy + reach] * weights[dx + reach]
+                term = cast(32, src[y + dy, x + dx], signed=False) * weight
+                total = term if total is None else total + term
+        f[x, y] = sat_cast(8, total >> shift, signed=False)
+        f.vectorize(x, lanes).parallel(y)
+        return f, _extents()
+
+    return build
+
+
+def _gaussian7x7_wide(lanes: int):
+    """7x7 separable Gaussian, horizontal pass, written tap-by-tap.
+
+    This is the wide-window weighted-sum shape: production Halide's HVX
+    backend pattern-matches four taps at a time into ``vrmpy`` across
+    basic blocks, a window too large for Hydride's synthesis — the
+    paper's one large HVX regression (0.54x).
+    """
+    src = Buffer("in", 8, signed=False)
+    f = Func("gaussian7x7")
+    weights = [1, 6, 15, 20, 15, 6, 1]
+    total = None
+    for dx in range(-3, 4):
+        term = cast(32, src[y, x + dx], signed=False) * weights[dx + 3]
+        total = term if total is None else total + term
+    f[x, y] = sat_cast(8, total >> 6, signed=False)
+    f.vectorize(x, lanes).parallel(y)
+    return f, _extents()
+
+
+# ----------------------------------------------------------------------
+# L2 norm (sum of squares over rows — dot-product shaped)
+# ----------------------------------------------------------------------
+
+
+def _l2norm(lanes: int):
+    src = Buffer("in", 16)
+    f = Func("l2norm")
+    r = RDom((0, 2))
+    f[x, y] = summation(
+        r, cast(32, src[y, x * 2 + r.x]) * cast(32, src[y, x * 2 + r.x])
+    )
+    f.vectorize(x, lanes).vectorize_reduction(r.x)
+    return f, {"x": WIDTH // 2, "y": HEIGHT}
+
+
+BENCHMARKS = [
+    Benchmark("sobel3x3", "image", [_sobel(3)], 16),
+    Benchmark("sobel5x5", "image", [_sobel(5)], 16),
+    Benchmark("dilate3x3", "image", [_dilate(3)], 8),
+    Benchmark("dilate5x5", "image", [_dilate(5)], 8),
+    Benchmark("dilate7x7", "image", [_dilate(7)], 8),
+    Benchmark("box_blur3x3", "image", [_box_blur(3)], 8),
+    Benchmark("box_blur5x5", "image", [_box_blur(5)], 8),
+    Benchmark("blur7x7", "image", [_box_blur(7)], 8),
+    Benchmark("median3x3", "image", [_median3x3], 8),
+    Benchmark("gaussian3x3", "image", [_gaussian(3, [1, 2, 1], 4)], 8),
+    Benchmark("gaussian5x5", "image", [_gaussian(5, [1, 4, 6, 4, 1], 8)], 8),
+    Benchmark(
+        "gaussian7x7",
+        "image",
+        [_gaussian7x7_wide],
+        8,
+        attributes={"wide_window_taps": 7},
+    ),
+    Benchmark("l2norm", "image", [_l2norm], 16),
+]

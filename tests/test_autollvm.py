@@ -1,0 +1,147 @@
+"""Tests for AutoLLVM IR: mini-LLVM, intrinsic generation, lowering."""
+
+import pytest
+
+from repro.autollvm import (
+    InstructionSelector,
+    IntType,
+    Module,
+    SelectionError,
+    VectorType,
+    build_dictionary,
+)
+from repro.autollvm.llvmir import (
+    Function,
+    ImmOperand,
+    Instruction,
+    Value,
+    VerificationError,
+    type_for_bits,
+    verify_function,
+)
+from repro.autollvm.tablegen import emit_tablegen
+
+
+@pytest.fixture(scope="module")
+def dictionary():
+    return build_dictionary(("x86", "hvx", "arm"))
+
+
+class TestLlvmIr:
+    def test_types_render(self):
+        assert str(IntType(32)) == "i32"
+        assert str(VectorType(16, 16)) == "<16 x i16>"
+        assert VectorType(16, 16).bits == 256
+
+    def test_type_for_bits(self):
+        assert type_for_bits(256, 16) == VectorType(16, 16)
+        assert type_for_bits(32, 0) == IntType(32)
+
+    def test_function_render(self):
+        arg = Value("a", VectorType(4, 32))
+        f = Function("demo", [arg])
+        out = Value("r", VectorType(4, 32))
+        f.add(Instruction(out, "autollvm.test", [arg, ImmOperand(3)]))
+        f.ret = out
+        text = f.render()
+        assert "define <4 x i32> @demo" in text
+        assert "call <4 x i32> @autollvm.test(<4 x i32> %a, i32 3)" in text
+        assert "ret <4 x i32> %r" in text
+
+    def test_verifier_catches_undefined_use(self):
+        f = Function("bad", [])
+        ghost = Value("ghost", IntType(32))
+        out = Value("r", IntType(32))
+        f.add(Instruction(out, "op", [ghost]))
+        with pytest.raises(VerificationError):
+            verify_function(f)
+
+    def test_verifier_catches_redefinition(self):
+        arg = Value("a", IntType(32))
+        f = Function("bad", [arg])
+        f.add(Instruction(Value("a", IntType(32)), "op", []))
+        with pytest.raises(VerificationError):
+            verify_function(f)
+
+    def test_module_render(self):
+        m = Module("demo")
+        m.declare_intrinsic("<W x iN> @autollvm.x(<W x iN>)")
+        assert "declare" in m.render()
+
+
+class TestDictionary:
+    def test_every_instruction_reachable(self, dictionary):
+        """Every catalog instruction maps to exactly one AutoLLVM op."""
+        from repro.isa.registry import load_isa
+
+        for isa in ("x86", "hvx", "arm"):
+            for spec in load_isa(isa).catalog:
+                assert spec.name in dictionary.by_target_instruction
+
+    def test_compression(self, dictionary):
+        total_instructions = len(dictionary.by_target_instruction)
+        assert len(dictionary.ops) < total_instructions / 3
+
+    def test_cross_isa_op_exists(self, dictionary):
+        add_op = dictionary.by_target_instruction["_mm_add_epi16"]
+        assert {"x86", "hvx", "arm"} <= add_op.isas()
+
+    def test_free_parameters_select_members(self, dictionary):
+        op = dictionary.by_target_instruction["_mm_add_epi16"]
+        free = op.free_positions
+        values = {b.free_values(free) for b in op.bindings}
+        assert len(values) >= len(op.bindings) // 2  # parameters discriminate
+
+    def test_fixed_params_consistent(self, dictionary):
+        for op in dictionary.ops[:50]:
+            rep = op.eq_class.representative
+            for position, value in op.eq_class.fixed_params.items():
+                for member in op.eq_class.members:
+                    assert member.values()[position] == value
+            del rep
+
+
+class TestSelector:
+    def test_roundtrip_lowering(self, dictionary):
+        selector = InstructionSelector(dictionary, "x86")
+        op = dictionary.by_target_instruction["_mm256_adds_epi16"]
+        binding = next(
+            b for b in op.bindings if b.spec.name == "_mm256_adds_epi16"
+        )
+        imms = binding.free_values(op.free_positions)
+        operands = [
+            Value("a", VectorType(16, 16)),
+            Value("b", VectorType(16, 16)),
+        ] + [ImmOperand(v) for v in imms]
+        call = Instruction(Value("r", VectorType(16, 16)), op.name, operands)
+        lowered = selector.lower_call(call)
+        assert "mm256_adds_epi16" in lowered.callee
+
+    def test_selection_error_for_unknown_parameters(self, dictionary):
+        selector = InstructionSelector(dictionary, "x86")
+        op = dictionary.by_target_instruction["_mm_add_epi16"]
+        with pytest.raises(SelectionError):
+            selector.select(op, (999, 999, 999, 999, 999, 999), [])
+
+    def test_rule_counts_cover_isa(self, dictionary):
+        from repro.isa.registry import load_isa
+
+        for isa in ("x86", "arm"):
+            selector = InstructionSelector(dictionary, isa)
+            # Nearly 1-1 (semantically identical duplicates may share a rule).
+            assert selector.rule_count() >= len(load_isa(isa).catalog) * 0.9
+
+    def test_wrong_isa_rejected(self, dictionary):
+        with pytest.raises(ValueError):
+            InstructionSelector(dictionary, "riscv")
+
+
+class TestTablegen:
+    def test_emits_def_per_op(self, dictionary):
+        text = emit_tablegen(dictionary)
+        assert text.count("AutoLLVMIntrinsic<") == len(dictionary.ops)
+
+    def test_lowering_records_present(self, dictionary):
+        text = emit_tablegen(dictionary)
+        assert 'Lowering<"x86", "_mm_add_epi16"' in text
+        assert 'Lowering<"hvx"' in text

@@ -1,0 +1,51 @@
+"""Smoke tests ensuring the example scripts import and their helpers work.
+
+Full example runs are exercised manually (they print extensively); here
+we verify each example's building blocks execute, which catches import
+rot and API drift.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["quickstart", "matmul_codegen", "extend_isa", "image_pipeline", "sensitivity_study"],
+)
+def test_example_imports(name):
+    module = _load(name)
+    assert hasattr(module, "main")
+
+
+def test_extend_isa_specs_parse():
+    module = _load("extend_isa")
+    from repro.hydride_ir.transforms import canonicalize
+    from repro.isa.x86.parser import x86_semantics
+
+    for spec in module.NEW_SPECS:
+        semantics = canonicalize(x86_semantics(spec))
+        assert semantics.body is not None
+
+
+def test_image_pipeline_stages_lower():
+    module = _load("image_pipeline")
+    from repro.halide.lowering import lower_func
+
+    kernel = lower_func(module.gaussian_stage(32), {"x": 256, "y": 64})
+    assert kernel.window.type.lanes == 32
+    kernel = lower_func(module.sobel_stage(16), {"x": 256, "y": 64})
+    assert len(kernel.loads) >= 6

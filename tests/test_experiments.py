@@ -1,0 +1,121 @@
+"""Integration tests for the experiment harnesses (small configurations).
+
+The full table/figure regeneration lives under ``benchmarks/``; these
+tests exercise each harness end-to-end on reduced inputs and assert the
+paper's qualitative shapes.
+"""
+
+import pytest
+
+from repro.experiments import table1, table2
+from repro.experiments.runner import ExperimentRunner, format_table
+from repro.synthesis import CegisOptions
+from repro.workloads.registry import benchmark_named
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(CegisOptions(timeout_seconds=8.0, scale_factor=8))
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table1.run()
+
+    def test_seven_rows(self, result):
+        assert len(result.rows) == 7
+
+    def test_each_isa_compresses(self, result):
+        for row in result.rows:
+            assert row.autollvm_size < row.isa_size / 2
+
+    def test_combination_subadditive(self, result):
+        combined = result.row(("x86", "hvx", "arm")).autollvm_size
+        total = sum(result.row((isa,)).autollvm_size for isa in ("x86", "hvx", "arm"))
+        assert combined < total
+
+    def test_hvx_least_compressible(self, result):
+        """HVX is 'a much smaller, and more specialized, instruction set';
+        its ratio is the largest, as in the paper's Table 1."""
+        ratios = {
+            isa: result.row((isa,)).percent for isa in ("x86", "hvx", "arm")
+        }
+        assert ratios["hvx"] > ratios["arm"] > ratios["x86"]
+
+    def test_render(self, result):
+        text = table1.render(result)
+        assert "x86 + hvx + arm" in text
+        assert "paper" in text
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table2.run(trials=32)
+
+    def test_buggy_interpreter_diverges(self, result):
+        assert result.buggy_families()
+
+    def test_only_shift_families_diverge(self, result):
+        for family in result.buggy_families():
+            assert family.startswith("shift"), family
+
+    def test_fixed_interpreter_clean(self, result):
+        assert result.fixed_families() == set()
+
+    def test_five_known_bugs_documented(self, result):
+        assert len(result.known_bugs) == 5
+
+
+class TestFigure6Shapes:
+    """Key qualitative shapes on a reduced benchmark set."""
+
+    def test_hydride_wins_dot_products_on_hvx(self, runner):
+        b = benchmark_named("l2norm")
+        hydride = runner.run_one(b, "hvx", "hydride")
+        llvm = runner.run_one(b, "hvx", "llvm")
+        assert hydride.ok and llvm.ok
+        assert hydride.runtime_us < llvm.runtime_us
+
+    def test_llvm_loses_on_hvx_saturation(self, runner):
+        b = benchmark_named("average_pool")
+        halide = runner.run_one(b, "hvx", "halide")
+        llvm = runner.run_one(b, "hvx", "llvm")
+        assert llvm.runtime_us > 1.3 * halide.runtime_us
+
+    def test_gaussian7x7_native_wins_on_hvx(self, runner):
+        """The paper's one big HVX regression: the wide vrmpy window."""
+        b = benchmark_named("gaussian7x7")
+        halide = runner.run_one(b, "hvx", "halide")
+        hydride = runner.run_one(b, "hvx", "hydride")
+        assert hydride.runtime_us > 1.2 * halide.runtime_us
+
+    def test_parity_on_simple_kernels(self, runner):
+        b = benchmark_named("dilate3x3")
+        halide = runner.run_one(b, "x86", "halide")
+        hydride = runner.run_one(b, "x86", "hydride")
+        ratio = halide.runtime_us / hydride.runtime_us
+        assert 0.8 <= ratio <= 1.25
+
+    def test_rake_fails_widely(self, runner):
+        failures = 0
+        for name in ("conv_nn", "gaussian7x7", "median3x3"):
+            outcome = runner.run_one(benchmark_named(name), "hvx", "rake")
+            if not outcome.ok:
+                failures += 1
+        assert failures >= 2
+
+
+class TestRunnerInfra:
+    def test_format_table(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "333" in lines[3]
+
+    def test_suite_geomean(self, runner):
+        suite = runner.run_suite(
+            "x86", ("halide", "llvm"), [benchmark_named("dilate3x3")]
+        )
+        assert suite.geomean_speedup("llvm", "halide") == pytest.approx(1.0, rel=0.3)

@@ -1,0 +1,255 @@
+"""Tests for Hydride IR: AST, interpretation, lowering, transforms."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitvector import BitVector, bv
+from repro.hydride_ir import (
+    BvBinOp,
+    BvCast,
+    BvConcat,
+    BvConst,
+    BvExtract,
+    BvVar,
+    ForConcat,
+    Input,
+    SemanticsFunction,
+    iconst,
+    interpret,
+    iparam,
+    ivar,
+    pretty,
+    to_term,
+)
+from repro.hydride_ir.indexexpr import IBin, IConst, normalize_affine, simplify_index
+from repro.hydride_ir.interp import SemanticsError, compute_width
+from repro.hydride_ir.transforms import canonicalize, propagate_constants, reroll
+from repro.smt.eval import evaluate
+
+
+def _simd_add(count: int, elem: int) -> SemanticsFunction:
+    """Unrolled element-wise add, the raw parser-output shape."""
+    parts = []
+    for i in range(count):
+        low = iconst(i * elem)
+        parts.append(
+            BvBinOp(
+                "bvadd",
+                BvExtract(BvVar("a"), low, iconst(elem)),
+                BvExtract(BvVar("b"), low, iconst(elem)),
+            )
+        )
+    width = iconst(count * elem)
+    return SemanticsFunction(
+        "add", (Input("a", width), Input("b", width)), {}, BvConcat(tuple(parts))
+    )
+
+
+class TestIndexExpr:
+    def test_arithmetic_sugar(self):
+        e = iparam("p") * 3 + 5
+        assert e.evaluate({"p": 4}) == 17
+
+    def test_folding(self):
+        assert simplify_index(iconst(2) + iconst(3)) == IConst(5)
+        assert simplify_index(iparam("p") * 1) == iparam("p")
+        assert simplify_index(iparam("p") + 0) == iparam("p")
+
+    def test_unbound_param(self):
+        with pytest.raises(KeyError):
+            iparam("p").evaluate({})
+
+    def test_params_and_ivars_collected(self):
+        e = iparam("p") + ivar("i") * 2
+        assert e.params() == {"p"}
+        assert e.ivars() == {"i"}
+
+    def test_normalize_affine_orders_terms(self):
+        lane, k = ivar("lane"), ivar("k")
+        messy = (iconst(64) + lane * 128) + k * 16
+        tidy = normalize_affine(messy)
+        # var terms first (appearance order), constant last.
+        assert isinstance(tidy, IBin) and tidy.op == "+"
+        assert tidy.right == IConst(64)
+        assert tidy.evaluate({"lane": 2, "k": 3}) == messy.evaluate({"lane": 2, "k": 3})
+
+    def test_normalize_affine_drops_zero(self):
+        lane = ivar("lane")
+        assert normalize_affine(lane * 8 + 0) == IBin("*", lane, IConst(8))
+
+    def test_normalize_merges_coefficients(self):
+        i = ivar("i")
+        merged = normalize_affine(i * 3 + i * 5)
+        assert merged.evaluate({"i": 2}) == 16
+
+    @given(st.integers(-20, 20), st.integers(-20, 20), st.integers(0, 7))
+    def test_normalize_preserves_value(self, c1, c2, iv):
+        i = ivar("i")
+        expr = (i * c1 + 7) + (i * c2 - 3)
+        assert normalize_affine(expr).evaluate({"i": iv}) == expr.evaluate({"i": iv})
+
+
+class TestInterp:
+    def test_simd_add(self):
+        func = _simd_add(4, 8)
+        out = interpret(func, {"a": bv(0x04030201, 32), "b": bv(0x01010101, 32)})
+        assert out.value == 0x05040302
+
+    def test_forconcat_lane_order(self):
+        # dst[i] = i-th 8-bit slice of a: identity function.
+        body = ForConcat(
+            "i", iconst(4), BvExtract(BvVar("a"), ivar("i") * 8, iconst(8))
+        )
+        func = SemanticsFunction("id", (Input("a", iconst(32)),), {}, body)
+        assert interpret(func, {"a": bv(0xDEADBEEF, 32)}).value == 0xDEADBEEF
+
+    def test_missing_input(self):
+        with pytest.raises(SemanticsError):
+            interpret(_simd_add(2, 8), {"a": bv(0, 16)})
+
+    def test_width_mismatch(self):
+        with pytest.raises(SemanticsError):
+            interpret(_simd_add(2, 8), {"a": bv(0, 8), "b": bv(0, 16)})
+
+    def test_out_of_range_extract(self):
+        body = BvExtract(BvVar("a"), iconst(12), iconst(8))
+        func = SemanticsFunction("bad", (Input("a", iconst(16)),), {}, body)
+        with pytest.raises(SemanticsError):
+            interpret(func, {"a": bv(0, 16)})
+
+    def test_parameterized_semantics(self):
+        elem = iparam("ew")
+        body = ForConcat(
+            "i",
+            iparam("n"),
+            BvBinOp(
+                "bvadd",
+                BvExtract(BvVar("a"), ivar("i") * elem, elem),
+                BvExtract(BvVar("b"), ivar("i") * elem, elem),
+            ),
+        )
+        func = SemanticsFunction(
+            "padd",
+            (Input("a", iparam("n") * elem), Input("b", iparam("n") * elem)),
+            {"n": 2, "ew": 8},
+            body,
+        )
+        out = interpret(func, {"a": bv(0x0102, 16), "b": bv(0x0101, 16)})
+        assert out.value == 0x0203
+        # Same semantics at different parameters.
+        out32 = interpret(
+            func, {"a": bv(0x00010002, 32), "b": bv(0x00010001, 32)},
+            params={"n": 2, "ew": 16},
+        )
+        assert out32.value == 0x00020003
+
+    def test_to_term_matches_interpret(self):
+        func = canonicalize(_simd_add(4, 8))
+        term = to_term(func)
+        env = {"a": bv(0x11223344, 32), "b": bv(0x01020304, 32)}
+        assert evaluate(term, env).value == interpret(func, env).value
+
+    def test_to_term_rename(self):
+        func = canonicalize(_simd_add(2, 8))
+        term = to_term(func, rename={"a": "x0", "b": "x1"})
+        assert set(term.variables()) == {"x0", "x1"}
+
+    def test_compute_width(self):
+        func = _simd_add(4, 8)
+        assert compute_width(func.body, {}, {"a": 32, "b": 32}) == 32
+
+
+class TestReroll:
+    def test_simd_reroll(self):
+        func = _simd_add(8, 8)
+        rolled = reroll(func.body)
+        assert isinstance(rolled, ForConcat)
+        assert rolled.count == IConst(8)
+
+    def test_reroll_preserves_semantics(self):
+        func = _simd_add(8, 8)
+        rolled = func.with_body(reroll(func.body))
+        env = {"a": bv(0x0102030405060708, 64), "b": bv(0x1111111111111111, 64)}
+        assert interpret(rolled, env).value == interpret(func, env).value
+
+    def test_interleave_rerolls_with_grouping(self):
+        # Alternating a/b slices: needs pair-grouped anti-unification.
+        parts = []
+        for i in range(4):
+            parts.append(BvExtract(BvVar("a"), iconst(i * 8), iconst(8)))
+            parts.append(BvExtract(BvVar("b"), iconst(i * 8), iconst(8)))
+        rolled = reroll(BvConcat(tuple(parts)))
+        assert isinstance(rolled, ForConcat)
+        inner = rolled.body
+        assert isinstance(inner, BvConcat) and len(inner.parts) == 2
+
+    def test_non_affine_stays_unrolled(self):
+        offsets = [0, 8, 24]  # not an affine progression, prime length
+        parts = [
+            BvExtract(BvVar("a"), iconst(low), iconst(8)) for low in offsets
+        ]
+        rolled = reroll(BvConcat(tuple(parts)))
+        assert isinstance(rolled, BvConcat)
+
+    def test_single_part_collapses(self):
+        part = BvExtract(BvVar("a"), iconst(0), iconst(8))
+        assert reroll(BvConcat((part,))) == part
+
+
+class TestCanonicalize:
+    def test_two_level_nest(self):
+        func = canonicalize(_simd_add(8, 8))
+        body = func.body
+        assert isinstance(body, ForConcat)
+        assert isinstance(body.body, ForConcat)
+        assert body.body.count == IConst(1)
+
+    def test_scalar_gets_nested(self):
+        body = BvBinOp("bvadd", BvVar("a"), BvVar("b"))
+        func = SemanticsFunction(
+            "sadd", (Input("a", iconst(32)), Input("b", iconst(32))), {}, body
+        )
+        canonical = canonicalize(func)
+        assert isinstance(canonical.body, ForConcat)
+        assert isinstance(canonical.body.body, ForConcat)
+
+    def test_canonicalize_preserves_semantics(self):
+        func = _simd_add(4, 16)
+        canonical = canonicalize(func)
+        env = {"a": bv(0x123456789ABCDEF0, 64), "b": bv(0x1010101010101010, 64)}
+        assert interpret(canonical, env).value == interpret(func, env).value
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, (1 << 32) - 1), st.integers(0, (1 << 32) - 1))
+    def test_canonical_equals_unrolled(self, a, b):
+        func = _simd_add(4, 8)
+        canonical = canonicalize(func)
+        env = {"a": bv(a, 32), "b": bv(b, 32)}
+        assert interpret(canonical, env).value == interpret(func, env).value
+
+
+class TestConstProp:
+    def test_single_iteration_loop_removed(self):
+        inner = BvExtract(BvVar("a"), iconst(0), iconst(8))
+        body = ForConcat("i", iconst(1), inner)
+        assert propagate_constants(body) == inner
+
+    def test_cast_width_folded(self):
+        body = BvCast("sext", BvVar("a"), iconst(2) * iconst(8))
+        folded = propagate_constants(body)
+        assert folded.new_width == IConst(16)
+
+
+class TestPrinter:
+    def test_pretty_mentions_structure(self):
+        text = pretty(canonicalize(_simd_add(4, 8)))
+        assert "for-concat" in text
+        assert "bvadd" in text
+        assert "%a" in text
+
+    def test_pretty_shows_params(self):
+        func = SemanticsFunction(
+            "f", (Input("a", iparam("w")),), {"w": 32}, BvVar("a")
+        )
+        assert "w=32" in pretty(func)

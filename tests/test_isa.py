@@ -1,0 +1,291 @@
+"""Tests for the ISA substrate: dialect parsers, spec generators, fuzzing."""
+
+import random
+
+import pytest
+
+from repro.bitvector import BitVector, bv
+from repro.hydride_ir.interp import interpret, resolved_input_widths
+from repro.hydride_ir.transforms import canonicalize
+from repro.isa.fuzz import fuzz_catalog, fuzz_semantics
+from repro.isa.pseudo_core import Lexer, PseudocodeError, TokenStream
+from repro.isa.registry import load_isa
+from repro.isa.spec import InstructionSpec, OperandSpec, validate_catalog
+from repro.isa.arm.parser import parse_arm_pseudocode, arm_semantics
+from repro.isa.hvx.parser import parse_hvx_pseudocode, hvx_semantics
+from repro.isa.x86.parser import parse_x86_pseudocode, x86_semantics
+
+
+class TestLexer:
+    def test_tokenizes_symbols_longest_first(self):
+        lexer = Lexer([":=", ":", "<", "<="])
+        tokens = lexer.tokenize("a := b <= c")
+        assert [t.text for t in tokens[:5]] == ["a", ":=", "b", "<=", "c"]
+
+    def test_hex_literals(self):
+        lexer = Lexer(["+"])
+        tokens = lexer.tokenize("0xFF + 2")
+        assert tokens[0].text == "255"
+
+    def test_comments_configurable(self):
+        lexer = Lexer(["+"], line_comments=("//",))
+        tokens = lexer.tokenize("a // trailing\nb")
+        assert [t.text for t in tokens[:2]] == ["a", "b"]
+
+    def test_line_tracking(self):
+        lexer = Lexer(["+"])
+        tokens = lexer.tokenize("a\nb\nc")
+        assert tokens[2].line == 3
+
+    def test_unknown_character_rejected(self):
+        lexer = Lexer(["+"])
+        with pytest.raises(PseudocodeError):
+            lexer.tokenize("a @ b")
+
+    def test_token_stream_expect(self):
+        lexer = Lexer(["+"])
+        stream = TokenStream(lexer.tokenize("a + b"))
+        assert stream.expect_kind("ident").text == "a"
+        stream.expect("+")
+        with pytest.raises(PseudocodeError):
+            stream.expect("+")
+
+
+def _x86_spec(pseudocode: str, operands, out_width: int) -> InstructionSpec:
+    return InstructionSpec(
+        name="test", isa="x86", asm="t", operands=tuple(operands),
+        output_width=out_width, pseudocode=pseudocode, extension="T",
+        family="test", latency=1.0, throughput=1.0,
+    )
+
+
+class TestX86Parser:
+    def test_simple_loop(self):
+        spec = _x86_spec(
+            "FOR j := 0 to 3\n"
+            "    i := j*8\n"
+            "    dst[i+7:i] := a[i+7:i] + b[i+7:i]\n"
+            "ENDFOR\n",
+            [OperandSpec("a", 32), OperandSpec("b", 32)],
+            32,
+        )
+        sem = x86_semantics(spec)
+        out = interpret(sem, {"a": bv(0x01010101, 32), "b": bv(0x02020202, 32)})
+        assert out.value == 0x03030303
+
+    def test_define_inlining(self):
+        spec = _x86_spec(
+            "DEFINE Double(v)\n"
+            "RETURN v + v\n"
+            "ENDDEF\n"
+            "dst[7:0] := Double(a[7:0])\n",
+            [OperandSpec("a", 8)],
+            8,
+        )
+        sem = x86_semantics(spec)
+        assert interpret(sem, {"a": bv(21, 8)}).value == 42
+
+    def test_width_suffix_builtins(self):
+        spec = _x86_spec(
+            "dst[15:0] := SignExtend16(a[7:0])\n", [OperandSpec("a", 8)], 16
+        )
+        sem = x86_semantics(spec)
+        assert interpret(sem, {"a": bv(0x80, 8)}).value == 0xFF80
+
+    def test_saturate_builtin(self):
+        spec = _x86_spec(
+            "dst[7:0] := Saturate8(a[15:0])\n", [OperandSpec("a", 16)], 8
+        )
+        sem = x86_semantics(spec)
+        assert interpret(sem, {"a": bv(1000, 16)}).signed == 127
+
+    def test_masked_if_becomes_ite(self):
+        spec = _x86_spec(
+            "FOR j := 0 to 1\n"
+            "    i := j*8\n"
+            "    IF k[j:j] == 1 THEN\n"
+            "        dst[i+7:i] := a[i+7:i]\n"
+            "    ELSE\n"
+            "        dst[i+7:i] := 0\n"
+            "    FI\n"
+            "ENDFOR\n",
+            [OperandSpec("k", 2), OperandSpec("a", 16)],
+            16,
+        )
+        sem = x86_semantics(spec)
+        out = interpret(sem, {"k": bv(0b01, 2), "a": bv(0xABCD, 16)})
+        assert out.value == 0x00CD
+
+    def test_ternary(self):
+        spec = _x86_spec(
+            "dst[7:0] := (a[7:0] >s b[7:0]) ? a[7:0] : b[7:0]\n",
+            [OperandSpec("a", 8), OperandSpec("b", 8)],
+            8,
+        )
+        sem = x86_semantics(spec)
+        assert interpret(sem, {"a": bv(200, 8), "b": bv(5, 8)}).value == 5
+
+    def test_gap_in_destination_rejected(self):
+        spec = _x86_spec("dst[7:4] := a[7:4]\n", [OperandSpec("a", 8)], 8)
+        with pytest.raises(PseudocodeError):
+            x86_semantics(spec)
+
+    def test_width_mismatch_rejected(self):
+        spec = _x86_spec(
+            "dst[15:0] := a[7:0] + b[15:0]\n",
+            [OperandSpec("a", 8), OperandSpec("b", 16)],
+            16,
+        )
+        with pytest.raises(PseudocodeError):
+            x86_semantics(spec)
+
+
+def _hvx_spec(pseudocode, operands, out_width):
+    return InstructionSpec(
+        name="test", isa="hvx", asm="t", operands=tuple(operands),
+        output_width=out_width, pseudocode=pseudocode, extension="HVX",
+        family="test", latency=1.0, throughput=1.0,
+    )
+
+
+class TestHvxParser:
+    def test_element_accessors(self):
+        spec = _hvx_spec(
+            "for (i = 0; i < 4; i++) {\n"
+            "    Vd.b[i] = Vu.b[i] - Vv.b[i];\n"
+            "}\n",
+            [OperandSpec("Vu", 32), OperandSpec("Vv", 32)],
+            32,
+        )
+        sem = hvx_semantics(spec)
+        out = interpret(sem, {"Vu": bv(0x05050505, 32), "Vv": bv(0x01020304, 32)})
+        assert out.value == 0x04030201
+
+    def test_sat_builtin(self):
+        spec = _hvx_spec(
+            "for (i = 0; i < 2; i++) {\n"
+            "    Vd.h[i] = sat16(sxt32(Vu.h[i]) + sxt32(Vv.h[i]));\n"
+            "}\n",
+            [OperandSpec("Vu", 32), OperandSpec("Vv", 32)],
+            32,
+        )
+        sem = hvx_semantics(spec)
+        big = bv(0x7FFF7FFF, 32)
+        assert interpret(sem, {"Vu": big, "Vv": big}).value == 0x7FFF7FFF
+
+    def test_slice_of_scalar_register(self):
+        spec = _hvx_spec(
+            "for (i = 0; i < 2; i++) {\n"
+            "    Vd.h[i] = Vu.h[i] << zxt16(Rt[3:0]);\n"
+            "}\n",
+            [OperandSpec("Vu", 32), OperandSpec("Rt", 32)],
+            32,
+        )
+        sem = hvx_semantics(spec)
+        out = interpret(sem, {"Vu": bv(0x00010001, 32), "Rt": bv(4, 32)})
+        assert out.value == 0x00100010
+
+    def test_for_condition_must_match_variable(self):
+        with pytest.raises(PseudocodeError):
+            parse_hvx_pseudocode("for (i = 0; j < 2; i++) { Vd.b[i] = Vu.b[i]; }")
+
+
+def _arm_spec(pseudocode, operands, out_width):
+    return InstructionSpec(
+        name="test", isa="arm", asm="t", operands=tuple(operands),
+        output_width=out_width, pseudocode=pseudocode, extension="NEON",
+        family="test", latency=1.0, throughput=1.0,
+    )
+
+
+class TestArmParser:
+    def test_elem_access(self):
+        spec = _arm_spec(
+            "for e = 0 to 3\n"
+            "    Elem[result, e, 16] = Elem[operand1, e, 16] + Elem[operand2, e, 16]\n"
+            "endfor\n",
+            [OperandSpec("operand1", 64), OperandSpec("operand2", 64)],
+            64,
+        )
+        sem = arm_semantics(spec)
+        out = interpret(
+            sem,
+            {"operand1": bv(0x0001000200030004, 64), "operand2": bv(0x0001000100010001, 64)},
+        )
+        assert out.value == 0x0002000300040005
+
+    def test_two_arg_casts(self):
+        spec = _arm_spec(
+            "for e = 0 to 1\n"
+            "    Elem[result, e, 32] = SExt(Elem[operand1, e, 16], 32) * "
+            "SExt(Elem[operand2, e, 16], 32)\n"
+            "endfor\n",
+            [OperandSpec("operand1", 32), OperandSpec("operand2", 32)],
+            64,
+        )
+        sem = arm_semantics(spec)
+        out = interpret(sem, {"operand1": bv(0xFFFF0002, 32), "operand2": bv(0x00030003, 32)})
+        # lane0: 2*3 = 6; lane1: -1*3 = -3.
+        assert out.extract(31, 0).value == 6
+        assert out.extract(63, 32).signed == -3
+
+    def test_satq(self):
+        spec = _arm_spec(
+            "for e = 0 to 0\n"
+            "    Elem[result, e, 8] = SatS(SExt(Elem[operand1, e, 8], 16) + "
+            "SExt(Elem[operand2, e, 8], 16), 8)\n"
+            "endfor\n",
+            [OperandSpec("operand1", 8), OperandSpec("operand2", 8)],
+            8,
+        )
+        sem = arm_semantics(spec)
+        assert interpret(sem, {"operand1": bv(100, 8), "operand2": bv(100, 8)}).signed == 127
+
+
+class TestCatalogs:
+    @pytest.mark.parametrize("isa,expected_min", [("x86", 500), ("hvx", 120), ("arm", 400)])
+    def test_catalog_sizes(self, isa, expected_min):
+        loaded = load_isa(isa)
+        assert len(loaded) >= expected_min
+
+    @pytest.mark.parametrize("isa", ["x86", "hvx", "arm"])
+    def test_catalog_valid(self, isa):
+        assert validate_catalog(load_isa(isa).catalog) == []
+
+    @pytest.mark.parametrize("isa", ["x86", "hvx", "arm"])
+    def test_all_semantics_parse_and_canonicalize(self, isa):
+        loaded = load_isa(isa)
+        assert set(loaded.semantics) == {s.name for s in loaded.catalog}
+
+    @pytest.mark.parametrize("isa", ["x86", "hvx", "arm"])
+    def test_differential_fuzz_clean(self, isa):
+        """Every parsed semantics matches its reference executable."""
+        loaded = load_isa(isa)
+        failures = fuzz_catalog(loaded.catalog, loaded.semantics, trials=4)
+        assert failures == [], [f.instruction for f in failures[:5]]
+
+    def test_fuzz_catches_injected_bug(self):
+        loaded = load_isa("x86")
+        spec = loaded.spec("_mm_add_epi16")
+        wrong = loaded.semantics["_mm_sub_epi16"]  # deliberately mismatched
+        report = fuzz_semantics(spec, wrong, trials=16)
+        assert not report.passed
+        assert report.first_counterexample is not None
+
+    def test_interleave_canonical_form(self):
+        """Unpack semantics canonicalise to the two-level lane/elem nest
+        of the paper's Figure 3(b)."""
+        from repro.hydride_ir.ast import ForConcat
+
+        loaded = load_isa("x86")
+        sem = loaded.semantics["_mm256_unpackhi_epi16"]
+        assert isinstance(sem.body, ForConcat)
+        assert isinstance(sem.body.body, ForConcat)
+
+    def test_vendor_manual_regenerates_deterministically(self):
+        from repro.isa.x86 import generate_x86_catalog
+
+        first = generate_x86_catalog()
+        second = generate_x86_catalog()
+        assert [s.name for s in first] == [s.name for s in second]
+        assert [s.pseudocode for s in first] == [s.pseudocode for s in second]

@@ -1,0 +1,76 @@
+"""Focused tests on the scaling rules that synthesis correctness hinges on."""
+
+import pytest
+
+from repro.autollvm import build_dictionary
+from repro.bitvector import BitVector
+from repro.hydride_ir.interp import interpret, resolved_input_widths
+from repro.synthesis.scale import scaled_member_values
+
+
+@pytest.fixture(scope="module")
+def dictionary():
+    return build_dictionary(("x86", "hvx", "arm"))
+
+
+def _binding(dictionary, name):
+    op = dictionary.by_target_instruction[name]
+    return next(b for b in op.bindings if b.spec.name == name)
+
+
+class TestExtensiveClassification:
+    def test_immediate_width_never_scales(self, dictionary):
+        """The bug class that silently corrupts scaled semantics: an
+        8-bit shift immediate scaled to 1 bit turns 'shift by 7' into
+        'shift by 1'."""
+        binding = _binding(dictionary, "_mm512_srli_epi16")
+        scaled = scaled_member_values(binding, 8)
+        assert scaled is not None
+        symbolic = binding.member.symbolic
+        assignment = dict(zip(symbolic.param_names, scaled))
+        widths = resolved_input_widths(symbolic.to_function(assignment), assignment)
+        assert widths["imm"] == 8  # untouched
+
+    def test_register_widths_scale(self, dictionary):
+        binding = _binding(dictionary, "_mm512_add_epi16")
+        scaled = scaled_member_values(binding, 4)
+        symbolic = binding.member.symbolic
+        assignment = dict(zip(symbolic.param_names, scaled))
+        widths = resolved_input_widths(symbolic.to_function(assignment), assignment)
+        assert widths["a"] == 128 and widths["b"] == 128
+
+    def test_mask_register_scales_with_lanes(self, dictionary):
+        binding = _binding(dictionary, "_mm512_mask_add_epi32")
+        scaled = scaled_member_values(binding, 4)
+        assert scaled is not None
+        symbolic = binding.member.symbolic
+        assignment = dict(zip(symbolic.param_names, scaled))
+        widths = resolved_input_widths(symbolic.to_function(assignment), assignment)
+        assert widths["k"] == 4  # 16 lanes -> 4 lanes
+
+    def test_broadcast_chunk_is_intensive(self, dictionary):
+        name = next(
+            n for n in dictionary.by_target_instruction
+            if n.startswith("_mm512_broadcast") and n.endswith("epi32")
+        )
+        binding = _binding(dictionary, name)
+        scaled = scaled_member_values(binding, 4)
+        assert scaled is not None
+        symbolic = binding.member.symbolic
+        assignment = dict(zip(symbolic.param_names, scaled))
+        widths = resolved_input_widths(symbolic.to_function(assignment), assignment)
+        assert widths["a"] == 32  # the scalar chunk stays 32 bits
+
+    def test_scaled_semantics_behave_like_originals(self, dictionary):
+        """Scaled saturating add still saturates (semantics preserved
+        modulo lane count)."""
+        binding = _binding(dictionary, "_mm512_adds_epi16")
+        scaled = scaled_member_values(binding, 8)
+        symbolic = binding.member.symbolic
+        assignment = dict(zip(symbolic.param_names, scaled))
+        func = symbolic.to_function(assignment)
+        widths = resolved_input_widths(func, assignment)
+        lanes = widths["a"] // 16
+        big = BitVector(int("7FFF" * lanes, 16), widths["a"])
+        out = interpret(func, {"a": big, "b": big}, assignment)
+        assert out.extract(15, 0).signed == 32767  # clamped, not wrapped

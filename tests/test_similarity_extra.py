@@ -1,0 +1,97 @@
+"""Additional similarity-engine coverage: extensibility and statistics."""
+
+import pytest
+
+from repro.hydride_ir.transforms import canonicalize
+from repro.isa.registry import load_isa
+from repro.isa.spec import InstructionSpec, OperandSpec
+from repro.isa.x86.parser import x86_semantics
+from repro.similarity.constants import extract_constants
+from repro.similarity.engine import SimilarityEngine
+from repro.smt.solver import EquivalenceChecker
+
+
+def _custom_x86(name: str, pseudocode: str, operands, out_width: int):
+    spec = InstructionSpec(
+        name=name, isa="x86", asm=name, operands=tuple(operands),
+        output_width=out_width, pseudocode=pseudocode,
+        extension="CUSTOM", family="custom", latency=1.0, throughput=1.0,
+    )
+    return extract_constants(canonicalize(x86_semantics(spec)), "x86")
+
+
+class TestExtensibility:
+    """The paper's ARM case study in miniature: new instructions join
+    existing classes without any engine changes."""
+
+    def test_new_width_joins_existing_class(self):
+        loaded = load_isa("x86")
+        existing = [
+            extract_constants(loaded.semantics[n], "x86")
+            for n in ("_mm_add_epi8", "_mm_add_epi16", "_mm256_add_epi32")
+        ]
+        # A hypothetical 1024-bit add — a "future ISA extension".
+        new = _custom_x86(
+            "_mm1024_add_epi32",
+            "FOR j := 0 to 31\n"
+            "    i := j*32\n"
+            "    dst[i+31:i] := a[i+31:i] + b[i+31:i]\n"
+            "ENDFOR\n",
+            [OperandSpec("a", 1024), OperandSpec("b", 1024)],
+            1024,
+        )
+        engine = SimilarityEngine(EquivalenceChecker(seed=2))
+        classes = engine.run(existing + [new])
+        assert len(classes) == 1
+        assert len(classes[0].members) == 4
+
+    def test_novel_semantics_founds_new_class(self):
+        loaded = load_isa("x86")
+        existing = [
+            extract_constants(loaded.semantics["_mm_add_epi16"], "x86")
+        ]
+        new = _custom_x86(
+            "_mm_addsub_epi16",  # alternating add/sub: genuinely new
+            "FOR j := 0 to 3\n"
+            "    i := j*32\n"
+            "    dst[i+15:i] := a[i+15:i] - b[i+15:i]\n"
+            "    dst[i+31:i+16] := a[i+31:i+16] + b[i+31:i+16]\n"
+            "ENDFOR\n",
+            [OperandSpec("a", 128), OperandSpec("b", 128)],
+            128,
+        )
+        engine = SimilarityEngine(EquivalenceChecker(seed=2))
+        classes = engine.run(existing + [new])
+        assert len(classes) == 2
+
+
+class TestEngineStatistics:
+    def test_stats_populated(self):
+        loaded = load_isa("hvx")
+        names = ["V6_vaddb", "V6_vaddh", "V6_vsubb"]
+        symbolics = [
+            extract_constants(loaded.semantics[n], "hvx") for n in names
+        ]
+        engine = SimilarityEngine(EquivalenceChecker(seed=2))
+        engine.run(symbolics)
+        assert engine.stats.instructions == 3
+        assert engine.stats.classes == 2
+        assert engine.stats.checks >= 1
+        assert engine.stats.seconds > 0
+
+    def test_signature_prefilter_blocks_mismatched_arity(self):
+        loaded = load_isa("hvx")
+        unary = extract_constants(loaded.semantics["V6_vabsh"], "hvx")
+        binary = extract_constants(loaded.semantics["V6_vaddh"], "hvx")
+        assert unary.signature() != binary.signature()
+
+    def test_member_argument_order_identity_by_default(self):
+        loaded = load_isa("x86")
+        symbolics = [
+            extract_constants(loaded.semantics[n], "x86")
+            for n in ("_mm_add_epi16", "_mm256_add_epi16")
+        ]
+        engine = SimilarityEngine(EquivalenceChecker(seed=2))
+        (cls,) = engine.run(symbolics)
+        for member in cls.members:
+            assert member.arg_order == (0, 1)

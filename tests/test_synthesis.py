@@ -1,0 +1,299 @@
+"""Tests for the code synthesizer: grammar, scaling, CEGIS, cache."""
+
+import pytest
+
+from repro.autollvm import build_dictionary
+from repro.bitvector import BitVector
+from repro.bitvector.lanes import vector_from_ints
+from repro.halide import ir as hir
+from repro.synthesis import (
+    CegisOptions,
+    GrammarOptions,
+    MemoCache,
+    SInput,
+    SynthesisFailure,
+    build_grammar,
+    synthesize,
+)
+from repro.synthesis.cache import canonical_key
+from repro.synthesis.cost import CostModel
+from repro.synthesis.program import (
+    SSlice,
+    SSwizzle,
+    evaluate_program,
+    program_to_term,
+    swizzle_elements,
+)
+from repro.synthesis.scale import scale_spec, scaled_member_values
+from repro.synthesis.translate import translate_program
+from repro.smt.eval import evaluate
+
+
+@pytest.fixture(scope="module")
+def dictionary():
+    return build_dictionary(("x86", "hvx", "arm"))
+
+
+def _add_window(lanes=16, ew=16):
+    return hir.HBin(
+        "add", hir.HLoad("ld0", lanes, ew), hir.HLoad("ld1", lanes, ew)
+    )
+
+
+def _dot_window(lanes_out=16):
+    a = hir.HLoad("ld0", lanes_out * 2, 16)
+    b = hir.HLoad("ld1", lanes_out * 2, 16)
+    acc = hir.HLoad("ld2", lanes_out, 32)
+    return hir.HBin(
+        "add",
+        hir.HReduceAdd(
+            hir.HBin("mul", hir.HCast("sext", a, 32), hir.HCast("sext", b, 32)), 2
+        ),
+        acc,
+    )
+
+
+class TestGrammar:
+    def test_bvs_prunes(self, dictionary):
+        window = _add_window()
+        pruned = build_grammar(window, "x86", dictionary)
+        unpruned = build_grammar(
+            window, "x86", dictionary, GrammarOptions(include_all=True, bvs=False, sbos=False)
+        )
+        assert pruned.size() < unpruned.size() / 3
+
+    def test_bvs_keeps_relevant_ops(self, dictionary):
+        grammar = build_grammar(_dot_window(), "x86", dictionary)
+        names = {e.name for e in grammar.entries}
+        assert any("dpwssd" in n for n in names)
+        assert any("madd" in n for n in names)
+        assert not any("sad" in n for n in names)
+
+    def test_sbos_reduces_further(self, dictionary):
+        window = _dot_window()
+        with_sbos = build_grammar(window, "x86", dictionary, GrammarOptions(k=3))
+        without = build_grammar(window, "x86", dictionary, GrammarOptions(sbos=False))
+        assert with_sbos.size() <= without.size()
+
+    def test_min_elem_screen(self, dictionary):
+        # A 32-bit window should not pull in 8-bit-element instructions.
+        window = _add_window(lanes=16, ew=32)
+        grammar = build_grammar(window, "x86", dictionary)
+        for entry in grammar.entries:
+            elem_width = entry.binding.spec.attributes.get("elem_width", 64)
+            assert not (isinstance(elem_width, int) and 1 < elem_width < 32)
+
+    def test_swizzles_always_included(self, dictionary):
+        grammar = build_grammar(_add_window(), "hvx", dictionary)
+        assert len(grammar.swizzle_patterns) == 8
+
+
+class TestScaling:
+    def test_scale_spec(self):
+        scaled = scale_spec(_dot_window(16), 4)
+        assert scaled is not None
+        assert scaled.type.lanes == 4
+
+    def test_scale_preserves_reduce_factor(self):
+        scaled = scale_spec(_dot_window(16), 4)
+        reduces = [n for n in scaled.walk() if isinstance(n, hir.HReduceAdd)]
+        assert reduces[0].factor == 2
+
+    def test_scale_rejects_indivisible(self):
+        window = _add_window(lanes=6)
+        assert scale_spec(window, 4) is None
+
+    def test_scale_concat_of_tiles(self):
+        small = hir.HLoad("w", 2, 16)
+        tiled = hir.HConcat(tuple([small] * 8))
+        scaled = scale_spec(tiled, 4)
+        assert scaled is not None
+        assert scaled.type.lanes == 4  # 2 tiles of 2 lanes
+
+    def test_member_scaling(self, dictionary):
+        op = dictionary.by_target_instruction["_mm512_add_epi16"]
+        binding = next(
+            b for b in op.bindings if b.spec.name == "_mm512_add_epi16"
+        )
+        scaled = scaled_member_values(binding, 4)
+        assert scaled is not None
+        assert 128 in scaled  # 512-bit register scaled to 128
+
+    def test_member_scaling_keeps_elem_width(self, dictionary):
+        op = dictionary.by_target_instruction["_mm512_add_epi16"]
+        binding = next(
+            b for b in op.bindings if b.spec.name == "_mm512_add_epi16"
+        )
+        scaled = scaled_member_values(binding, 4)
+        assert 16 in scaled  # element width untouched
+
+    def test_broadcast_input_not_scaled(self, dictionary):
+        """Scalar-chunk inputs of broadcasts stay fixed under scaling."""
+        op = dictionary.by_target_instruction.get("_mm512_broadcastd_epi32")
+        if op is None:
+            pytest.skip("broadcast not in catalog")
+        binding = next(
+            b for b in op.bindings if b.spec.name == "_mm512_broadcastd_epi32"
+        )
+        scaled = scaled_member_values(binding, 4)
+        assert scaled is not None
+        assert 32 in scaled  # the 32-bit source chunk is intensive
+
+
+class TestPrograms:
+    def test_swizzle_semantics(self):
+        vec = vector_from_ints([0, 1, 2, 3], 8)
+        out = swizzle_elements("interleave_single", [vec])
+        assert [e.value for e in out] == [0, 2, 1, 3]
+        out = swizzle_elements("deinterleave_single", [vec])
+        assert [e.value for e in out] == [0, 2, 1, 3]
+        out = swizzle_elements("rotate_right", [vec], amount=1)
+        assert [e.value for e in out] == [1, 2, 3, 0]
+
+    def test_interleave_full(self):
+        a = vector_from_ints([1, 2], 8)
+        b = vector_from_ints([9, 8], 8)
+        out = swizzle_elements("interleave_full", [a, b])
+        assert [e.value for e in out] == [1, 9, 2, 8]
+
+    def test_program_term_matches_eval(self):
+        node = SSwizzle(
+            "interleave_full",
+            (SInput("a", 4, 8), SInput("b", 4, 8)),
+            8,
+            64,
+        )
+        env = {
+            "a": vector_from_ints([1, 2, 3, 4], 8).bits,
+            "b": vector_from_ints([5, 6, 7, 8], 8).bits,
+        }
+        term = program_to_term(node)
+        assert evaluate(term, env).value == evaluate_program(node, env).value
+
+    def test_slice_semantics(self):
+        node = SSlice(SInput("a", 4, 8), high=True)
+        env = {"a": vector_from_ints([1, 2, 3, 4], 8).bits}
+        assert evaluate_program(node, env).value == vector_from_ints([3, 4], 8).bits.value
+
+
+class TestCegis:
+    def test_simple_add_synthesizes(self, dictionary):
+        window = _add_window()
+        grammar = build_grammar(window, "x86", dictionary)
+        result = synthesize(window, grammar, CegisOptions(timeout_seconds=30))
+        assert result.program.op_count() == 1
+        assert "add" in result.program.describe()
+
+    def test_solution_is_correct(self, dictionary):
+        window = _add_window(lanes=8)
+        grammar = build_grammar(window, "x86", dictionary)
+        result = synthesize(window, grammar, CegisOptions(timeout_seconds=30))
+        env = {
+            "ld0": vector_from_ints(list(range(8)), 16).bits,
+            "ld1": vector_from_ints([100] * 8, 16).bits,
+        }
+        assert (
+            evaluate_program(result.program, env).value
+            == hir.interpret(window, env).value
+        )
+
+    def test_saturating_add_finds_native_op(self, dictionary):
+        a = hir.HLoad("ld0", 16, 16)
+        b = hir.HLoad("ld1", 16, 16)
+        window = hir.HBin("adds", a, b)
+        grammar = build_grammar(window, "x86", dictionary)
+        result = synthesize(window, grammar, CegisOptions(timeout_seconds=30))
+        assert "adds" in result.program.describe()
+        assert result.cost <= 1.5
+
+    def test_empty_grammar_fails(self, dictionary):
+        window = _add_window()
+        grammar = build_grammar(window, "x86", dictionary)
+        grammar.entries = []
+        with pytest.raises(SynthesisFailure):
+            synthesize(window, grammar, CegisOptions(timeout_seconds=5, max_depth=1))
+
+    def test_timeout_respected(self, dictionary):
+        import time
+
+        window = _dot_window(16)
+        grammar = build_grammar(
+            window, "x86", dictionary, GrammarOptions(bvs=False, sbos=False, top_n_by_score=50)
+        )
+        start = time.time()
+        with pytest.raises(SynthesisFailure):
+            synthesize(window, grammar, CegisOptions(timeout_seconds=3))
+        assert time.time() - start < 30
+
+
+class TestCache:
+    def test_canonical_key_renames_loads(self):
+        a = _add_window()
+        b = hir.HBin(
+            "add", hir.HLoad("other0", 16, 16), hir.HLoad("other1", 16, 16)
+        )
+        assert canonical_key(a, "x86") == canonical_key(b, "x86")
+
+    def test_key_distinguishes_ops(self):
+        a = _add_window()
+        b = hir.HBin("sub", hir.HLoad("ld0", 16, 16), hir.HLoad("ld1", 16, 16))
+        assert canonical_key(a, "x86") != canonical_key(b, "x86")
+
+    def test_key_distinguishes_isa(self):
+        a = _add_window()
+        assert canonical_key(a, "x86") != canonical_key(a, "hvx")
+
+    def test_cache_hit_remaps_inputs(self, dictionary):
+        cache = MemoCache()
+        window = _add_window()
+        grammar = build_grammar(window, "x86", dictionary)
+        synthesize(window, grammar, CegisOptions(timeout_seconds=30), cache)
+        assert len(cache) == 1
+        renamed = hir.HBin(
+            "add", hir.HLoad("p", 16, 16), hir.HLoad("q", 16, 16)
+        )
+        hit = cache.lookup(renamed, "x86")
+        assert hit is not None
+        names = {
+            n.name for n in hit.program.walk() if isinstance(n, SInput)
+        }
+        assert names == {"p", "q"}
+
+    def test_negative_cache(self):
+        cache = MemoCache()
+        window = _add_window()
+        assert not cache.lookup_failure(window, "x86")
+        cache.store_failure(window, "x86")
+        assert cache.lookup_failure(window, "x86")
+
+
+class TestTranslate:
+    def test_translation_emits_autollvm_calls(self, dictionary):
+        window = _add_window()
+        grammar = build_grammar(window, "x86", dictionary)
+        result = synthesize(window, grammar, CegisOptions(timeout_seconds=30))
+        translated = translate_program(result.program, "w0", 16)
+        text = translated.function.render()
+        assert "@autollvm." in text
+        assert translated.op_count == 1
+
+    def test_translated_function_verifies(self, dictionary):
+        from repro.autollvm.llvmir import verify_function
+
+        window = _add_window()
+        grammar = build_grammar(window, "x86", dictionary)
+        result = synthesize(window, grammar, CegisOptions(timeout_seconds=30))
+        translated = translate_program(result.program, "w0", 16)
+        verify_function(translated.function)
+
+    def test_cost_model_counts_all_ops(self):
+        model = CostModel({"interleave_full"})
+        node = SSwizzle(
+            "interleave_full",
+            (SInput("a", 4, 8), SInput("b", 4, 8)),
+            8,
+            64,
+        )
+        assert model.cost(node) == 1.0
+        alien = SSwizzle("rotate_right", (SInput("a", 4, 8),), 8, 32, 1)
+        assert model.cost(alien) == 3.0
