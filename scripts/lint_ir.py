@@ -1,0 +1,21 @@
+#!/usr/bin/env python
+"""Lint the generated ISA spec corpora (thin wrapper over repro.analysis).
+
+Usage:
+    python scripts/lint_ir.py [--isa x86] [--smoke] [--json] [--verbose]
+
+Run from the repo root; adds ``src/`` to ``sys.path`` when the package is
+not installed, so the script works in a fresh checkout.
+"""
+
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.analysis.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

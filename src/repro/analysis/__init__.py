@@ -1,0 +1,69 @@
+"""Cross-layer static analysis for the Hydride pipeline ("hydride-lint").
+
+A pass-based verification framework shared by all three program
+representations the compiler moves through:
+
+* **Hydride IR** semantics functions
+  (:mod:`repro.analysis.hydride_check`) — type/width inference,
+  lane-count consistency, slice bounds, shift ranges, ``ForConcat``
+  width arithmetic;
+* **lowered Halide IR** windows (:mod:`repro.analysis.halide_check`);
+* **synthesis candidate programs**
+  (:mod:`repro.analysis.synth_check`) — the cheap pre-SMT
+  well-typedness gate inside CEGIS;
+* **AutoLLVM / LLVM IR** functions (:mod:`repro.analysis.llvm_check`)
+  — SSA plus intrinsic-signature validation.
+
+All checkers report through one diagnostics engine
+(:mod:`repro.analysis.diagnostics`) with stable rule IDs, severities,
+provenance and JSON output.  Pipeline stages call the gated hooks in
+:mod:`repro.analysis.hooks` (``REPRO_VERIFY_IR=1`` to enable), and
+``python -m repro.analysis`` lints the full generated spec corpora.
+"""
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    DiagnosticSink,
+    IRVerificationError,
+    Provenance,
+    RULES,
+    Severity,
+    rule_doc,
+)
+from repro.analysis.halide_check import assert_window, check_window
+from repro.analysis.hooks import (
+    set_verification,
+    verification,
+    verification_enabled,
+    verify_llvm,
+    verify_program,
+    verify_semantics,
+    verify_window,
+)
+from repro.analysis.hydride_check import assert_semantics, check_semantics
+from repro.analysis.llvm_check import check_function as check_llvm_function
+from repro.analysis.synth_check import assert_program, check_program
+
+__all__ = [
+    "Diagnostic",
+    "DiagnosticSink",
+    "IRVerificationError",
+    "Provenance",
+    "RULES",
+    "Severity",
+    "rule_doc",
+    "assert_program",
+    "assert_semantics",
+    "assert_window",
+    "check_llvm_function",
+    "check_program",
+    "check_semantics",
+    "check_window",
+    "set_verification",
+    "verification",
+    "verification_enabled",
+    "verify_llvm",
+    "verify_program",
+    "verify_semantics",
+    "verify_window",
+]

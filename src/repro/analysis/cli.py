@@ -1,0 +1,201 @@
+"""``hydride-lint``: lint the generated ISA spec corpora.
+
+``python -m repro.analysis`` (or ``scripts/lint_ir.py``) loads each ISA's
+catalog, parses + canonicalises every instruction's semantics, and runs
+the spec-record and Hydride-IR checkers over the result, printing a
+per-ISA diagnostic summary.  Exit status 1 when any error-severity
+diagnostic was found.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.analysis import hydride_check
+from repro.analysis.diagnostics import DiagnosticSink, Provenance, Severity
+from repro.hydride_ir.interp import resolved_input_widths
+from repro.isa.registry import SUPPORTED_ISAS, load_isa
+from repro.isa.spec import InstructionSpec, IsaCatalog
+
+SMOKE_LIMIT = 25
+
+
+def _check_spec_record(
+    spec: InstructionSpec, seen: set[str], sink: DiagnosticSink
+) -> None:
+    """Catalog-record checks (the structured form of ``validate_catalog``)."""
+    where = Provenance(isa=spec.isa, instruction=spec.name, stage="catalog")
+    if spec.name in seen:
+        sink.emit("spec/duplicate-name", "duplicate instruction name", provenance=where)
+    seen.add(spec.name)
+    if spec.output_width <= 0:
+        sink.emit(
+            "spec/output-width",
+            f"declared output width {spec.output_width}",
+            provenance=where,
+        )
+    if not spec.pseudocode.strip():
+        sink.emit("spec/empty-pseudocode", "no pseudocode text", provenance=where)
+    if spec.latency <= 0 or spec.throughput <= 0:
+        sink.emit(
+            "spec/timing",
+            f"latency {spec.latency}, throughput {spec.throughput}",
+            provenance=where,
+        )
+
+
+def _check_semantics_io(spec: InstructionSpec, func, sink: DiagnosticSink) -> None:
+    """The parsed semantics must agree with the documented operand list."""
+    where = Provenance(isa=spec.isa, instruction=spec.name, stage="parse")
+    declared = {op.name: op for op in spec.operands}
+    try:
+        widths = resolved_input_widths(func, func.params)
+    except KeyError as exc:
+        sink.emit(
+            "spec/semantics-io",
+            f"input width unresolved: {exc}",
+            provenance=where,
+        )
+        return
+    for inp in func.inputs:
+        operand = declared.get(inp.name)
+        if operand is None:
+            sink.emit(
+                "spec/semantics-io",
+                f"semantics input {inp.name!r} is not a documented operand",
+                provenance=where,
+            )
+            continue
+        if operand.width != widths[inp.name]:
+            sink.emit(
+                "spec/semantics-io",
+                f"operand {inp.name!r} documented at {operand.width} bits, "
+                f"semantics declares {widths[inp.name]}",
+                provenance=where,
+            )
+        if operand.is_immediate != inp.is_immediate:
+            sink.emit(
+                "spec/semantics-io",
+                f"operand {inp.name!r} immediate flag mismatch",
+                provenance=where,
+            )
+
+
+def lint_isa(
+    isa: str, sink: DiagnosticSink, limit: int | None = None
+) -> tuple[int, int]:
+    """Lint one ISA corpus; returns (instructions checked, catalog size)."""
+    loaded = load_isa(isa)
+    catalog: IsaCatalog = loaded.catalog
+    specs = list(catalog)[:limit] if limit else list(catalog)
+    seen: set[str] = set()
+    for spec in specs:
+        _check_spec_record(spec, seen, sink)
+        func = loaded.semantics.get(spec.name)
+        if func is None:
+            sink.emit(
+                "spec/semantics-io",
+                "no parsed semantics for this instruction",
+                provenance=Provenance(isa=isa, instruction=spec.name, stage="parse"),
+            )
+            continue
+        _check_semantics_io(spec, func, sink)
+        hydride_check.check_semantics(
+            func,
+            declared_output_width=spec.output_width,
+            isa=isa,
+            stage="canonicalize",
+            sink=sink,
+        )
+    return len(specs), len(catalog)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="hydride-lint",
+        description="Lint the generated ISA spec corpora across all IR layers.",
+    )
+    parser.add_argument(
+        "--isa",
+        action="append",
+        choices=SUPPORTED_ISAS,
+        help="ISA(s) to lint (default: all)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=f"fast mode: first {SMOKE_LIMIT} instructions per ISA",
+    )
+    parser.add_argument(
+        "--limit", type=int, default=None, help="max instructions per ISA"
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of the summary table",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="print every diagnostic"
+    )
+    args = parser.parse_args(argv)
+
+    isas = tuple(args.isa) if args.isa else SUPPORTED_ISAS
+    limit = args.limit if args.limit is not None else (
+        SMOKE_LIMIT if args.smoke else None
+    )
+
+    sink = DiagnosticSink()
+    rows = []
+    for isa in isas:
+        start = time.time()
+        errors_before = sink.error_count
+        warnings_before = sink.warning_count
+        checked, total = lint_isa(isa, sink, limit)
+        rows.append(
+            (
+                isa,
+                checked,
+                total,
+                sink.error_count - errors_before,
+                sink.warning_count - warnings_before,
+                time.time() - start,
+            )
+        )
+
+    if args.json:
+        print(sink.to_json())
+        return 1 if sink.has_errors() else 0
+
+    print(f"{'ISA':<6} {'checked':>8} {'total':>6} {'errors':>7} "
+          f"{'warnings':>9} {'secs':>6}")
+    for isa, checked, total, errors, warnings, seconds in rows:
+        print(
+            f"{isa:<6} {checked:>8} {total:>6} {errors:>7} "
+            f"{warnings:>9} {seconds:>6.1f}"
+        )
+    histogram = sink.by_rule()
+    if histogram:
+        print("\nrule histogram:")
+        for rule, count in sorted(histogram.items(), key=lambda kv: -kv[1]):
+            print(f"  {rule:<28} {count}")
+    if args.verbose or sink.has_errors():
+        shown = [
+            d for d in sink.diagnostics
+            if args.verbose or d.severity is Severity.ERROR
+        ]
+        if shown:
+            print()
+        for diag in shown[:100]:
+            print(diag.format())
+    status = "FAIL" if sink.has_errors() else "OK"
+    print(
+        f"\n{status}: {sink.error_count} error(s), "
+        f"{sink.warning_count} warning(s) across {len(isas)} ISA(s)"
+    )
+    return 1 if sink.has_errors() else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

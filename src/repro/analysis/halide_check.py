@@ -1,0 +1,156 @@
+"""Well-formedness checker for lowered (vectorised) Halide IR windows.
+
+Halide IR node constructors validate some invariants in ``__post_init__``,
+but nodes reach the synthesizer through transformations
+(``dataclasses.replace``, scaling, slicing) that can silently violate
+them, and several properties are never constructor-checked at all
+(shuffle index ranges, splat constant ranges, consistent load typing
+across the whole window).  This checker re-validates everything over the
+final window, reporting through the diagnostics engine.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    DiagnosticSink,
+    IRVerificationError,
+    Provenance,
+    Severity,
+)
+from repro.halide import ir as hir
+
+
+def _provenance(kernel: str, stage: str, node: hir.HExpr) -> Provenance:
+    return Provenance(
+        instruction=kernel, stage=stage, node=type(node).__name__
+    )
+
+
+def check_window(
+    expr: hir.HExpr,
+    *,
+    kernel: str = "",
+    stage: str = "",
+    sink: DiagnosticSink | None = None,
+) -> list[Diagnostic]:
+    """Check one Halide IR window; returns the diagnostics found."""
+    own_sink = sink or DiagnosticSink()
+    before = len(own_sink.diagnostics)
+    bound: dict[str, hir.HType] = {}
+
+    def report(
+        rule: str,
+        message: str,
+        node: hir.HExpr,
+        severity: Severity = Severity.ERROR,
+    ) -> None:
+        own_sink.emit(rule, message, severity, _provenance(kernel, stage, node))
+
+    for node in expr.walk():
+        node_type = node.type
+        if node_type.lanes <= 0 or node_type.elem_width <= 0:
+            report(
+                "halide/nonpositive-type",
+                f"type {node_type} has non-positive lanes or element width",
+                node,
+            )
+            continue
+
+        if isinstance(node, (hir.HLoad, hir.HBroadcast)):
+            existing = bound.setdefault(node.name, node.type)
+            if existing != node.type:
+                report(
+                    "halide/load-conflict",
+                    f"{node.name!r} bound at both {existing} and {node.type}",
+                    node,
+                )
+        elif isinstance(node, hir.HConst):
+            limit = 1 << node.elem_width
+            if not -(limit >> 1) <= node.value < limit:
+                report(
+                    "halide/const-range",
+                    f"splat value {node.value} does not fit "
+                    f"{node.elem_width} bits",
+                    node,
+                    Severity.WARNING,
+                )
+        elif isinstance(node, hir.HBin):
+            if node.op not in hir.H_BINOPS:
+                report("halide/op-name", f"unknown binop {node.op!r}", node)
+            if node.left.type != node.right.type:
+                report(
+                    "halide/binop-type",
+                    f"{node.op} over {node.left.type} and {node.right.type}",
+                    node,
+                )
+        elif isinstance(node, hir.HCmp):
+            if node.op not in hir.H_CMPOPS:
+                report("halide/op-name", f"unknown cmp {node.op!r}", node)
+            if node.left.type != node.right.type:
+                report(
+                    "halide/binop-type",
+                    f"{node.op} over {node.left.type} and {node.right.type}",
+                    node,
+                )
+        elif isinstance(node, hir.HSelect):
+            cond = node.cond.type
+            if cond.elem_width != 1 or cond.lanes != node.then_expr.type.lanes:
+                report(
+                    "halide/select-cond",
+                    f"condition type {cond} for value type "
+                    f"{node.then_expr.type}",
+                    node,
+                )
+            if node.then_expr.type != node.else_expr.type:
+                report(
+                    "halide/binop-type",
+                    f"select branches {node.then_expr.type} and "
+                    f"{node.else_expr.type}",
+                    node,
+                )
+        elif isinstance(node, hir.HCast):
+            if node.kind not in hir.H_CASTS:
+                report("halide/op-name", f"unknown cast {node.kind!r}", node)
+        elif isinstance(node, hir.HSlice):
+            src_lanes = node.src.type.lanes
+            if node.start < 0 or node.start + node.lanes > src_lanes:
+                report(
+                    "halide/slice-bounds",
+                    f"lanes [{node.start}, {node.start + node.lanes}) of a "
+                    f"{src_lanes}-lane value",
+                    node,
+                )
+        elif isinstance(node, hir.HConcat):
+            widths = {p.type.elem_width for p in node.parts}
+            if len(widths) > 1:
+                report(
+                    "halide/concat-elem",
+                    f"parts at element widths {sorted(widths)}",
+                    node,
+                )
+        elif isinstance(node, hir.HReduceAdd):
+            if node.factor <= 0 or node.src.type.lanes % node.factor:
+                report(
+                    "halide/reduce-factor",
+                    f"factor {node.factor} over {node.src.type.lanes} lanes",
+                    node,
+                )
+        elif isinstance(node, hir.HShuffle):
+            src_lanes = node.src.type.lanes
+            bad = [i for i in node.indices if i < 0 or i >= src_lanes]
+            if bad:
+                report(
+                    "halide/shuffle-index",
+                    f"indices {bad} outside [0, {src_lanes})",
+                    node,
+                )
+    return own_sink.diagnostics[before:]
+
+
+def assert_window(expr: hir.HExpr, *, kernel: str = "", stage: str = "") -> None:
+    """Raise :class:`IRVerificationError` if the window fails the checker."""
+    diagnostics = check_window(expr, kernel=kernel, stage=stage)
+    errors = [d for d in diagnostics if d.severity is Severity.ERROR]
+    if errors:
+        raise IRVerificationError(diagnostics, context=kernel or "halide window")

@@ -1,0 +1,115 @@
+"""Pipeline verification hooks, gated by the ``REPRO_VERIFY_IR`` flag.
+
+Each compilation stage calls the matching ``verify_*`` hook on its
+output.  When verification is disabled (the default — these are hot
+paths) the hooks return immediately; when enabled they run the full
+checker and raise :class:`~repro.analysis.diagnostics.IRVerificationError`
+on the first stage whose output is malformed, so a width bug is caught at
+the pass that introduced it instead of at the SMT solver.
+
+Enable with ``REPRO_VERIFY_IR=1`` in the environment, programmatically
+with :func:`set_verification`, or scoped with the :func:`verification`
+context manager (used by the test suite).
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Mapping
+from contextlib import contextmanager
+
+from repro.analysis.diagnostics import IRVerificationError, Severity
+
+# Checker modules are imported lazily inside each hook: the hooks are
+# called from leaf IR layers (transforms, lowering), and importing the
+# synthesis stack there would create import cycles and slow cold starts.
+
+ENV_FLAG = "REPRO_VERIFY_IR"
+
+_FALSE_VALUES = frozenset({"", "0", "false", "off", "no"})
+
+# Tri-state programmatic override: None defers to the environment.
+_override: bool | None = None
+
+
+def verification_enabled() -> bool:
+    """Whether pipeline verification hooks are active."""
+    if _override is not None:
+        return _override
+    return os.environ.get(ENV_FLAG, "").strip().lower() not in _FALSE_VALUES
+
+
+def set_verification(enabled: bool | None) -> None:
+    """Force verification on/off; ``None`` restores the env-var default."""
+    global _override
+    _override = enabled
+
+
+@contextmanager
+def verification(enabled: bool = True):
+    """Scoped verification toggle (restores the prior state on exit)."""
+    global _override
+    previous = _override
+    _override = enabled
+    try:
+        yield
+    finally:
+        _override = previous
+
+
+def _raise_on_errors(diagnostics, context: str) -> None:
+    if any(d.severity is Severity.ERROR for d in diagnostics):
+        raise IRVerificationError(diagnostics, context)
+
+
+def verify_semantics(
+    func,
+    params: Mapping[str, int] | None = None,
+    *,
+    isa: str = "",
+    stage: str = "",
+    declared_output_width: int | None = None,
+) -> None:
+    """Verify a Hydride IR semantics function (post-parse / post-transform)."""
+    if not verification_enabled():
+        return
+    from repro.analysis import hydride_check
+
+    diagnostics = hydride_check.check_semantics(
+        func,
+        params,
+        declared_output_width=declared_output_width,
+        isa=isa,
+        stage=stage,
+    )
+    _raise_on_errors(diagnostics, f"{stage or 'semantics'}:{func.name}")
+
+
+def verify_window(expr, *, kernel: str = "", stage: str = "lowering") -> None:
+    """Verify a lowered Halide IR window."""
+    if not verification_enabled():
+        return
+    from repro.analysis import halide_check
+
+    diagnostics = halide_check.check_window(expr, kernel=kernel, stage=stage)
+    _raise_on_errors(diagnostics, f"{stage}:{kernel or 'window'}")
+
+
+def verify_program(node, *, isa: str = "", stage: str = "cegis") -> None:
+    """Verify a synthesis candidate before it reaches the SMT solver."""
+    if not verification_enabled():
+        return
+    from repro.analysis import synth_check
+
+    diagnostics = synth_check.check_program(node, isa=isa, stage=stage)
+    _raise_on_errors(diagnostics, f"{stage}:candidate")
+
+
+def verify_llvm(function, dictionary=None, *, stage: str = "translate") -> None:
+    """Verify an AutoLLVM / LLVM IR function."""
+    if not verification_enabled():
+        return
+    from repro.analysis import llvm_check
+
+    diagnostics = llvm_check.check_function(function, dictionary, stage=stage)
+    _raise_on_errors(diagnostics, f"{stage}:{function.name}")

@@ -1,0 +1,283 @@
+"""Checker for AutoLLVM / LLVM IR functions.
+
+Extends the original SSA sanity checks (defs precede uses, unique names,
+defined return) with intrinsic-signature validation: every
+``autollvm.view.*`` / ``autollvm.swizzle.*`` helper has a fixed shape,
+and — when the AutoLLVM dictionary is supplied — every compute intrinsic
+call is checked against its declared register/immediate arity, immediate
+operand types and the registers-before-immediates operand layout the
+instruction selector relies on.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    DiagnosticSink,
+    Provenance,
+    Severity,
+)
+from repro.autollvm.llvmir import (
+    Function,
+    ImmOperand,
+    Instruction,
+    IntType,
+    Value,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.autollvm.intrinsics import AutoLLVMDictionary
+
+# Swizzle helper arities; mirrors repro.synthesis.program.SWIZZLE_SHAPES
+# without importing the synthesis stack into this leaf checker.
+_SWIZZLE_ARITY = {
+    "interleave_full": 2,
+    "interleave_single": 1,
+    "deinterleave_single": 1,
+    "interleave_lo": 2,
+    "interleave_hi": 2,
+    "concat_lo": 2,
+    "concat_hi": 2,
+    "rotate_right": 1,
+}
+
+
+def check_function(
+    function: Function,
+    dictionary: "AutoLLVMDictionary | None" = None,
+    *,
+    stage: str = "",
+    sink: DiagnosticSink | None = None,
+) -> list[Diagnostic]:
+    """Check one straight-line function; returns the diagnostics found."""
+    own_sink = sink or DiagnosticSink()
+    before = len(own_sink.diagnostics)
+
+    def report(
+        rule: str,
+        message: str,
+        severity: Severity = Severity.ERROR,
+        node: str = "",
+    ) -> None:
+        own_sink.emit(
+            rule,
+            message,
+            severity,
+            Provenance(instruction=function.name, stage=stage, node=node),
+        )
+
+    defined: dict[str, Value] = {a.name: a for a in function.args}
+    for instr in function.body:
+        for op in instr.operands:
+            if isinstance(op, Value) and op.name not in defined:
+                report(
+                    "llvm/undef-value",
+                    f"use of undefined value %{op.name}",
+                    node=instr.callee,
+                )
+        if instr.result.name in defined:
+            report(
+                "llvm/redef",
+                f"%{instr.result.name} redefined",
+                node=instr.callee,
+            )
+        defined[instr.result.name] = instr.result
+        _check_call(instr, dictionary, report)
+    if function.ret is not None and function.ret.name not in defined:
+        report(
+            "llvm/undef-ret",
+            f"return of undefined value %{function.ret.name}",
+        )
+    return own_sink.diagnostics[before:]
+
+
+def _check_call(instr: Instruction, dictionary, report) -> None:
+    callee = instr.callee
+    registers = [o for o in instr.operands if isinstance(o, Value)]
+    immediates = [o for o in instr.operands if isinstance(o, ImmOperand)]
+
+    if callee.startswith("autollvm."):
+        # Registers-before-immediates layout: the selector splits operands
+        # by kind and matches immediates positionally, so an interleaved
+        # layout silently permutes the lowering.
+        seen_imm = False
+        for op in instr.operands:
+            if isinstance(op, ImmOperand):
+                seen_imm = True
+            elif seen_imm:
+                report(
+                    "llvm/imm-position",
+                    f"{callee}: register operand follows an immediate",
+                    node=callee,
+                )
+                break
+        for imm in immediates:
+            if imm.type != IntType(32):
+                report(
+                    "llvm/imm-type",
+                    f"{callee}: immediate {imm.value} typed {imm.type}, "
+                    "expected i32",
+                    node=callee,
+                )
+
+    if callee.startswith("autollvm.view."):
+        _check_view(callee, instr, registers, immediates, report)
+    elif callee.startswith("autollvm.swizzle."):
+        _check_swizzle(callee, instr, registers, immediates, report)
+    elif callee.startswith("autollvm.") and dictionary is not None:
+        _check_compute(callee, instr, registers, immediates, dictionary, report)
+
+
+def _check_view(callee, instr, registers, immediates, report) -> None:
+    kind = callee.rsplit(".", 1)[-1]
+    result_bits = instr.result.type.bits
+    if kind == "splat":
+        if len(registers) != 0 or len(immediates) != 2:
+            report(
+                "llvm/op-arity",
+                f"{callee} takes (value, elem_width) immediates, got "
+                f"{len(registers)} register(s) and {len(immediates)} "
+                "immediate(s)",
+                node=callee,
+            )
+            return
+        elem = immediates[1].value
+        if elem <= 0 or result_bits % elem:
+            report(
+                "llvm/result-type",
+                f"{callee}: element width {elem} does not divide the "
+                f"{result_bits}-bit result",
+                node=callee,
+            )
+    elif kind == "slice":
+        if len(registers) != 1 or len(immediates) != 1:
+            report(
+                "llvm/op-arity",
+                f"{callee} takes one register and one immediate, got "
+                f"{len(registers)} and {len(immediates)}",
+                node=callee,
+            )
+            return
+        if immediates[0].value not in (0, 1):
+            report(
+                "llvm/imm-type",
+                f"{callee}: half selector must be 0 or 1, got "
+                f"{immediates[0].value}",
+                node=callee,
+            )
+        if result_bits * 2 != registers[0].type.bits:
+            report(
+                "llvm/result-type",
+                f"{callee}: result is {result_bits} bits, source is "
+                f"{registers[0].type.bits}",
+                node=callee,
+            )
+    elif kind == "concat":
+        if len(registers) != 2 or len(immediates) != 0:
+            report(
+                "llvm/op-arity",
+                f"{callee} takes two registers, got {len(registers)} "
+                f"register(s) and {len(immediates)} immediate(s)",
+                node=callee,
+            )
+            return
+        total = registers[0].type.bits + registers[1].type.bits
+        if result_bits != total:
+            report(
+                "llvm/result-type",
+                f"{callee}: result is {result_bits} bits, operands total "
+                f"{total}",
+                node=callee,
+            )
+    else:
+        report(
+            "llvm/unknown-intrinsic",
+            f"unknown view helper {callee}",
+            Severity.WARNING,
+            node=callee,
+        )
+
+
+def _check_swizzle(callee, instr, registers, immediates, report) -> None:
+    pattern = callee.rsplit(".", 1)[-1]
+    arity = _SWIZZLE_ARITY.get(pattern)
+    if arity is None:
+        report(
+            "llvm/unknown-intrinsic",
+            f"unknown swizzle pattern {callee}",
+            Severity.WARNING,
+            node=callee,
+        )
+        return
+    expected_imms = 2 if pattern == "rotate_right" else 1
+    if len(registers) != arity or len(immediates) != expected_imms:
+        report(
+            "llvm/op-arity",
+            f"{callee} takes {arity} register(s) and {expected_imms} "
+            f"immediate(s), got {len(registers)} and {len(immediates)}",
+            node=callee,
+        )
+        return
+    widths = {r.type.bits for r in registers}
+    if len(widths) > 1:
+        report(
+            "llvm/result-type",
+            f"{callee}: operand widths differ: {sorted(widths)}",
+            node=callee,
+        )
+        return
+    bits = registers[0].type.bits
+    elem = immediates[0].value
+    if elem <= 0 or bits % elem:
+        report(
+            "llvm/result-type",
+            f"{callee}: element width {elem} does not divide {bits} bits",
+            node=callee,
+        )
+    expected = bits * 2 if pattern == "interleave_full" else bits
+    if instr.result.type.bits != expected:
+        report(
+            "llvm/result-type",
+            f"{callee}: result is {instr.result.type.bits} bits, "
+            f"pattern produces {expected}",
+            node=callee,
+        )
+
+
+def _check_compute(
+    callee, instr, registers, immediates, dictionary, report
+) -> None:
+    try:
+        op = dictionary.op_named(callee)
+    except KeyError:
+        report(
+            "llvm/unknown-intrinsic",
+            f"{callee} is not in the AutoLLVM dictionary",
+            Severity.WARNING,
+            node=callee,
+        )
+        return
+    representative = op.eq_class.representative
+    expected_regs = representative.bv_arity()
+    if len(registers) != expected_regs:
+        report(
+            "llvm/op-arity",
+            f"{callee} takes {expected_regs} register operand(s), got "
+            f"{len(registers)}",
+            node=callee,
+        )
+    # Class-parameter immediates first, then the member instruction's own
+    # immediate operands (shift amounts etc.), as emitted by the
+    # translator and consumed positionally by the selector.
+    expected_imms = len(op.free_positions) + representative.imm_arity()
+    if len(immediates) != expected_imms:
+        report(
+            "llvm/imm-arity",
+            f"{callee} takes {expected_imms} immediate(s) "
+            f"({len(op.free_positions)} class parameter(s) + "
+            f"{representative.imm_arity()} instruction immediate(s)), "
+            f"got {len(immediates)}",
+            node=callee,
+        )

@@ -133,24 +133,28 @@ class Module:
 
 
 class VerificationError(Exception):
-    pass
+    """Raised for malformed functions; carries the individual diagnostics."""
+
+    def __init__(self, message: str, diagnostics: list | None = None):
+        super().__init__(message)
+        self.diagnostics = diagnostics or []
 
 
-def verify_function(function: Function) -> None:
-    """SSA and type sanity: defs precede uses, names unique, ret defined."""
-    defined: dict[str, Value] = {a.name: a for a in function.args}
-    for instr in function.body:
-        for op in instr.operands:
-            if isinstance(op, Value) and op.name not in defined:
-                raise VerificationError(
-                    f"{function.name}: use of undefined value %{op.name}"
-                )
-        if instr.result.name in defined:
-            raise VerificationError(
-                f"{function.name}: %{instr.result.name} redefined"
-            )
-        defined[instr.result.name] = instr.result
-    if function.ret is not None and function.ret.name not in defined:
+def verify_function(function: Function, dictionary=None) -> None:
+    """SSA and intrinsic-call sanity for an AutoLLVM function.
+
+    Beyond def-before-use/unique-name SSA checks this validates every
+    ``autollvm.*`` call: operand layout (registers before immediates),
+    immediate types and positions, view/swizzle shapes, and — when an
+    :class:`~repro.autollvm.intrinsics.AutoLLVMDictionary` is supplied —
+    register/immediate arity against the op's symbolic semantics.
+    """
+    from repro.analysis.llvm_check import check_function
+
+    diagnostics = check_function(function, dictionary, stage="verify")
+    errors = [d for d in diagnostics if d.severity.value == "error"]
+    if errors:
         raise VerificationError(
-            f"{function.name}: return of undefined value %{function.ret.name}"
+            f"{function.name}: " + "; ".join(d.message for d in errors[:4]),
+            diagnostics=errors,
         )

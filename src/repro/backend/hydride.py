@@ -15,12 +15,11 @@ Hydride generates simpler code instead.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.autollvm import build_dictionary
 from repro.autollvm.intrinsics import AutoLLVMDictionary
 from repro.backend.common import CompiledKernel, broadcast_ops, memory_ops
-from repro.backend.select import generic_op, op_table
 from repro.halide import ir as hir
 from repro.halide.lowering import LoweredKernel
 from repro.machine.ops import MachineOp, op_from_spec
@@ -33,7 +32,7 @@ from repro.synthesis import (
     build_grammar,
     synthesize,
 )
-from repro.synthesis.cost import GENERIC_PERMUTE_LATENCY, NATIVE_SWIZZLE_LATENCY
+from repro.synthesis.cost import NATIVE_SWIZZLE_LATENCY
 from repro.synthesis.grammar import native_swizzles_for
 from repro.synthesis.program import SNode, SOp, SSwizzle
 from repro.synthesis.translate import translate_program

@@ -21,13 +21,12 @@ from __future__ import annotations
 import time
 
 from repro.autollvm import build_dictionary
-from repro.autollvm.intrinsics import AutoLLVMDictionary, AutoLLVMOp, TargetBinding
-from repro.backend.common import CompileError, CompiledKernel, broadcast_ops, memory_ops
+from repro.autollvm.intrinsics import AutoLLVMDictionary, AutoLLVMOp
+from repro.backend.common import CompileError, CompiledKernel
 from repro.backend.hydride import HydrideCompiler, rewrite_broadcasts
 from repro.bitvector.bv import BitVector
 from repro.halide import ir as hir
 from repro.halide.lowering import LoweredKernel
-from repro.machine.targets import TARGETS
 from repro.synthesis import CegisOptions, MemoCache
 
 

@@ -16,7 +16,7 @@ from repro.experiments.runner import (
     SuiteResult,
     format_table,
 )
-from repro.workloads.registry import Benchmark, all_benchmarks
+from repro.workloads.registry import Benchmark
 
 # Paper geomeans for orientation (speedup of Hydride over each baseline).
 PAPER_GEOMEANS = {

@@ -15,11 +15,9 @@ overhead rows.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.experiments.runner import ExperimentRunner, format_table
-from repro.synthesis import MemoCache
 from repro.workloads.registry import Benchmark, all_benchmarks
 
 # Modeled Racket startup cost per compiled expression (seconds); the

@@ -13,7 +13,7 @@ the operations, not the type, as in Halide IR proper.
 from __future__ import annotations
 
 from collections.abc import Mapping
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.bitvector.bv import BitVector
 from repro.bitvector.lanes import Vector, vector_from_elems

@@ -21,7 +21,7 @@ This mirrors the paper's flow where parsed semantics are canonicalised by
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.hydride_ir.ast import (
     BvBinOp,

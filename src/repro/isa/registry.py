@@ -52,9 +52,28 @@ def _generate_and_parse(isa: str) -> LoadedIsa:
         parse = arm_semantics
     else:
         raise ValueError(f"unknown ISA {isa!r}; supported: {SUPPORTED_ISAS}")
-    semantics = {
-        spec.name: canonicalize(parse(spec)) for spec in catalog
-    }
+    from repro.analysis import hooks
+
+    verify = hooks.verification_enabled()
+    semantics: dict[str, SemanticsFunction] = {}
+    for spec in catalog:
+        parsed = parse(spec)
+        if verify:
+            hooks.verify_semantics(
+                parsed,
+                isa=isa,
+                stage="parse",
+                declared_output_width=spec.output_width,
+            )
+        canonical = canonicalize(parsed)
+        if verify:
+            hooks.verify_semantics(
+                canonical,
+                isa=isa,
+                stage="canonicalize",
+                declared_output_width=spec.output_width,
+            )
+        semantics[spec.name] = canonical
     return LoadedIsa(catalog, semantics)
 
 

@@ -9,7 +9,6 @@ pairwise checks in Algorithm 1 are discharged cheaply.
 
 from __future__ import annotations
 
-from repro.bitvector.bv import BitVector
 from repro.smt.eval import evaluate
 from repro.smt.terms import App, Const, Term, Var, apply_op
 

@@ -16,6 +16,7 @@ import random
 import time
 from dataclasses import dataclass, field
 
+from repro.analysis import hooks
 from repro.bitvector.bv import BitVector
 from repro.bitvector.lanes import Vector
 from repro.halide import ir as hir
@@ -812,7 +813,10 @@ def _lanewise_synthesis(
                 _first_failing_lane(solution.node, spec_scaled, refuting_env)
             )
             continue
-        # Line 15: verify symbolically over all lanes.
+        # Line 15: verify symbolically over all lanes.  The structural
+        # pre-check is far cheaper than building + solving the SMT query,
+        # so a malformed candidate fails here with a precise diagnostic.
+        hooks.verify_program(solution.node, isa=grammar.isa, stage="cegis")
         candidate_term = program_to_term(solution.node)
         try:
             verdict = checker.check_equivalence(candidate_term, spec_term)

@@ -18,11 +18,11 @@ intractable.  Three pruning stages produce tractable grammars:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.autollvm.intrinsics import AutoLLVMDictionary, AutoLLVMOp, TargetBinding
 from repro.halide import ir as hir
-from repro.hydride_ir.interp import SemanticsError, resolved_input_widths
+from repro.hydride_ir.interp import resolved_input_widths
 from repro.isa.registry import load_isa
 from repro.synthesis.cost import CostModel
 from repro.synthesis.program import SInput, SWIZZLE_PATTERNS

@@ -19,9 +19,7 @@ from repro.autollvm.llvmir import (
     Function,
     ImmOperand,
     Instruction,
-    IntType,
     Value,
-    VectorType,
     type_for_bits,
 )
 from repro.synthesis.program import (
@@ -149,6 +147,9 @@ class Translator:
             return out
 
         function.ret = emit(program)
+        from repro.analysis import hooks
+
+        hooks.verify_llvm(function, stage="translate")
         return result
 
 

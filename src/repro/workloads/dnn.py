@@ -18,7 +18,6 @@ from repro.halide.dsl import (
     maximum,
     rounding_avg_u,
     sat_cast,
-    saturating_add,
     saturating_sub,
     summation,
 )

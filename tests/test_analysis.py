@@ -1,0 +1,169 @@
+"""Tests for the cross-layer IR verifier (repro.analysis)."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    RULES,
+    DiagnosticSink,
+    IRVerificationError,
+    Provenance,
+    Severity,
+    check_semantics,
+    rule_doc,
+    set_verification,
+    verification,
+    verification_enabled,
+)
+from repro.analysis.cli import main as lint_main
+from repro.analysis.hooks import ENV_FLAG
+from repro.isa.registry import load_isa
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+class TestDiagnosticsEngine:
+    def test_emit_and_counts(self):
+        sink = DiagnosticSink()
+        sink.emit("hydride/binop-width", "w1", Severity.ERROR)
+        sink.emit("hydride/const-range", "w2", Severity.WARNING)
+        assert sink.error_count == 1
+        assert sink.warning_count == 1
+        assert sink.has_errors()
+        assert [d.rule for d in sink.errors()] == ["hydride/binop-width"]
+
+    def test_unknown_rule_rejected(self):
+        sink = DiagnosticSink()
+        with pytest.raises(KeyError):
+            sink.emit("hydride/no-such-rule", "boom")
+
+    def test_rule_catalog_documented(self):
+        for rule in RULES:
+            layer, _, defect = rule.partition("/")
+            assert layer in {"spec", "hydride", "halide", "synth", "llvm"}
+            assert defect
+            assert rule_doc(rule)
+
+    def test_storage_cap_keeps_counts(self):
+        sink = DiagnosticSink(max_per_rule=3)
+        for i in range(10):
+            sink.emit("llvm/redef", f"dup {i}")
+        assert len(sink.diagnostics) == 3
+        assert sink.by_rule()["llvm/redef"] == 10
+        assert sink.error_count == 10
+
+    def test_provenance_format(self):
+        where = Provenance(isa="x86", instruction="_mm_add_epi16", stage="parse")
+        sink = DiagnosticSink()
+        diag = sink.emit("hydride/binop-width", "widths 16 and 8", provenance=where)
+        text = diag.format()
+        assert "error[hydride/binop-width]" in text
+        assert "x86:_mm_add_epi16" in text
+        assert "@parse" in text
+
+    def test_json_roundtrip(self):
+        sink = DiagnosticSink()
+        sink.emit(
+            "halide/slice-bounds",
+            "slice [8, 40) of 32 lanes",
+            Severity.ERROR,
+            Provenance(instruction="blur", stage="lowering"),
+        )
+        payload = json.loads(sink.to_json())
+        assert payload["summary"]["errors"] == 1
+        [record] = payload["diagnostics"]
+        assert record["rule"] == "halide/slice-bounds"
+        assert record["instruction"] == "blur"
+
+    def test_raise_if_errors(self):
+        sink = DiagnosticSink()
+        sink.emit("llvm/undef-value", "use of %ghost")
+        with pytest.raises(IRVerificationError) as info:
+            sink.raise_if_errors("translate:w0")
+        assert "translate:w0" in str(info.value)
+        assert info.value.diagnostics[0].rule == "llvm/undef-value"
+
+
+class TestVerificationGating:
+    def test_env_flag_default_off(self, monkeypatch):
+        monkeypatch.delenv(ENV_FLAG, raising=False)
+        set_verification(None)
+        assert not verification_enabled()
+
+    @pytest.mark.parametrize("value,expected", [
+        ("1", True),
+        ("true", True),
+        ("0", False),
+        ("off", False),
+        ("", False),
+    ])
+    def test_env_flag_values(self, monkeypatch, value, expected):
+        monkeypatch.setenv(ENV_FLAG, value)
+        set_verification(None)
+        assert verification_enabled() is expected
+
+    def test_context_manager_restores(self, monkeypatch):
+        monkeypatch.delenv(ENV_FLAG, raising=False)
+        set_verification(None)
+        with verification():
+            assert verification_enabled()
+            with verification(False):
+                assert not verification_enabled()
+            assert verification_enabled()
+        assert not verification_enabled()
+
+
+class TestCorpusClean:
+    """The shipped spec corpora must lint clean (the CI gate)."""
+
+    @pytest.mark.parametrize("isa", ["x86", "hvx", "arm"])
+    def test_sampled_semantics_check_clean(self, isa):
+        loaded = load_isa(isa)
+        names = sorted(loaded.semantics)[::31]  # every 31st, cheap but broad
+        for name in names:
+            spec = loaded.spec(name)
+            diagnostics = check_semantics(
+                loaded.semantics[name],
+                declared_output_width=spec.output_width,
+                isa=isa,
+            )
+            errors = [d for d in diagnostics if d.severity is Severity.ERROR]
+            assert errors == [], [d.format() for d in errors]
+
+
+class TestLintCli:
+    def test_smoke_mode_exits_clean(self, capsys):
+        status = lint_main(["--smoke"])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "OK" in out
+        for isa in ("x86", "hvx", "arm"):
+            assert isa in out
+
+    def test_json_output(self, capsys):
+        status = lint_main(["--isa", "hvx", "--smoke", "--json"])
+        assert status == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["errors"] == 0
+
+    def test_script_entry_point(self):
+        """scripts/lint_ir.py --smoke is the tier-1 lint gate."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        proc = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "scripts" / "lint_ir.py"),
+             "--smoke", "--isa", "hvx"],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "OK" in proc.stdout

@@ -1,0 +1,251 @@
+"""Seeded-defect tests: each known bug class must trip its exact rule.
+
+Every test corrupts a well-formed artifact in one specific way and
+asserts the checker reports exactly the matching rule ID, covering the
+defect classes of ISSUE.md: wrong width, lane inconsistency, out-of-range
+shift, slice out of bounds, malformed intrinsic calls — plus the synth-
+and Halide-layer variants of each.
+"""
+
+import pytest
+
+from repro.analysis import (
+    Severity,
+    check_llvm_function,
+    check_program,
+    check_semantics,
+    check_window,
+)
+from repro.autollvm import build_dictionary
+from repro.autollvm.llvmir import (
+    Function,
+    ImmOperand,
+    Instruction,
+    IntType,
+    Value,
+    VectorType,
+    VerificationError,
+    verify_function,
+)
+from repro.halide import ir as hir
+from repro.hydride_ir.ast import (
+    BvBinOp,
+    BvCast,
+    BvConst,
+    BvExtract,
+    BvVar,
+    ForConcat,
+    Input,
+    SemanticsFunction,
+)
+from repro.hydride_ir.indexexpr import IBin, IConst, IVar
+from repro.synthesis.program import SInput, SOp, SSwizzle
+
+
+def _func(body, inputs=(("a", 16), ("b", 16)), out=None):
+    decls = tuple(Input(n, IConst(w)) for n, w in inputs)
+    return SemanticsFunction("t", decls, {}, body, out or IConst(0))
+
+
+def _rules(diagnostics, severity=Severity.ERROR):
+    return {d.rule for d in diagnostics if d.severity is severity}
+
+
+class TestHydrideInjection:
+    def test_wrong_width_binop(self):
+        body = BvBinOp("bvadd", BvVar("a"), BvConst(IConst(1), IConst(8)))
+        assert "hydride/binop-width" in _rules(check_semantics(_func(body)))
+
+    def test_lane_inconsistency(self):
+        # Body width grows with the iterator: 1, 2, 3, ... bits per lane.
+        body = ForConcat(
+            "i",
+            IConst(4),
+            BvExtract(BvVar("a"), IConst(0), IBin("+", IVar("i"), IConst(1))),
+        )
+        assert "hydride/lane-width" in _rules(check_semantics(_func(body)))
+
+    def test_out_of_range_shift(self):
+        body = BvBinOp(
+            "bvshl", BvVar("a"), BvConst(IConst(20), IConst(16))
+        )
+        assert "hydride/shift-range" in _rules(check_semantics(_func(body)))
+
+    def test_slice_out_of_bounds(self):
+        body = BvExtract(BvVar("a"), IConst(12), IConst(8))
+        assert "hydride/extract-bounds" in _rules(check_semantics(_func(body)))
+
+    def test_undeclared_input(self):
+        assert "hydride/unknown-input" in _rules(
+            check_semantics(_func(BvVar("ghost")))
+        )
+
+    def test_unbound_symbol(self):
+        body = BvExtract(BvVar("a"), IVar("nowhere"), IConst(8))
+        assert "hydride/unbound-symbol" in _rules(check_semantics(_func(body)))
+
+    def test_bad_op_name(self):
+        body = BvBinOp("bvfrobnicate", BvVar("a"), BvVar("b"))
+        assert "hydride/op-name" in _rules(check_semantics(_func(body)))
+
+    def test_backwards_cast(self):
+        body = BvCast("zext", BvVar("a"), IConst(8))
+        assert "hydride/cast-width" in _rules(check_semantics(_func(body)))
+
+    def test_output_width_mismatch(self):
+        diagnostics = check_semantics(
+            _func(BvVar("a")), declared_output_width=128
+        )
+        assert "hydride/output-width" in _rules(diagnostics)
+
+    def test_nonpositive_loop_count(self):
+        body = ForConcat("i", IConst(0), BvVar("a"))
+        assert "hydride/loop-count" in _rules(check_semantics(_func(body)))
+
+
+class TestHalideInjection:
+    """Halide nodes validate partially at construction, so defects are
+    planted with object.__setattr__ on the frozen dataclasses — modelling
+    a transform that rebuilt a node wrongly."""
+
+    def test_swapped_lanes_slice(self):
+        load = hir.HLoad("a", 32, 16)
+        node = hir.HSlice(load, 0, 16)
+        object.__setattr__(node, "start", 24)  # [24, 40) of 32 lanes
+        assert "halide/slice-bounds" in _rules(check_window(node))
+
+    def test_binop_type_mismatch(self):
+        a = hir.HLoad("a", 32, 16)
+        b = hir.HLoad("b", 32, 16)
+        node = hir.HBin("add", a, b)
+        object.__setattr__(node, "right", hir.HLoad("b", 16, 32))
+        assert "halide/binop-type" in _rules(check_window(node))
+
+    def test_load_type_conflict(self):
+        a16 = hir.HLoad("a", 32, 16)
+        a32 = hir.HLoad("a", 16, 32)  # same name, different type
+        node = hir.HConcat((a16, a16))
+        object.__setattr__(node, "parts", (a16, a32))
+        rules = _rules(check_window(node))
+        assert "halide/load-conflict" in rules
+        assert "halide/concat-elem" in rules
+
+    def test_reduce_factor(self):
+        node = hir.HReduceAdd(hir.HLoad("a", 32, 16), 4)
+        object.__setattr__(node, "factor", 5)
+        assert "halide/reduce-factor" in _rules(check_window(node))
+
+    def test_shuffle_index_out_of_range(self):
+        node = hir.HShuffle(hir.HLoad("a", 8, 16), (0, 1, 99))
+        assert "halide/shuffle-index" in _rules(check_window(node))
+
+
+@pytest.fixture(scope="module")
+def dictionary():
+    return build_dictionary(("x86",))
+
+
+def _sop(dictionary, name, args, out_bits, imm_values=()):
+    op = dictionary.by_target_instruction[name]
+    binding = next(b for b in op.bindings if b.spec.name == name)
+    return SOp(op, binding, tuple(args), imm_values, None, out_bits)
+
+
+class TestSynthInjection:
+    def test_swizzle_wrong_arity(self):
+        a = SInput("a", 8, 16)
+        node = SSwizzle("interleave_lo", (a,), 16, 128)
+        assert "synth/swizzle-arity" in _rules(check_program(node))
+
+    def test_swizzle_unequal_widths(self):
+        node = SSwizzle(
+            "interleave_lo", (SInput("a", 8, 16), SInput("b", 4, 16)), 16, 128
+        )
+        assert "synth/swizzle-width" in _rules(check_program(node))
+
+    def test_swizzle_wrong_out_bits(self):
+        node = SSwizzle(
+            "interleave_full", (SInput("a", 8, 16), SInput("b", 8, 16)), 16, 128
+        )
+        # interleave_full doubles the width: 128 in -> 256 out, not 128.
+        assert "synth/swizzle-width" in _rules(check_program(node))
+
+    def test_op_wrong_arity(self, dictionary):
+        node = _sop(dictionary, "_mm_add_epi16", [SInput("a", 8, 16)], 128)
+        assert "synth/op-arity" in _rules(check_program(node))
+
+    def test_op_wrong_arg_width(self, dictionary):
+        args = [SInput("a", 8, 16), SInput("b", 4, 16)]
+        node = _sop(dictionary, "_mm_add_epi16", args, 128)
+        assert "synth/arg-width" in _rules(check_program(node))
+
+    def test_op_wrong_out_bits(self, dictionary):
+        args = [SInput("a", 8, 16), SInput("b", 8, 16)]
+        node = _sop(dictionary, "_mm_add_epi16", args, 999)
+        assert "synth/out-width" in _rules(check_program(node))
+
+
+class TestLlvmInjection:
+    def test_bad_intrinsic_arity(self):
+        ty = VectorType(8, 16)
+        a = Value("a", ty)
+        f = Function("w", [a])
+        out = Value("r", VectorType(16, 16))
+        f.add(Instruction(out, "autollvm.view.concat", [a]))  # needs 2 regs
+        f.ret = out
+        assert "llvm/op-arity" in _rules(check_llvm_function(f))
+
+    def test_register_after_immediate(self):
+        ty = VectorType(8, 16)
+        a = Value("a", ty)
+        f = Function("w", [a])
+        out = Value("r", ty)
+        f.add(
+            Instruction(
+                out, "autollvm.swizzle.interleave_single", [ImmOperand(16), a]
+            )
+        )
+        f.ret = out
+        assert "llvm/imm-position" in _rules(check_llvm_function(f))
+
+    def test_immediate_not_i32(self):
+        ty = VectorType(8, 16)
+        a = Value("a", ty)
+        f = Function("w", [a])
+        out = Value("r", VectorType(8, 16))
+        f.add(
+            Instruction(
+                out,
+                "autollvm.swizzle.interleave_single",
+                [a, ImmOperand(16, IntType(8))],
+            )
+        )
+        f.ret = out
+        assert "llvm/imm-type" in _rules(check_llvm_function(f))
+
+    def test_slice_result_width(self):
+        src = Value("a", VectorType(16, 16))
+        f = Function("w", [src])
+        out = Value("r", VectorType(16, 16))  # should be half the source
+        f.add(Instruction(out, "autollvm.view.slice", [src, ImmOperand(0)]))
+        f.ret = out
+        assert "llvm/result-type" in _rules(check_llvm_function(f))
+
+    def test_compute_arity_against_dictionary(self, dictionary):
+        op = dictionary.by_target_instruction["_mm_add_epi16"]
+        ty = VectorType(8, 16)
+        a = Value("a", ty)
+        f = Function("w", [a])
+        out = Value("r", ty)
+        f.add(Instruction(out, op.name, [a]))  # binary op called unary
+        f.ret = out
+        assert "llvm/op-arity" in _rules(check_llvm_function(f, dictionary))
+
+    def test_verify_function_raises_with_diagnostics(self):
+        f = Function("bad", [])
+        ghost = Value("ghost", IntType(32))
+        f.add(Instruction(Value("r", IntType(32)), "op", [ghost]))
+        with pytest.raises(VerificationError) as info:
+            verify_function(f)
+        assert info.value.diagnostics
+        assert info.value.diagnostics[0].rule == "llvm/undef-value"

@@ -11,8 +11,7 @@ from repro.backend import (
 )
 from repro.backend.rake import RakeHvxInterpreter, rake_dictionary, rake_supported_count
 from repro.autollvm import build_dictionary
-from repro.halide import ir as hir
-from repro.halide.dsl import Buffer, Func, Var, cast, maximum, sat_cast
+from repro.halide.dsl import Buffer, Func, Var, cast, sat_cast
 from repro.halide.lowering import lower_func
 from repro.synthesis import CegisOptions, MemoCache
 

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.bitvector import BitVector, bv
+from repro.bitvector import BitVector
 from repro.bitvector.lanes import vector_from_ints
 from repro.halide import ir as hir
 from repro.halide.dsl import (
@@ -13,15 +13,9 @@ from repro.halide.dsl import (
     Param,
     RDom,
     Var,
-    absolute,
     cast,
     maximum,
-    minimum,
-    rounding_avg_u,
     sat_cast,
-    saturating_add,
-    select,
-    gt,
     summation,
 )
 from repro.halide.lowering import LoweringError, lower_func

@@ -4,12 +4,11 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.bitvector import BitVector, bv
+from repro.bitvector import bv
 from repro.hydride_ir import (
     BvBinOp,
     BvCast,
     BvConcat,
-    BvConst,
     BvExtract,
     BvVar,
     ForConcat,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.isa.registry import load_isa
-from repro.similarity.constants import extract_constants, skeleton_key
+from repro.similarity.constants import extract_constants
 from repro.similarity.engine import SimilarityEngine, build_equivalence_classes
 from repro.similarity.eqclass import restrict_classes
 from repro.similarity.equivalence import (

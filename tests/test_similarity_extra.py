@@ -1,6 +1,5 @@
 """Additional similarity-engine coverage: extensibility and statistics."""
 
-import pytest
 
 from repro.hydride_ir.transforms import canonicalize
 from repro.isa.registry import load_isa

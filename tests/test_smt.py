@@ -5,7 +5,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.bitvector import BitVector
-from repro.smt import terms as T
 from repro.smt.bitblast import BitBlaster, NotBitblastable
 from repro.smt.eval import evaluate
 from repro.smt.sat import CdclSolver, solve_cnf

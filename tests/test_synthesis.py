@@ -3,7 +3,6 @@
 import pytest
 
 from repro.autollvm import build_dictionary
-from repro.bitvector import BitVector
 from repro.bitvector.lanes import vector_from_ints
 from repro.halide import ir as hir
 from repro.synthesis import (

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.autollvm import InstructionSelector, build_dictionary
-from repro.autollvm.llvmir import ImmOperand, Value, verify_function
+from repro.autollvm.llvmir import ImmOperand, verify_function
 from repro.synthesis.program import SConcat, SInput, SOp, SSlice, SSwizzle
 from repro.synthesis.translate import translate_program
 
