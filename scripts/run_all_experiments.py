@@ -24,6 +24,14 @@ def main() -> int:
     parser.add_argument(
         "--only", default="", help="comma-separated subset, e.g. table1,figure6"
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="fan suite compilations out over N service workers",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="persistent synthesis cache directory (survives restarts)",
+    )
     args = parser.parse_args()
     if args.full:
         os.environ["REPRO_FULL_SUITE"] = "1"
@@ -59,7 +67,11 @@ def main() -> int:
         ]
         benchmarks = [benchmark_named(n) for n in names]
 
-    runner = ExperimentRunner(CegisOptions(timeout_seconds=20.0, scale_factor=8))
+    runner = ExperimentRunner(
+        CegisOptions(timeout_seconds=20.0, scale_factor=8),
+        cache_dir=args.cache_dir,
+        jobs=args.jobs,
+    )
 
     def emit(name: str, text: str, seconds: float) -> None:
         path = out_dir / f"{name}.txt"

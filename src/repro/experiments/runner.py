@@ -72,16 +72,28 @@ class ExperimentRunner:
 
     One Hydride compiler (and memo cache) is shared per target, so
     synthesis results accumulate across benchmarks as in the paper's
-    Table 4 column II scenario.
+    Table 4 column II scenario.  With ``cache_dir`` set the per-target
+    caches are persistent (:class:`repro.service.store.PersistentCache`),
+    so the warm-cache scenario survives process restarts; with ``jobs``
+    > 1, ``run_suite`` fans compilations out through the service
+    scheduler instead of the in-process serial loop.
     """
 
-    def __init__(self, cegis: CegisOptions | None = None) -> None:
+    def __init__(
+        self,
+        cegis: CegisOptions | None = None,
+        cache_dir: str | None = None,
+        jobs: int = 1,
+    ) -> None:
         self.dictionary = build_dictionary(("x86", "hvx", "arm"))
         self.cegis = cegis or fast_hydride_options()
+        self.cache_dir = cache_dir
+        self.jobs = max(1, jobs)
+        self.last_service_stats = None
         self.caches: dict[str, MemoCache] = {}
         self.hydride: dict[str, HydrideCompiler] = {}
         for isa in ("x86", "hvx", "arm"):
-            self.caches[isa] = MemoCache()
+            self.caches[isa] = self._make_cache(isa)
             self.hydride[isa] = HydrideCompiler(
                 dictionary=self.dictionary,
                 cache=self.caches[isa],
@@ -90,6 +102,13 @@ class ExperimentRunner:
         self.halide = HalideNativeCompiler()
         self.llvm = LlvmGenericCompiler()
         self.rake = RakeCompiler(dictionary=self.dictionary)
+
+    def _make_cache(self, isa: str) -> MemoCache:
+        if self.cache_dir is None:
+            return MemoCache()
+        from repro.service.store import PersistentCache
+
+        return PersistentCache(self.cache_dir, isa, self.dictionary)
 
     def compiler_named(self, name: str, isa: str):
         if name == "hydride":
@@ -119,16 +138,18 @@ class ExperimentRunner:
                 compile_seconds=time.time() - start,
                 expression_count=expressions,
             )
-        except (CompileError, Exception) as exc:  # noqa: BLE001
-            if not isinstance(exc, CompileError):
-                # Unexpected errors should be visible during development
-                # but recorded rather than fatal during sweeps.
-                error = f"{type(exc).__name__}: {exc}"
-            else:
-                error = str(exc)
+        except CompileError as exc:
             return BenchmarkResult(
                 benchmark.name, isa, compiler_name, None,
-                compile_seconds=time.time() - start, error=error,
+                compile_seconds=time.time() - start, error=str(exc),
+            )
+        except Exception as exc:  # noqa: BLE001
+            # Unexpected errors should be visible during development but
+            # recorded rather than fatal during sweeps.
+            return BenchmarkResult(
+                benchmark.name, isa, compiler_name, None,
+                compile_seconds=time.time() - start,
+                error=f"{type(exc).__name__}: {exc}",
             )
 
     def run_suite(
@@ -136,12 +157,42 @@ class ExperimentRunner:
         isa: str,
         compilers: tuple[str, ...],
         benchmarks: list[Benchmark] | None = None,
+        jobs: int | None = None,
     ) -> SuiteResult:
+        jobs = self.jobs if jobs is None else max(1, jobs)
+        benchmarks = benchmarks or all_benchmarks()
+        if jobs > 1:
+            return self._run_suite_service(isa, compilers, benchmarks, jobs)
         suite = SuiteResult(isa)
-        for benchmark in benchmarks or all_benchmarks():
+        for benchmark in benchmarks:
             for compiler_name in compilers:
                 result = self.run_one(benchmark, isa, compiler_name)
                 suite.results[(benchmark.name, compiler_name)] = result
+        return suite
+
+    def _run_suite_service(
+        self,
+        isa: str,
+        compilers: tuple[str, ...],
+        benchmarks: list[Benchmark],
+        jobs: int,
+    ) -> SuiteResult:
+        """Fan the suite out through the compilation service."""
+        from repro.service import CompileJob, Scheduler, ServiceOptions
+
+        requests = [
+            CompileJob(benchmark.name, isa, compiler_name)
+            for benchmark in benchmarks
+            for compiler_name in compilers
+        ]
+        scheduler = Scheduler(
+            ServiceOptions(jobs=jobs, cache_dir=self.cache_dir, cegis=self.cegis)
+        )
+        suite = SuiteResult(isa)
+        for outcome in scheduler.run(requests):
+            result = outcome.result
+            suite.results[(result.benchmark, result.compiler)] = result
+        self.last_service_stats = scheduler.last_stats
         return suite
 
 

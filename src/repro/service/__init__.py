@@ -1,0 +1,47 @@
+"""The compilation service (``python -m repro.service``).
+
+Turns the one-shot Hydride compiler into a long-lived, concurrent
+system built for the paper's Table 4 warm-cache scenario at scale:
+
+* :mod:`repro.service.store` — persistent content-addressed synthesis
+  cache, namespaced by a fingerprint of the AutoLLVM dictionary and
+  grammar version so stale results are invalidated soundly;
+* :mod:`repro.service.jobs` — the compile-job API with per-job
+  timeout, retry-with-reduced-budget and baseline fallback;
+* :mod:`repro.service.scheduler` — parallel fan-out over forked worker
+  processes with cache-aware de-duplication of in-flight identical
+  windows;
+* :mod:`repro.service.__main__` — the ``warm`` / ``compile`` /
+  ``stats`` / ``gc`` CLI.
+"""
+
+from repro.service.jobs import CompileJob, JobResult, JobTelemetry, execute_job
+from repro.service.scheduler import (
+    Scheduler,
+    ServiceOptions,
+    ServiceStats,
+    default_cegis_options,
+)
+from repro.service.store import (
+    PersistentCache,
+    gc_store,
+    read_run_telemetry,
+    record_run_telemetry,
+    store_stats,
+)
+
+__all__ = [
+    "CompileJob",
+    "JobResult",
+    "JobTelemetry",
+    "execute_job",
+    "Scheduler",
+    "ServiceOptions",
+    "ServiceStats",
+    "default_cegis_options",
+    "PersistentCache",
+    "gc_store",
+    "read_run_telemetry",
+    "record_run_telemetry",
+    "store_stats",
+]

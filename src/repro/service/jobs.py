@@ -1,0 +1,248 @@
+"""Compile jobs: the unit of work the service schedules.
+
+A job is one (benchmark × ISA × compiler) compilation.  Jobs are plain
+picklable dataclasses so they cross process boundaries; execution happens
+in :func:`execute_job`, which is also the worker entry point.
+
+Robustness semantics:
+
+* **timeout + retry-with-reduced-budget** — each attempt halves the
+  per-window CEGIS budget; an attempt that overruns its share of the
+  job's wall budget is abandoned and retried with the smaller budget
+  (synthesis that can't fit simply degrades to more cache/negative-cache
+  entries and split windows).
+* **graceful degradation** — if every attempt errors out (or the
+  scheduler kills a hung worker), the job is re-run through the fallback
+  baseline backend (``llvm`` by default, ``rake`` selectable) and the
+  substitution is recorded in the result's ``error`` note and the job
+  telemetry instead of being raised.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.autollvm import build_dictionary
+from repro.backend import (
+    CompileError,
+    HalideNativeCompiler,
+    HydrideCompiler,
+    LlvmGenericCompiler,
+    RakeCompiler,
+)
+from repro.experiments.runner import BenchmarkResult
+from repro.synthesis import CegisOptions, MemoCache
+from repro.workloads.registry import benchmark_named
+
+
+class JobTimeout(Exception):
+    """One attempt exceeded its share of the job's wall budget."""
+
+
+@dataclass
+class CompileJob:
+    """One compilation request."""
+
+    benchmark: str
+    isa: str
+    compiler: str = "hydride"
+    # Wall-clock budget for the whole job (all attempts); None = no limit
+    # beyond the per-window CEGIS budget.
+    timeout_seconds: float | None = None
+    # Extra attempts after the first, each with a halved CEGIS budget.
+    retries: int = 1
+    # Baseline backend used when every attempt fails ("" disables).
+    fallback: str = "llvm"
+
+
+@dataclass
+class JobTelemetry:
+    """Per-job accounting reported back to the scheduler."""
+
+    cache_hits: int = 0
+    failure_hits: int = 0
+    synth_calls: int = 0  # cache misses that went to CEGIS
+    entries_added: int = 0
+    wall_seconds: float = 0.0
+    attempts: int = 1
+    worker_pid: int = 0
+    fallback: str = ""
+
+    @property
+    def lookups(self) -> int:
+        return self.cache_hits + self.failure_hits + self.synth_calls
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        if lookups == 0:
+            return 0.0
+        return (self.cache_hits + self.failure_hits) / lookups
+
+
+@dataclass
+class JobResult:
+    job: CompileJob
+    result: BenchmarkResult
+    telemetry: JobTelemetry = field(default_factory=JobTelemetry)
+
+    @property
+    def ok(self) -> bool:
+        return self.result.ok
+
+
+def make_compiler(name: str, dictionary, cache: MemoCache, cegis: CegisOptions):
+    if name == "hydride":
+        return HydrideCompiler(dictionary=dictionary, cache=cache, cegis=cegis)
+    if name == "halide":
+        return HalideNativeCompiler()
+    if name == "llvm":
+        return LlvmGenericCompiler()
+    if name == "rake":
+        return RakeCompiler(dictionary=dictionary)
+    raise ValueError(f"unknown compiler {name!r}")
+
+
+def _open_cache(job: CompileJob, cache_dir, dictionary) -> MemoCache:
+    if cache_dir is None or job.compiler != "hydride":
+        return MemoCache()
+    from repro.service.store import PersistentCache
+
+    return PersistentCache(cache_dir, job.isa, dictionary)
+
+
+def _compile_once(
+    job: CompileJob,
+    compiler_name: str,
+    dictionary,
+    cache: MemoCache,
+    cegis: CegisOptions,
+    deadline: float | None,
+) -> BenchmarkResult:
+    benchmark = benchmark_named(job.benchmark)
+    compiler = make_compiler(compiler_name, dictionary, cache, cegis)
+    start = time.monotonic()
+    try:
+        kernels = benchmark.lower(job.isa)
+        total_us = 0.0
+        expressions = 0
+        for kernel in kernels:
+            if deadline is not None and time.monotonic() > deadline:
+                raise JobTimeout(
+                    f"{job.benchmark}/{job.isa} exceeded its wall budget"
+                )
+            compiled = compiler.compile(kernel, job.isa)
+            total_us += compiled.simulate().runtime_us
+            accounting = getattr(compiled, "accounting", None)
+            if accounting is not None:
+                expressions += accounting.expression_count
+        return BenchmarkResult(
+            benchmark.name,
+            job.isa,
+            job.compiler,
+            total_us,
+            compile_seconds=time.monotonic() - start,
+            expression_count=expressions,
+        )
+    except CompileError as exc:
+        return BenchmarkResult(
+            benchmark.name, job.isa, job.compiler, None,
+            compile_seconds=time.monotonic() - start, error=str(exc),
+        )
+    except JobTimeout:
+        raise
+    except Exception as exc:  # noqa: BLE001 - recorded, not fatal mid-suite
+        return BenchmarkResult(
+            benchmark.name, job.isa, job.compiler, None,
+            compile_seconds=time.monotonic() - start,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+
+
+def execute_job(
+    job: CompileJob,
+    cache_dir: str | None,
+    cegis: CegisOptions,
+) -> JobResult:
+    """Run one job to completion (worker entry point).
+
+    Applies the retry ladder and the baseline fallback; always returns a
+    :class:`JobResult`, never raises on compilation problems.
+    """
+    started = time.monotonic()
+    deadline = (
+        started + job.timeout_seconds if job.timeout_seconds is not None else None
+    )
+    dictionary = build_dictionary(("x86", "hvx", "arm"))
+    cache = _open_cache(job, cache_dir, dictionary)
+    telemetry = JobTelemetry(worker_pid=os.getpid())
+
+    result: BenchmarkResult | None = None
+    for attempt in range(job.retries + 1):
+        telemetry.attempts = attempt + 1
+        budget = dataclasses.replace(
+            cegis, timeout_seconds=cegis.timeout_seconds / (2**attempt)
+        )
+        before = cache.counters()
+        timed_out = False
+        try:
+            result = _compile_once(
+                job, job.compiler, dictionary, cache, budget, deadline
+            )
+        except JobTimeout as exc:
+            timed_out = True
+            result = BenchmarkResult(
+                job.benchmark, job.isa, job.compiler, None, error=str(exc)
+            )
+        after = cache.counters()
+        telemetry.cache_hits += after["hits"] - before["hits"]
+        telemetry.failure_hits += after["failure_hits"] - before["failure_hits"]
+        telemetry.synth_calls += after["misses"] - before["misses"]
+        telemetry.entries_added += (
+            after["entries"] - before["entries"]
+            + after["failures"] - before["failures"]
+        )
+        if result.ok or not timed_out:
+            # Deterministic failures don't improve with a smaller budget;
+            # only timed-out attempts walk the retry ladder.
+            break
+
+    assert result is not None
+    if not result.ok and job.fallback and job.fallback != job.compiler:
+        original_error = result.error
+        fallback_result = _compile_once(
+            job, job.fallback, dictionary, MemoCache(), cegis, None
+        )
+        if fallback_result.ok:
+            telemetry.fallback = job.fallback
+            result = dataclasses.replace(
+                fallback_result,
+                error=f"fallback={job.fallback}: {original_error}",
+            )
+
+    telemetry.wall_seconds = time.monotonic() - started
+    return JobResult(job, result, telemetry)
+
+
+def fallback_job_result(
+    job: CompileJob, cegis: CegisOptions, reason: str
+) -> JobResult:
+    """Baseline-backend result for a job whose worker had to be killed.
+
+    Runs in the scheduler's own process; the fallback backends do no
+    synthesis, so this is fast and cannot hang.
+    """
+    started = time.monotonic()
+    name = job.fallback or "llvm"
+    dictionary = build_dictionary(("x86", "hvx", "arm"))
+    result = _compile_once(job, name, dictionary, MemoCache(), cegis, None)
+    result = dataclasses.replace(result, error=f"fallback={name}: {reason}")
+    telemetry = JobTelemetry(
+        worker_pid=os.getpid(),
+        fallback=name,
+        wall_seconds=time.monotonic() - started,
+    )
+    return JobResult(job, result, telemetry)

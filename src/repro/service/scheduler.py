@@ -1,0 +1,301 @@
+"""Parallel, cache-aware job scheduling.
+
+The scheduler fans :class:`~repro.service.jobs.CompileJob`\\ s out over a
+pool of worker processes (one process per job attempt, up to ``jobs``
+alive at once, forked so the parent's already-built AutoLLVM dictionary
+is inherited for free) and de-duplicates in-flight synthesis work:
+
+* Each hydride job's top-level window keys (``canonical_key`` of every
+  lowered kernel window) are computed **in the parent** before dispatch.
+* A job sharing any window key with a currently-running job is deferred
+  until that job completes — by then the owner has written the entry to
+  the persistent store, so the deferred job replays it from disk instead
+  of synthesizing the identical window a second time.
+
+With ``jobs <= 1`` (the default) everything runs serially in-process —
+no fork, no pickling — which is the path tier-1 tests and single-kernel
+uses take.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+
+from repro.synthesis import CegisOptions
+from repro.service.jobs import (
+    CompileJob,
+    JobResult,
+    execute_job,
+    fallback_job_result,
+)
+
+# Grace factor on a job's wall budget before the parent hard-kills the
+# worker (the in-worker deadline normally fires first; the kill is the
+# backstop for a genuinely wedged process).
+KILL_GRACE = 1.5
+_POLL_SECONDS = 0.02
+
+
+def default_cegis_options() -> CegisOptions:
+    """The service's synthesis budget (mirrors the experiment suite's)."""
+    return CegisOptions(timeout_seconds=25.0, scale_factor=8)
+
+
+@dataclass
+class ServiceOptions:
+    jobs: int = 1
+    cache_dir: str | None = None
+    cegis: CegisOptions = field(default_factory=default_cegis_options)
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate telemetry for one scheduler run."""
+
+    jobs: int = 0
+    ok: int = 0
+    cache_hits: int = 0
+    failure_hits: int = 0
+    synth_calls: int = 0
+    entries_added: int = 0
+    fallbacks: int = 0
+    deferred: int = 0
+    killed: int = 0
+    wall_seconds: float = 0.0
+    busy_seconds: float = 0.0
+    workers: int = 1
+
+    @property
+    def lookups(self) -> int:
+        return self.cache_hits + self.failure_hits + self.synth_calls
+
+    @property
+    def hit_rate(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return (self.cache_hits + self.failure_hits) / self.lookups
+
+    @property
+    def utilization(self) -> float:
+        capacity = self.wall_seconds * max(1, self.workers)
+        if capacity <= 0:
+            return 0.0
+        return min(1.0, self.busy_seconds / capacity)
+
+    def to_dict(self) -> dict:
+        return {
+            "jobs": self.jobs,
+            "ok": self.ok,
+            "cache_hits": self.cache_hits,
+            "failure_hits": self.failure_hits,
+            "synth_calls": self.synth_calls,
+            "entries_added": self.entries_added,
+            "fallbacks": self.fallbacks,
+            "deferred": self.deferred,
+            "killed": self.killed,
+            "wall_seconds": round(self.wall_seconds, 3),
+            "hit_rate": round(self.hit_rate, 4),
+            "utilization": round(self.utilization, 4),
+            "workers": self.workers,
+        }
+
+
+def window_keys(job: CompileJob) -> frozenset[str]:
+    """Canonical keys of a job's top-level synthesis windows.
+
+    Computed in the parent for in-flight de-duplication.  Only hydride
+    jobs synthesize; anything that fails to lower here returns no keys
+    and the error surfaces in the worker instead.
+    """
+    if job.compiler != "hydride":
+        return frozenset()
+    try:
+        from repro.backend.hydride import rewrite_broadcasts
+        from repro.synthesis.cache import canonical_key
+        from repro.workloads.registry import benchmark_named
+
+        benchmark = benchmark_named(job.benchmark)
+        return frozenset(
+            canonical_key(rewrite_broadcasts(kernel.window), job.isa)
+            for kernel in benchmark.lower(job.isa)
+        )
+    except Exception:  # noqa: BLE001 - dedup is an optimization only
+        return frozenset()
+
+
+class Scheduler:
+    """Runs a batch of compile jobs, serially or across worker processes."""
+
+    def __init__(self, options: ServiceOptions | None = None) -> None:
+        self.options = options or ServiceOptions()
+        self.last_stats = ServiceStats()
+
+    # ------------------------------------------------------------------
+
+    def run(self, jobs: list[CompileJob]) -> list[JobResult]:
+        """Execute all jobs; results come back in the input order."""
+        started = time.monotonic()
+        stats = ServiceStats(
+            jobs=len(jobs), workers=max(1, self.options.jobs)
+        )
+        if self.options.jobs <= 1 or len(jobs) <= 1:
+            results = [
+                execute_job(job, self.options.cache_dir, self.options.cegis)
+                for job in jobs
+            ]
+        else:
+            results = self._run_parallel(jobs, stats)
+        stats.wall_seconds = time.monotonic() - started
+        for outcome in results:
+            stats.ok += 1 if outcome.ok else 0
+            stats.cache_hits += outcome.telemetry.cache_hits
+            stats.failure_hits += outcome.telemetry.failure_hits
+            stats.synth_calls += outcome.telemetry.synth_calls
+            stats.entries_added += outcome.telemetry.entries_added
+            stats.fallbacks += 1 if outcome.telemetry.fallback else 0
+            stats.busy_seconds += outcome.telemetry.wall_seconds
+        self.last_stats = stats
+        if self.options.cache_dir is not None:
+            from repro.service.store import record_run_telemetry
+
+            record_run_telemetry(self.options.cache_dir, stats.to_dict())
+        return results
+
+    # ------------------------------------------------------------------
+
+    def _run_parallel(
+        self, jobs: list[CompileJob], stats: ServiceStats
+    ) -> list[JobResult]:
+        # Warm the dictionary cache before forking so children inherit it.
+        from repro.autollvm import build_dictionary
+
+        build_dictionary(("x86", "hvx", "arm"))
+
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        # In-flight dedup only pays off when workers share a disk cache.
+        dedup = self.options.cache_dir is not None
+        keys = [window_keys(job) if dedup else frozenset() for job in jobs]
+
+        pending: list[int] = list(range(len(jobs)))
+        results: dict[int, JobResult] = {}
+        # index -> (process, parent_conn, started_at)
+        running: dict[int, tuple] = {}
+        running_keys: set[str] = set()
+        deferred_seen: set[int] = set()
+
+        def launch(index: int) -> None:
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(
+                    child_conn,
+                    jobs[index],
+                    self.options.cache_dir,
+                    self.options.cegis,
+                ),
+            )
+            proc.start()
+            child_conn.close()
+            running[index] = (proc, parent_conn, time.monotonic())
+            running_keys.update(keys[index])
+
+        def finish(index: int, outcome: JobResult) -> None:
+            results[index] = outcome
+            proc, conn, _started = running.pop(index)
+            conn.close()
+            proc.join()
+            running_keys.difference_update(keys[index])
+            # Keys owned by still-running jobs stay blocked.
+            for other in running:
+                running_keys.update(keys[other])
+
+        while pending or running:
+            # Launch every eligible job while worker slots are free.
+            launched = False
+            for index in list(pending):
+                if len(running) >= self.options.jobs:
+                    break
+                if keys[index] & running_keys:
+                    if index not in deferred_seen:
+                        deferred_seen.add(index)
+                        stats.deferred += 1
+                    continue
+                pending.remove(index)
+                launch(index)
+                launched = True
+            if launched:
+                continue
+            if not running:
+                # Everything pending conflicts but nothing runs: cannot
+                # happen (conflicts are only with running jobs), guard
+                # against it anyway rather than spinning forever.
+                index = pending.pop(0)
+                launch(index)
+                continue
+
+            time.sleep(_POLL_SECONDS)
+            for index in list(running):
+                proc, conn, started_at = running[index]
+                job = jobs[index]
+                if conn.poll(0):
+                    try:
+                        outcome = conn.recv()
+                    except EOFError:
+                        outcome = None
+                    if outcome is not None:
+                        finish(index, outcome)
+                        continue
+                if not proc.is_alive() and not conn.poll(0):
+                    # Worker died without reporting (crash/OOM).
+                    finish(
+                        index,
+                        fallback_job_result(
+                            job,
+                            self.options.cegis,
+                            f"worker exited with code {proc.exitcode}",
+                        ),
+                    )
+                    continue
+                limit = _kill_limit(job)
+                if limit is not None and time.monotonic() - started_at > limit:
+                    proc.terminate()
+                    proc.join()
+                    stats.killed += 1
+                    finish(
+                        index,
+                        fallback_job_result(
+                            job, self.options.cegis, "worker killed after timeout"
+                        ),
+                    )
+
+        return [results[i] for i in range(len(jobs))]
+
+
+def _kill_limit(job: CompileJob) -> float | None:
+    if job.timeout_seconds is None:
+        return None
+    return job.timeout_seconds * KILL_GRACE + 5.0
+
+
+def _worker_main(conn, job: CompileJob, cache_dir, cegis) -> None:
+    try:
+        outcome = execute_job(job, cache_dir, cegis)
+    except BaseException as exc:  # noqa: BLE001 - must report, not die silent
+        from repro.experiments.runner import BenchmarkResult
+        from repro.service.jobs import JobTelemetry
+
+        outcome = JobResult(
+            job,
+            BenchmarkResult(
+                job.benchmark, job.isa, job.compiler, None,
+                error=f"worker error: {type(exc).__name__}: {exc}",
+            ),
+            JobTelemetry(),
+        )
+    conn.send(outcome)
+    conn.close()

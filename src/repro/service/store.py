@@ -1,0 +1,252 @@
+"""Persistent, content-addressed synthesis cache.
+
+Layout under a cache root directory::
+
+    <root>/
+      stats.json                     # telemetry of the most recent runs
+      <isa>/<fingerprint16>/
+        meta.json                    # full fingerprint + versions
+        e-<sha256(key)[:32]>.json    # one positive entry (program + cost)
+        f-<sha256(key)[:32]>.json    # one negative entry (failed window)
+
+The fingerprint (see :func:`repro.synthesis.serialize.dictionary_fingerprint`)
+hashes the AutoLLVM dictionary structure plus the grammar/format versions,
+so a regenerated dictionary lands in a fresh namespace and stale entries
+are never replayed; ``gc`` removes namespaces whose fingerprint no longer
+matches the current dictionary.
+
+Writes are atomic (write-to-temp + ``os.replace``) and idempotent, which
+makes concurrent write-through from multiple worker processes safe: two
+workers racing on the same window write byte-identical files.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from repro.autollvm.intrinsics import AutoLLVMDictionary
+from repro.halide import ir as hir
+from repro.synthesis.cache import CacheEntry, MemoCache, canonical_key
+from repro.synthesis.serialize import (
+    SERIALIZE_VERSION,
+    SerializeError,
+    dictionary_fingerprint,
+    entry_from_json,
+    entry_to_json,
+)
+
+STATS_FILE = "stats.json"
+FINGERPRINT_DIR_CHARS = 16
+
+
+def _key_hash(key: str) -> str:
+    return hashlib.sha256(key.encode()).hexdigest()[:32]
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-", suffix=".json")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class PersistentCache(MemoCache):
+    """A :class:`MemoCache` backed by an on-disk store.
+
+    On construction every entry persisted under the current fingerprint
+    is loaded; ``store``/``store_failure`` write through to disk.  Entries
+    that fail to deserialize (corrupt files, instructions that no longer
+    exist) are skipped — the window simply re-synthesizes and overwrites
+    them.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        isa: str,
+        dictionary: AutoLLVMDictionary,
+        fingerprint: str | None = None,
+    ) -> None:
+        super().__init__()
+        self.isa = isa
+        self.dictionary = dictionary
+        self.fingerprint = fingerprint or dictionary_fingerprint(dictionary)
+        self.root = Path(root)
+        self.dir = self.root / isa / self.fingerprint[:FINGERPRINT_DIR_CHARS]
+        self.dir.mkdir(parents=True, exist_ok=True)
+        self.load_errors = 0
+        self._write_meta()
+        self._load()
+
+    # -- disk I/O -------------------------------------------------------
+
+    def _write_meta(self) -> None:
+        meta = self.dir / "meta.json"
+        if not meta.exists():
+            _atomic_write(
+                meta,
+                json.dumps(
+                    {
+                        "fingerprint": self.fingerprint,
+                        "isa": self.isa,
+                        "serialize_version": SERIALIZE_VERSION,
+                    },
+                    sort_keys=True,
+                ),
+            )
+
+    def _load(self) -> None:
+        for path in sorted(self.dir.glob("e-*.json")):
+            try:
+                key, entry = entry_from_json(
+                    path.read_text(), self.dictionary
+                )
+            except (SerializeError, OSError):
+                self.load_errors += 1
+                continue
+            self._entries[key] = entry
+        for path in sorted(self.dir.glob("f-*.json")):
+            try:
+                key = json.loads(path.read_text())["key"]
+            except (json.JSONDecodeError, KeyError, TypeError, OSError):
+                self.load_errors += 1
+                continue
+            self._failures.add(key)
+
+    def refresh(self) -> int:
+        """Pick up entries written by other processes since load.
+
+        Returns the number of new entries adopted.  Counters are kept, so
+        a refresh never perturbs hit/miss accounting.
+        """
+        before = len(self._entries) + len(self._failures)
+        self._load()
+        return len(self._entries) + len(self._failures) - before
+
+    # -- write-through overrides ---------------------------------------
+
+    def store(
+        self, expr: hir.HExpr, isa: str, program, cost: float
+    ) -> None:
+        super().store(expr, isa, program, cost)
+        key = canonical_key(expr, isa)
+        entry = self._entries[key]
+        _atomic_write(
+            self.dir / f"e-{_key_hash(key)}.json", entry_to_json(key, entry)
+        )
+
+    def store_failure(self, expr: hir.HExpr, isa: str) -> None:
+        super().store_failure(expr, isa)
+        key = canonical_key(expr, isa)
+        _atomic_write(
+            self.dir / f"f-{_key_hash(key)}.json",
+            json.dumps({"key": key}, sort_keys=True),
+        )
+
+    def put_entry(self, key: str, entry: CacheEntry) -> None:
+        """Adopt an already-canonicalized entry (service internal use)."""
+        self._entries[key] = entry
+        _atomic_write(
+            self.dir / f"e-{_key_hash(key)}.json", entry_to_json(key, entry)
+        )
+
+
+# ----------------------------------------------------------------------
+# Store-level maintenance (CLI `stats` / `gc`)
+# ----------------------------------------------------------------------
+
+
+def store_stats(root: str | Path) -> dict:
+    """Inventory of a cache root: namespaces, entry counts, disk bytes."""
+    root = Path(root)
+    namespaces = []
+    total_entries = total_failures = total_bytes = 0
+    if root.is_dir():
+        for isa_dir in sorted(p for p in root.iterdir() if p.is_dir()):
+            for fp_dir in sorted(p for p in isa_dir.iterdir() if p.is_dir()):
+                entries = len(list(fp_dir.glob("e-*.json")))
+                failures = len(list(fp_dir.glob("f-*.json")))
+                size = sum(p.stat().st_size for p in fp_dir.glob("*.json"))
+                fingerprint = fp_dir.name
+                meta = fp_dir / "meta.json"
+                if meta.exists():
+                    try:
+                        fingerprint = json.loads(meta.read_text())["fingerprint"]
+                    except (json.JSONDecodeError, KeyError):
+                        pass
+                namespaces.append(
+                    {
+                        "isa": isa_dir.name,
+                        "fingerprint": fingerprint,
+                        "entries": entries,
+                        "failures": failures,
+                        "bytes": size,
+                    }
+                )
+                total_entries += entries
+                total_failures += failures
+                total_bytes += size
+    return {
+        "root": str(root),
+        "namespaces": namespaces,
+        "total_entries": total_entries,
+        "total_failures": total_failures,
+        "total_bytes": total_bytes,
+        "last_run": read_run_telemetry(root),
+    }
+
+
+def gc_store(root: str | Path, keep_fingerprint: str) -> dict:
+    """Remove every namespace whose fingerprint differs from the current one.
+
+    Returns counts of removed namespaces and files.  The live namespace
+    (current fingerprint, any ISA) is left untouched.
+    """
+    root = Path(root)
+    removed_dirs = 0
+    removed_files = 0
+    keep = keep_fingerprint[:FINGERPRINT_DIR_CHARS]
+    if root.is_dir():
+        for isa_dir in sorted(p for p in root.iterdir() if p.is_dir()):
+            for fp_dir in sorted(p for p in isa_dir.iterdir() if p.is_dir()):
+                if fp_dir.name == keep:
+                    continue
+                for path in fp_dir.glob("*"):
+                    path.unlink()
+                    removed_files += 1
+                fp_dir.rmdir()
+                removed_dirs += 1
+            if not any(isa_dir.iterdir()):
+                isa_dir.rmdir()
+    return {"removed_namespaces": removed_dirs, "removed_files": removed_files}
+
+
+def record_run_telemetry(root: str | Path, data: dict) -> None:
+    """Persist the aggregate telemetry of a service run (CLI `stats`)."""
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    data = dict(data)
+    data["recorded_at"] = time.strftime("%Y-%m-%dT%H:%M:%S")
+    _atomic_write(root / STATS_FILE, json.dumps(data, sort_keys=True, indent=2))
+
+
+def read_run_telemetry(root: str | Path) -> dict | None:
+    path = Path(root) / STATS_FILE
+    if not path.exists():
+        return None
+    try:
+        return json.loads(path.read_text())
+    except json.JSONDecodeError:
+        return None

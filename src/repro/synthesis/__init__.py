@@ -17,7 +17,9 @@ AutoLLVM operations using counterexample-guided inductive synthesis:
   enumerative, cost-ordered Optimize step;
 * :mod:`repro.synthesis.cache` — the memoization cache (Table 4);
 * :mod:`repro.synthesis.translate` — the Rosette-to-LLVM analogue:
-  synthesized programs to AutoLLVM IR calls.
+  synthesized programs to AutoLLVM IR calls;
+* :mod:`repro.synthesis.serialize` — SNode round-tripping and dictionary
+  fingerprinting for the persistent cache (:mod:`repro.service`).
 """
 
 from repro.synthesis.cegis import (
@@ -28,6 +30,12 @@ from repro.synthesis.cegis import (
 )
 from repro.synthesis.cache import MemoCache
 from repro.synthesis.grammar import Grammar, GrammarOptions, build_grammar
+from repro.synthesis.serialize import (
+    SerializeError,
+    dictionary_fingerprint,
+    snode_from_obj,
+    snode_to_obj,
+)
 from repro.synthesis.program import SConstant, SInput, SOp, SSlice, SConcat, SSwizzle
 
 __all__ = [
@@ -39,6 +47,10 @@ __all__ = [
     "Grammar",
     "GrammarOptions",
     "build_grammar",
+    "SerializeError",
+    "dictionary_fingerprint",
+    "snode_from_obj",
+    "snode_to_obj",
     "SConstant",
     "SInput",
     "SOp",

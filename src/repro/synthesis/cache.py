@@ -85,13 +85,30 @@ class MemoCache:
         self._failures: set[str] = set()
         self.hits = 0
         self.misses = 0
+        # Negative-cache hits are counted separately: a window served
+        # from the failure set skips synthesis just like a positive hit,
+        # so Table 4 / service hit rates must include them.
+        self.failure_hits = 0
 
     def __len__(self) -> int:
         return len(self._entries)
 
+    def counters(self) -> dict[str, int]:
+        """A snapshot of the accounting counters (for telemetry deltas)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "failure_hits": self.failure_hits,
+            "entries": len(self._entries),
+            "failures": len(self._failures),
+        }
+
     def lookup_failure(self, expr: hir.HExpr, isa: str) -> bool:
         """True when this window already failed synthesis (negative cache)."""
-        return canonical_key(expr, isa) in self._failures
+        found = canonical_key(expr, isa) in self._failures
+        if found:
+            self.failure_hits += 1
+        return found
 
     def store_failure(self, expr: hir.HExpr, isa: str) -> None:
         self._failures.add(canonical_key(expr, isa))
@@ -121,6 +138,7 @@ class MemoCache:
         self._failures.clear()
         self.hits = 0
         self.misses = 0
+        self.failure_hits = 0
 
 
 def _rename(program: SNode, mapping: dict[str, str]) -> SNode:

@@ -144,7 +144,9 @@ class _Enumerator:
         self._entry_shapes: list[tuple[GrammarEntry, tuple[int, ...], list[int], int]] = []
 
     def _check_deadline(self) -> None:
-        if time.time() > self.deadline:
+        # Deadlines are monotonic-clock values: wall-clock adjustments
+        # (NTP slew, DST) must neither blow nor extend synthesis budgets.
+        if time.monotonic() > self.deadline:
             raise SynthesisFailure("synthesis timed out", timed_out=True)
 
     # -- environments ---------------------------------------------------
@@ -706,14 +708,14 @@ def synthesize(
 ) -> SynthesisResult:
     """Compile one Halide IR window to a target program (Algorithm 2)."""
     options = options or CegisOptions()
-    start = time.time()
+    start = time.monotonic()
     if cache is not None:
         if cache.lookup_failure(spec, grammar.isa):
             raise SynthesisFailure("window previously failed (cached)")
         hit = cache.lookup(spec, grammar.isa)
         if hit is not None:
             stats = SynthStats(
-                seconds=time.time() - start, cache_hit=True,
+                seconds=time.monotonic() - start, cache_hit=True,
                 grammar_size=grammar.size(),
             )
             return SynthesisResult(hit.program, hit.cost, stats, spec)
@@ -847,7 +849,7 @@ def _lanewise_synthesis(
     if factor > 1 and not _fuzz_equal_full(full, spec, rng, options.full_scale_fuzz):
         raise SynthesisFailure("scaled-up solution failed full-width check")
 
-    stats.seconds = time.time() - start
+    stats.seconds = time.monotonic() - start
     stats.candidates = enumerator.total_candidates
     cost_model = grammar.cost_model
     return SynthesisResult(full, cost_model.cost(full), stats, spec)

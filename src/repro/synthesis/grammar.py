@@ -28,6 +28,12 @@ from repro.synthesis.cost import CostModel
 from repro.synthesis.program import SInput, SWIZZLE_PATTERNS
 
 
+# Bumped whenever grammar generation changes in a way that could alter
+# which programs synthesis produces; persisted synthesis caches embed it
+# in their fingerprint so stale entries are invalidated soundly.
+GRAMMAR_VERSION = 1
+
+
 # Halide IR op name -> bitvector ops it may lower through.
 _H_TO_BV = {
     "add": {"bvadd", "bvsaddsat", "bvuaddsat"},

@@ -1,0 +1,328 @@
+"""Tests for the compilation service: serialization, persistent cache,
+scheduler, and the warm-cache acceptance scenario (`service-smoke`)."""
+
+import json
+
+import pytest
+
+from repro.autollvm import build_dictionary
+from repro.experiments.runner import ExperimentRunner
+from repro.halide import ir as hir
+from repro.service import (
+    CompileJob,
+    PersistentCache,
+    Scheduler,
+    ServiceOptions,
+    gc_store,
+    store_stats,
+)
+from repro.synthesis import CegisOptions, MemoCache
+from repro.synthesis.program import (
+    SConcat,
+    SConstant,
+    SInput,
+    SSlice,
+    SSwizzle,
+    evaluate_program,
+)
+from repro.synthesis.serialize import (
+    SerializeError,
+    dictionary_fingerprint,
+    entry_from_json,
+    entry_to_json,
+    snode_from_obj,
+    snode_to_obj,
+)
+from repro.workloads.registry import benchmark_named
+
+
+@pytest.fixture(scope="module")
+def dictionary():
+    return build_dictionary(("x86", "hvx", "arm"))
+
+
+def _add_window(lanes=16, ew=16, names=("ld0", "ld1")):
+    return hir.HBin(
+        "add", hir.HLoad(names[0], lanes, ew), hir.HLoad(names[1], lanes, ew)
+    )
+
+
+def _structural_program():
+    return SConcat(
+        SSwizzle(
+            "interleave_full",
+            (SInput("ld0", 4, 8), SConstant(3, 4, 8)),
+            8,
+            64,
+        ),
+        SSlice(SInput("ld1", 8, 16), high=True),
+    )
+
+
+def _op_program(dictionary):
+    """A real instruction application (for binding re-resolution)."""
+    spec_name = "_mm512_add_epi16"
+    op = dictionary.by_target_instruction[spec_name]
+    binding = next(b for b in op.bindings if b.spec.name == spec_name)
+    from repro.synthesis.program import SOp
+
+    return SOp(
+        op,
+        binding,
+        (SInput("ld0", 32, 16), SInput("ld1", 32, 16)),
+        (),
+        None,
+        512,
+    )
+
+
+class TestSerialize:
+    def test_structural_round_trip(self, dictionary):
+        node = _structural_program()
+        restored = snode_from_obj(snode_to_obj(node), dictionary)
+        assert restored == node
+
+    def test_op_round_trip_evaluates_identically(self, dictionary):
+        from repro.bitvector.lanes import vector_from_ints
+
+        node = _op_program(dictionary)
+        restored = snode_from_obj(snode_to_obj(node), dictionary)
+        env = {
+            "ld0": vector_from_ints(list(range(32)), 16).bits,
+            "ld1": vector_from_ints([7] * 32, 16).bits,
+        }
+        assert (
+            evaluate_program(restored, env).value
+            == evaluate_program(node, env).value
+        )
+        # The binding was re-resolved, not pickled along.
+        assert restored.binding.spec.name == "_mm512_add_epi16"
+
+    def test_entry_json_round_trip(self, dictionary):
+        from repro.synthesis.cache import CacheEntry
+
+        entry = CacheEntry(_structural_program(), 2.5, ["ld0", "ld1"])
+        key, restored = entry_from_json(
+            entry_to_json("x86:(k)", entry), dictionary
+        )
+        assert key == "x86:(k)"
+        assert restored.program == entry.program
+        assert restored.cost == 2.5
+        assert restored.input_order == ["ld0", "ld1"]
+
+    def test_unknown_instruction_rejected(self, dictionary):
+        obj = {
+            "kind": "op",
+            "spec": "no_such_instruction",
+            "args": [],
+            "imm_values": [],
+            "scaled_values": None,
+            "out_bits": 128,
+        }
+        with pytest.raises(SerializeError):
+            snode_from_obj(obj, dictionary)
+
+    def test_fingerprint_stable_and_sensitive(self, dictionary):
+        a = dictionary_fingerprint(dictionary)
+        assert a == dictionary_fingerprint(dictionary)
+        assert a != dictionary_fingerprint(dictionary, extra=("v2",))
+
+
+class TestMemoCacheAccounting:
+    def test_failure_hits_counted(self):
+        cache = MemoCache()
+        window = _add_window()
+        assert not cache.lookup_failure(window, "x86")
+        assert cache.failure_hits == 0
+        cache.store_failure(window, "x86")
+        assert cache.lookup_failure(window, "x86")
+        assert cache.lookup_failure(window, "x86")
+        assert cache.failure_hits == 2
+        cache.clear()
+        assert cache.failure_hits == 0
+
+    def test_counters_snapshot(self):
+        cache = MemoCache()
+        cache.lookup(_add_window(), "x86")
+        snap = cache.counters()
+        assert snap == {
+            "hits": 0, "misses": 1, "failure_hits": 0,
+            "entries": 0, "failures": 0,
+        }
+
+
+class TestPersistentCache:
+    def test_persists_across_restart_with_rename(self, tmp_path, dictionary):
+        window = _add_window()
+        first = PersistentCache(tmp_path, "x86", dictionary)
+        first.store(window, "x86", _structural_program(), 4.0)
+
+        # A fresh instance over the same directory models a restart.
+        second = PersistentCache(tmp_path, "x86", dictionary)
+        assert len(second) == 1
+        renamed = _add_window(names=("p", "q"))
+        hit = second.lookup(renamed, "x86")
+        assert hit is not None
+        names = {n.name for n in hit.program.walk() if isinstance(n, SInput)}
+        assert names == {"p", "q"}
+        assert second.hits == 1
+
+    def test_negative_entries_persist(self, tmp_path, dictionary):
+        window = _add_window()
+        first = PersistentCache(tmp_path, "x86", dictionary)
+        first.store_failure(window, "x86")
+        second = PersistentCache(tmp_path, "x86", dictionary)
+        assert second.lookup_failure(window, "x86")
+        assert second.failure_hits == 1
+
+    def test_fingerprint_mismatch_invalidates(self, tmp_path, dictionary):
+        window = _add_window()
+        old = PersistentCache(tmp_path, "x86", dictionary, fingerprint="a" * 64)
+        old.store(window, "x86", _structural_program(), 4.0)
+        # A different fingerprint namespaces to a different directory:
+        # nothing from the old dictionary is replayed.
+        new = PersistentCache(tmp_path, "x86", dictionary, fingerprint="b" * 64)
+        assert len(new) == 0
+        assert new.lookup(window, "x86") is None
+        # gc keeps only the live namespace.
+        outcome = gc_store(tmp_path, "b" * 64)
+        assert outcome["removed_namespaces"] == 1
+        stats = store_stats(tmp_path)
+        assert [ns["fingerprint"][:1] for ns in stats["namespaces"]] == ["b"]
+
+    def test_corrupt_entries_skipped(self, tmp_path, dictionary):
+        cache = PersistentCache(tmp_path, "x86", dictionary)
+        (cache.dir / "e-0000.json").write_text("{not json")
+        (cache.dir / "f-0000.json").write_text("[]")
+        reopened = PersistentCache(tmp_path, "x86", dictionary)
+        assert len(reopened) == 0
+        assert reopened.load_errors == 2
+
+    def test_refresh_adopts_foreign_writes(self, tmp_path, dictionary):
+        window = _add_window()
+        reader = PersistentCache(tmp_path, "x86", dictionary)
+        writer = PersistentCache(tmp_path, "x86", dictionary)
+        writer.store(window, "x86", _structural_program(), 4.0)
+        assert reader.lookup(window, "x86") is None
+        assert reader.refresh() == 1
+        assert reader.lookup(window, "x86") is not None
+
+    def test_store_stats_inventory(self, tmp_path, dictionary):
+        cache = PersistentCache(tmp_path, "x86", dictionary)
+        cache.store(_add_window(), "x86", _structural_program(), 4.0)
+        cache.store_failure(_add_window(names=("a", "b"), ew=8), "x86")
+        stats = store_stats(tmp_path)
+        assert stats["total_entries"] == 1
+        assert stats["total_failures"] == 1
+        assert stats["total_bytes"] > 0
+        assert stats["namespaces"][0]["isa"] == "x86"
+
+
+@pytest.mark.service_smoke
+class TestServiceSmoke:
+    """The ISSUE's acceptance scenario: warm a 2-benchmark cache with
+    ``--jobs 2``; the second run must be served entirely from disk (zero
+    CEGIS synthesis calls) and parallel results must equal serial ones."""
+
+    BENCHMARKS = ("add", "mul")
+    CEGIS = CegisOptions(timeout_seconds=6.0, scale_factor=8)
+
+    @pytest.fixture(scope="class")
+    def cache_dir(self, tmp_path_factory):
+        return tmp_path_factory.mktemp("service-cache")
+
+    def _jobs(self):
+        return [CompileJob(name, "x86") for name in self.BENCHMARKS]
+
+    @pytest.fixture(scope="class")
+    def warm_run(self, cache_dir):
+        scheduler = Scheduler(
+            ServiceOptions(jobs=2, cache_dir=str(cache_dir), cegis=self.CEGIS)
+        )
+        results = scheduler.run(
+            [CompileJob(name, "x86") for name in self.BENCHMARKS]
+        )
+        return scheduler.last_stats, results
+
+    def test_cold_run_synthesizes_and_populates(self, warm_run, cache_dir):
+        stats, results = warm_run
+        assert all(r.ok for r in results)
+        assert stats.synth_calls > 0
+        assert store_stats(cache_dir)["total_entries"] > 0
+
+    def test_second_run_zero_synthesis(self, warm_run, cache_dir):
+        _, cold_results = warm_run
+        scheduler = Scheduler(
+            ServiceOptions(jobs=2, cache_dir=str(cache_dir), cegis=self.CEGIS)
+        )
+        results = scheduler.run(self._jobs())
+        stats = scheduler.last_stats
+        assert stats.synth_calls == 0
+        assert stats.cache_hits >= 1
+        assert stats.hit_rate == 1.0
+        # Parallel warm results are identical to the parallel cold run.
+        for cold, warm in zip(cold_results, results):
+            assert warm.result.runtime_us == cold.result.runtime_us
+
+    def test_parallel_matches_serial(self, warm_run, cache_dir):
+        _, cold_results = warm_run
+        runner = ExperimentRunner(self.CEGIS, cache_dir=str(cache_dir))
+        for outcome in cold_results:
+            serial = runner.run_one(
+                benchmark_named(outcome.result.benchmark), "x86", "hydride"
+            )
+            assert serial.runtime_us == outcome.result.runtime_us
+
+    def test_identical_jobs_deduplicated(self, warm_run, cache_dir):
+        scheduler = Scheduler(
+            ServiceOptions(jobs=2, cache_dir=str(cache_dir), cegis=self.CEGIS)
+        )
+        results = scheduler.run([CompileJob("add", "x86")] * 2)
+        assert scheduler.last_stats.deferred >= 1
+        assert results[0].result.runtime_us == results[1].result.runtime_us
+
+    def test_stats_report_hit_rate(self, warm_run, cache_dir):
+        from repro.service import read_run_telemetry
+
+        # warm_run (and the tests above) recorded telemetry; `stats` must
+        # report a hit rate.
+        last = read_run_telemetry(cache_dir)
+        assert last is not None
+        assert "hit_rate" in last
+
+
+class TestSchedulerSerialPath:
+    def test_serial_run_matches_runner(self, dictionary):
+        scheduler = Scheduler(
+            ServiceOptions(jobs=1, cegis=CegisOptions(timeout_seconds=6.0))
+        )
+        outcome = scheduler.run([CompileJob("add", "x86", "llvm")])[0]
+        assert outcome.ok
+        runner = ExperimentRunner(CegisOptions(timeout_seconds=6.0))
+        serial = runner.run_one(benchmark_named("add"), "x86", "llvm")
+        assert outcome.result.runtime_us == serial.runtime_us
+
+    def test_fallback_on_rake_failure(self):
+        # Rake raises CompileError on kernels it cannot handle; the job
+        # API degrades to the llvm baseline and records the substitution.
+        scheduler = Scheduler(
+            ServiceOptions(jobs=1, cegis=CegisOptions(timeout_seconds=6.0))
+        )
+        outcome = scheduler.run(
+            [CompileJob("conv_nn", "hvx", "rake", fallback="llvm")]
+        )[0]
+        assert outcome.ok
+        assert outcome.telemetry.fallback == "llvm"
+        assert outcome.result.error.startswith("fallback=llvm:")
+        assert outcome.result.compiler == "rake"
+
+
+class TestCliStats:
+    def test_stats_json(self, tmp_path, dictionary, capsys):
+        from repro.service.cli import main
+
+        cache = PersistentCache(tmp_path, "x86", dictionary)
+        cache.store(_add_window(), "x86", _structural_program(), 4.0)
+        assert main(["stats", "--cache-dir", str(tmp_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["total_entries"] == 1
