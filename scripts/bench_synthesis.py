@@ -1,0 +1,167 @@
+#!/usr/bin/env python
+"""Benchmark the synthesis hot path and audit its determinism.
+
+Runs each suite benchmark through the Hydride compiler twice — once on
+the optimised path (packed batched evaluation, cached argument pools,
+incremental SAT) and once with ``CegisOptions.legacy_eval=True``, which
+restores the pre-optimisation enumeration loop as the baseline — then
+writes ``BENCH_synthesis.json`` with both wall times, the speedup, the
+per-phase timer breakdown (enumeration / dedup / blast / sat / verify)
+and the hot-path counter deltas for each arm.
+
+The two arms must synthesize *identical* programs for the fixed CEGIS
+seed; a mismatch is a determinism bug and fails the run.  Slow results
+do not fail the run — CI uses this in a "crash only" smoke job.
+
+Usage:
+    python scripts/bench_synthesis.py [--smoke] [--isa x86]
+        [--suite name,name,...] [--timeout 30] [--output PATH]
+        [--skip-baseline]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.autollvm import build_dictionary  # noqa: E402
+from repro.backend.hydride import HydrideCompiler  # noqa: E402
+from repro.perf import derived_metrics, snapshot, snapshot_delta  # noqa: E402
+from repro.synthesis import CegisOptions, MemoCache  # noqa: E402
+from repro.workloads.registry import benchmark_named  # noqa: E402
+
+# Fast benchmarks exercising swizzles, saturating arithmetic and widening
+# multiplies — enough signal for CI without a long wall-clock bill.
+SMOKE_SUITE = ("dilate3x3", "average_pool")
+FULL_SUITE = ("dilate3x3", "average_pool", "max_pool", "add", "mul")
+
+
+def run_case(
+    name: str, isa: str, dictionary, timeout: float, legacy: bool
+) -> dict:
+    """Compile one benchmark end-to-end; returns timings + programs."""
+    benchmark = benchmark_named(name)
+    kernels = benchmark.lower(isa)
+    options = CegisOptions(timeout_seconds=timeout, legacy_eval=legacy)
+    compiler = HydrideCompiler(
+        dictionary=dictionary, cache=MemoCache(), cegis=options
+    )
+    before = snapshot()
+    start = time.monotonic()
+    programs: list[str] = []
+    for kernel in kernels:
+        compiled = compiler.compile(kernel, isa)
+        programs.extend(p.describe() for p in compiled.programs)
+    seconds = time.monotonic() - start
+    counters = snapshot_delta(before)
+    return {
+        "seconds": round(seconds, 3),
+        "programs": programs,
+        "counters": counters,
+        "derived": {
+            key: round(value, 4)
+            for key, value in derived_metrics(counters).items()
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="small fast suite")
+    parser.add_argument("--isa", default="x86")
+    parser.add_argument("--suite", default="", help="comma-separated benchmark names")
+    # Generous per-window budget: if the wall-clock limit binds, the two
+    # arms truncate their searches at different points and the
+    # determinism audit reports a spurious mismatch.
+    parser.add_argument("--timeout", type=float, default=120.0)
+    parser.add_argument("--output", default="BENCH_synthesis.json")
+    parser.add_argument(
+        "--skip-baseline",
+        action="store_true",
+        help="only run the optimised path (no legacy arm, no speedup)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.suite:
+        suite = tuple(args.suite.split(","))
+    else:
+        suite = SMOKE_SUITE if args.smoke else FULL_SUITE
+
+    dictionary = build_dictionary(("x86", "hvx", "arm"))
+    report: dict = {
+        "suite": list(suite),
+        "isa": args.isa,
+        "timeout_seconds": args.timeout,
+        "cases": [],
+    }
+    total_new = 0.0
+    total_baseline = 0.0
+    mismatches: list[str] = []
+
+    for name in suite:
+        print(f"[bench] {name} ({args.isa}) optimised ...", flush=True)
+        new = run_case(name, args.isa, dictionary, args.timeout, legacy=False)
+        case = {
+            "benchmark": name,
+            "seconds_optimised": new["seconds"],
+            "counters_optimised": new["counters"],
+            "derived_optimised": new["derived"],
+            "programs": new["programs"],
+        }
+        total_new += new["seconds"]
+        if not args.skip_baseline:
+            print(f"[bench] {name} ({args.isa}) baseline ...", flush=True)
+            old = run_case(name, args.isa, dictionary, args.timeout, legacy=True)
+            total_baseline += old["seconds"]
+            identical = old["programs"] == new["programs"]
+            if not identical:
+                mismatches.append(name)
+            case.update(
+                seconds_baseline=old["seconds"],
+                counters_baseline=old["counters"],
+                speedup=round(old["seconds"] / max(new["seconds"], 1e-9), 2),
+                identical_programs=identical,
+            )
+            print(
+                f"[bench] {name}: baseline={old['seconds']:.2f}s "
+                f"optimised={new['seconds']:.2f}s "
+                f"speedup={case['speedup']:.2f}x identical={identical}",
+                flush=True,
+            )
+        else:
+            print(f"[bench] {name}: optimised={new['seconds']:.2f}s", flush=True)
+        report["cases"].append(case)
+
+    report["total_seconds_optimised"] = round(total_new, 3)
+    if not args.skip_baseline:
+        report["total_seconds_baseline"] = round(total_baseline, 3)
+        report["speedup"] = round(total_baseline / max(total_new, 1e-9), 2)
+        report["identical_programs"] = not mismatches
+        print(
+            f"[bench] total: baseline={total_baseline:.2f}s "
+            f"optimised={total_new:.2f}s speedup={report['speedup']:.2f}x"
+        )
+
+    out = pathlib.Path(args.output)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"[bench] wrote {out}")
+
+    if mismatches:
+        print(
+            f"[bench] DETERMINISM FAILURE: baseline and optimised paths "
+            f"disagree on {', '.join(mismatches)}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

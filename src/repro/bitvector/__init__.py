@@ -14,6 +14,13 @@ from repro.bitvector.lanes import (
     vector_from_elems,
     vector_to_elems,
 )
+from repro.bitvector.packed import (
+    concat_pair,
+    gather_lanes,
+    slice_half,
+    splat,
+    swizzle_order,
+)
 
 __all__ = [
     "BitVector",
@@ -22,4 +29,9 @@ __all__ = [
     "Vector",
     "vector_from_elems",
     "vector_to_elems",
+    "concat_pair",
+    "gather_lanes",
+    "slice_half",
+    "splat",
+    "swizzle_order",
 ]

@@ -1,0 +1,112 @@
+"""Packed integer-domain vector operations for the synthesis hot loop.
+
+The enumerator evaluates every candidate on every counterexample input.
+Constructing a :class:`BitVector` per lane per candidate per input
+dominates that loop, so the structural operations that don't need real
+instruction semantics — slices, concatenations, splats and the fixed
+swizzle patterns — are evaluated here directly on Python integers.  A
+whole register is one int; lanes are shift/mask arithmetic.
+
+The element orders produced by :func:`swizzle_order` are the single
+source of truth for the swizzle patterns: concrete evaluation, packed
+evaluation and the solver lowering in
+:mod:`repro.synthesis.program` all consume the same ``(source, index)``
+gather lists, so the three views of a pattern cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+
+def mask(width: int) -> int:
+    return (1 << width) - 1
+
+
+def splat(value: int, lanes: int, elem_width: int) -> int:
+    """Replicate ``value`` (masked to one lane) across ``lanes`` lanes."""
+    lane = value & mask(elem_width)
+    out = 0
+    for i in range(lanes):
+        out |= lane << (i * elem_width)
+    return out
+
+
+def slice_half(value: int, width: int, high: bool) -> int:
+    """The low or high half of a ``width``-bit packed value."""
+    half = width // 2
+    if high:
+        return (value & mask(width)) >> half
+    return value & mask(half)
+
+
+def concat_pair(high_value: int, low_value: int, high_width: int, low_width: int) -> int:
+    """``high:low`` register pairing on packed values."""
+    return ((high_value & mask(high_width)) << low_width) | (
+        low_value & mask(low_width)
+    )
+
+
+@lru_cache(maxsize=4096)
+def swizzle_order(
+    pattern: str, lanes: int, amount: int = 0
+) -> tuple[tuple[int, int], ...]:
+    """Gather list for one swizzle: ``(source, lane_index)`` pairs in
+    output order, lane 0 (least significant) first.
+
+    ``lanes`` is the lane count of the first input register.
+    """
+    if pattern == "interleave_full":
+        return tuple((source, i) for i in range(lanes) for source in (0, 1))
+    if pattern == "interleave_single":
+        half = lanes // 2
+        return tuple(
+            (0, i if s == 0 else half + i) for i in range(half) for s in (0, 1)
+        )
+    if pattern == "deinterleave_single":
+        half = lanes // 2
+        return tuple((0, 2 * i) for i in range(half)) + tuple(
+            (0, 2 * i + 1) for i in range(half)
+        )
+    if pattern in ("interleave_lo", "interleave_hi"):
+        half = lanes // 2
+        offset = half if pattern == "interleave_hi" else 0
+        return tuple((s, offset + i) for i in range(half) for s in (0, 1))
+    if pattern in ("concat_lo", "concat_hi"):
+        half = lanes // 2
+        offset = half if pattern == "concat_hi" else 0
+        return tuple((0, offset + i) for i in range(half)) + tuple(
+            (1, offset + i) for i in range(half)
+        )
+    if pattern == "rotate_right":
+        return tuple((0, (i + amount) % lanes) for i in range(lanes))
+    raise ValueError(f"unknown swizzle pattern {pattern!r}")
+
+
+def gather_lanes(
+    order: tuple[tuple[int, int], ...],
+    sources: list[int],
+    source_widths: list[int],
+    elem_width: int,
+) -> int:
+    """Assemble a packed value by gathering lanes per ``order``.
+
+    Mirrors the checked element extraction of the lane-structured path:
+    a lane index outside a source register raises, an empty gather raises
+    (a swizzle must produce at least one lane) — so a malformed candidate
+    is rejected identically by the packed and the object paths.
+    """
+    if not order:
+        raise ValueError("swizzle produced no lanes")
+    lane_mask = mask(elem_width)
+    out = 0
+    position = 0
+    for source, index in order:
+        low = index * elem_width
+        if low + elem_width > source_widths[source]:
+            raise IndexError(
+                f"lane {index} out of range for width {source_widths[source]}"
+            )
+        out |= ((sources[source] >> low) & lane_mask) << position
+        position += elem_width
+    return out

@@ -81,14 +81,49 @@ def interpret(
     """Run the semantics on concrete register values."""
     param_env: dict[str, int] = dict(params if params is not None else func.params)
     widths = resolved_input_widths(func, param_env)
+    _check_inputs(widths, inputs)
+    return _run_body(func, inputs, param_env)
+
+
+def make_evaluator(func: SemanticsFunction, params: Mapping[str, int] | None = None):
+    """A reusable concrete evaluator with the per-call setup hoisted out.
+
+    :func:`interpret` rebuilds the parameter environment and re-evaluates
+    every input-width expression on each call; the synthesizer applies the
+    same instruction (same parameter vector) to thousands of candidate
+    argument tuples, so this returns a closure that has both precomputed.
+    The resolved widths are exposed as ``input_widths`` so callers can
+    build argument environments without touching the width expressions.
+    """
+    param_env: dict[str, int] = dict(params if params is not None else func.params)
+    widths = resolved_input_widths(func, param_env)
+
+    def evaluate(inputs: Mapping[str, BitVector]) -> BitVector:
+        _check_inputs(widths, inputs)
+        return _run_body(func, inputs, param_env)
+
+    evaluate.input_widths = widths  # type: ignore[attr-defined]
+    return evaluate
+
+
+def _check_inputs(
+    widths: Mapping[str, int], inputs: Mapping[str, BitVector]
+) -> None:
     for name, width in widths.items():
-        if name not in inputs:
+        value = inputs.get(name)
+        if value is None:
             raise SemanticsError(f"missing input {name!r}")
-        if inputs[name].width != width:
+        if value.width != width:
             raise SemanticsError(
-                f"input {name!r} has width {inputs[name].width}, expected {width}"
+                f"input {name!r} has width {value.width}, expected {width}"
             )
 
+
+def _run_body(
+    func: SemanticsFunction,
+    inputs: Mapping[str, BitVector],
+    param_env: dict[str, int],
+) -> BitVector:
     def run(expr: BvExpr, env: dict[str, int]) -> BitVector:
         if isinstance(expr, BvVar):
             return inputs[expr.name]

@@ -1,0 +1,31 @@
+"""Hot-path performance instrumentation.
+
+One process-global :class:`PerfCounters` instance accumulates per-phase
+wall time (enumeration, dedup, blast, sat, verify) and hot-path event
+counts (candidates evaluated, blast-cache hits, learned clauses retained,
+incremental solver reuses).  The synthesis core records into it with
+near-zero overhead; the benchmark harness and the compilation service
+read snapshots out of it.
+
+Counters are cumulative monotonic totals — consumers take a snapshot
+before and after the region of interest and diff them, which is how the
+service attributes hot-path metrics to individual jobs.
+"""
+
+from repro.perf.counters import (
+    PerfCounters,
+    derived_metrics,
+    global_counters,
+    phase_timer,
+    snapshot,
+    snapshot_delta,
+)
+
+__all__ = [
+    "PerfCounters",
+    "derived_metrics",
+    "global_counters",
+    "phase_timer",
+    "snapshot",
+    "snapshot_delta",
+]

@@ -1,0 +1,155 @@
+"""Process-global performance counters for the synthesis hot path.
+
+The counter set mirrors the phases of one CEGIS run:
+
+* ``enumeration`` — growing the candidate pool (grammar productions),
+* ``dedup``       — observational-equivalence signature work,
+* ``blast``       — Tseitin bit-blasting of terms to CNF,
+* ``sat``         — CDCL solving (both one-shot and incremental),
+* ``verify``      — the full verification ladder around the solver.
+
+Event counters count *things*, timers accumulate *seconds*.  Both are
+plain floats/ints guarded by the GIL — the synthesis core is
+single-threaded per process, and the service's worker processes each
+carry their own instance, so no locking is needed.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+PHASES = ("enumeration", "dedup", "blast", "sat", "verify")
+
+
+@dataclass
+class PerfCounters:
+    """Cumulative hot-path totals for one process."""
+
+    # Per-phase wall time in seconds.
+    phase_seconds: dict[str, float] = field(
+        default_factory=lambda: {name: 0.0 for name in PHASES}
+    )
+    # Candidate programs evaluated against the counterexample set.
+    candidates_evaluated: int = 0
+    # Packed (batched) candidate evaluations vs legacy per-env evaluations.
+    batched_evals: int = 0
+    legacy_evals: int = 0
+    # Bit-blaster structural cache.
+    blast_cache_hits: int = 0
+    blast_cache_misses: int = 0
+    # SAT solving.
+    sat_queries: int = 0
+    sat_conflicts: int = 0
+    # Learned clauses alive in persistent solver contexts.
+    learned_clauses_retained: int = 0
+    # Queries answered by a reused (incremental) solver context vs a
+    # freshly constructed solver.
+    incremental_queries: int = 0
+    fresh_queries: int = 0
+    # Hash-consing: term constructions served from the intern table.
+    term_intern_hits: int = 0
+    term_intern_misses: int = 0
+
+    # ------------------------------------------------------------------
+
+    def add_phase(self, phase: str, seconds: float) -> None:
+        self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
+
+    @contextmanager
+    def timer(self, phase: str):
+        start = time.monotonic()
+        try:
+            yield
+        finally:
+            self.add_phase(phase, time.monotonic() - start)
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, float]:
+        """A flat, JSON-ready copy of every counter."""
+        out: dict[str, float] = {
+            f"seconds_{name}": round(value, 6)
+            for name, value in self.phase_seconds.items()
+        }
+        out.update(
+            candidates_evaluated=self.candidates_evaluated,
+            batched_evals=self.batched_evals,
+            legacy_evals=self.legacy_evals,
+            blast_cache_hits=self.blast_cache_hits,
+            blast_cache_misses=self.blast_cache_misses,
+            sat_queries=self.sat_queries,
+            sat_conflicts=self.sat_conflicts,
+            learned_clauses_retained=self.learned_clauses_retained,
+            incremental_queries=self.incremental_queries,
+            fresh_queries=self.fresh_queries,
+            term_intern_hits=self.term_intern_hits,
+            term_intern_misses=self.term_intern_misses,
+        )
+        return out
+
+    def reset(self) -> None:
+        for name in list(self.phase_seconds):
+            self.phase_seconds[name] = 0.0
+        self.candidates_evaluated = 0
+        self.batched_evals = 0
+        self.legacy_evals = 0
+        self.blast_cache_hits = 0
+        self.blast_cache_misses = 0
+        self.sat_queries = 0
+        self.sat_conflicts = 0
+        self.learned_clauses_retained = 0
+        self.incremental_queries = 0
+        self.fresh_queries = 0
+        self.term_intern_hits = 0
+        self.term_intern_misses = 0
+
+
+_GLOBAL = PerfCounters()
+
+
+def global_counters() -> PerfCounters:
+    return _GLOBAL
+
+
+def phase_timer(phase: str):
+    """Context manager timing a region into the global counters."""
+    return _GLOBAL.timer(phase)
+
+
+def snapshot() -> dict[str, float]:
+    return _GLOBAL.snapshot()
+
+
+def snapshot_delta(before: dict[str, float]) -> dict[str, float]:
+    """Difference between the current totals and an earlier snapshot."""
+    now = _GLOBAL.snapshot()
+    return {key: round(now[key] - before.get(key, 0), 6) for key in now}
+
+
+def derived_metrics(delta: dict[str, float]) -> dict[str, float]:
+    """Human-facing rates computed from a snapshot delta."""
+    blast_total = delta.get("blast_cache_hits", 0) + delta.get(
+        "blast_cache_misses", 0
+    )
+    enum_seconds = delta.get("seconds_enumeration", 0.0)
+    candidates = delta.get("candidates_evaluated", 0)
+    return {
+        "blast_cache_hit_rate": (
+            delta.get("blast_cache_hits", 0) / blast_total if blast_total else 0.0
+        ),
+        "learned_clauses_retained": delta.get("learned_clauses_retained", 0),
+        "candidates_per_sec": (
+            candidates / enum_seconds if enum_seconds > 0 else 0.0
+        ),
+        "incremental_share": (
+            delta.get("incremental_queries", 0)
+            / max(
+                1,
+                delta.get("incremental_queries", 0)
+                + delta.get("fresh_queries", 0),
+            )
+        ),
+    }

@@ -116,6 +116,19 @@ def _print_results(results: list[JobResult], scheduler: Scheduler) -> None:
         f"wall {stats.wall_seconds:.1f}s, "
         f"worker utilization {stats.utilization:.0%}"
     )
+    print(_perf_line(stats.perf_metrics(), stats.perf))
+
+
+def _perf_line(metrics: dict, raw: dict) -> str:
+    """One-line synthesis hot-path summary (perf counters)."""
+    return (
+        f"synthesis: {raw.get('candidates_evaluated', 0):.0f} candidates "
+        f"({metrics.get('candidates_per_sec', 0.0):,.0f}/s) | "
+        f"blast cache {metrics.get('blast_cache_hit_rate', 0.0):.1%} | "
+        f"{raw.get('learned_clauses_retained', 0):.0f} learned clauses "
+        f"retained over {raw.get('incremental_queries', 0):.0f} "
+        f"incremental queries"
+    )
 
 
 def _cmd_warm(args: argparse.Namespace) -> int:
@@ -178,6 +191,9 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             f"wall {last.get('wall_seconds')}s, "
             f"utilization {last.get('utilization', 0.0):.0%}"
         )
+        metrics = last.get("perf_metrics") or {}
+        if metrics:
+            print("last run " + _perf_line(metrics, last.get("perf") or {}))
     return 0
 
 

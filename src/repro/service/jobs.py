@@ -34,6 +34,8 @@ from repro.backend import (
     RakeCompiler,
 )
 from repro.experiments.runner import BenchmarkResult
+from repro.perf import snapshot as perf_snapshot
+from repro.perf import snapshot_delta as perf_snapshot_delta
 from repro.synthesis import CegisOptions, MemoCache
 from repro.workloads.registry import benchmark_named
 
@@ -70,6 +72,11 @@ class JobTelemetry:
     attempts: int = 1
     worker_pid: int = 0
     fallback: str = ""
+    # Synthesis hot-path counters for this job (a repro.perf snapshot
+    # delta: phase seconds, cache hits, learned clauses, ...).  Workers
+    # are separate processes, so the process-global counters attribute
+    # cleanly to the one job the worker is running.
+    perf: dict[str, float] = field(default_factory=dict)
 
     @property
     def lookups(self) -> int:
@@ -81,6 +88,13 @@ class JobTelemetry:
         if lookups == 0:
             return 0.0
         return (self.cache_hits + self.failure_hits) / lookups
+
+    def perf_metrics(self) -> dict[str, float]:
+        """Derived hot-path rates (blast-cache hit rate, candidates/sec,
+        learned clauses retained) for this job's synthesis work."""
+        from repro.perf import derived_metrics
+
+        return derived_metrics(self.perf) if self.perf else {}
 
 
 @dataclass
@@ -179,6 +193,7 @@ def execute_job(
     dictionary = build_dictionary(("x86", "hvx", "arm"))
     cache = _open_cache(job, cache_dir, dictionary)
     telemetry = JobTelemetry(worker_pid=os.getpid())
+    perf_before = perf_snapshot()
 
     result: BenchmarkResult | None = None
     for attempt in range(job.retries + 1):
@@ -224,6 +239,11 @@ def execute_job(
             )
 
     telemetry.wall_seconds = time.monotonic() - started
+    telemetry.perf = {
+        key: value
+        for key, value in perf_snapshot_delta(perf_before).items()
+        if value
+    }
     return JobResult(job, result, telemetry)
 
 

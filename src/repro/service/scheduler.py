@@ -66,6 +66,9 @@ class ServiceStats:
     wall_seconds: float = 0.0
     busy_seconds: float = 0.0
     workers: int = 1
+    # Summed synthesis hot-path counters across all jobs in the run
+    # (each job's :attr:`JobTelemetry.perf` snapshot delta).
+    perf: dict = field(default_factory=dict)
 
     @property
     def lookups(self) -> int:
@@ -84,6 +87,13 @@ class ServiceStats:
             return 0.0
         return min(1.0, self.busy_seconds / capacity)
 
+    def perf_metrics(self) -> dict:
+        """Derived hot-path rates for the whole run (blast-cache hit
+        rate, candidates/sec, learned clauses retained)."""
+        from repro.perf import derived_metrics
+
+        return derived_metrics(self.perf) if self.perf else {}
+
     def to_dict(self) -> dict:
         return {
             "jobs": self.jobs,
@@ -99,6 +109,10 @@ class ServiceStats:
             "hit_rate": round(self.hit_rate, 4),
             "utilization": round(self.utilization, 4),
             "workers": self.workers,
+            "perf": {k: round(v, 4) for k, v in sorted(self.perf.items())},
+            "perf_metrics": {
+                k: round(v, 4) for k, v in sorted(self.perf_metrics().items())
+            },
         }
 
 
@@ -156,6 +170,8 @@ class Scheduler:
             stats.entries_added += outcome.telemetry.entries_added
             stats.fallbacks += 1 if outcome.telemetry.fallback else 0
             stats.busy_seconds += outcome.telemetry.wall_seconds
+            for key, value in outcome.telemetry.perf.items():
+                stats.perf[key] = stats.perf.get(key, 0) + value
         self.last_stats = stats
         if self.options.cache_dir is not None:
             from repro.service.store import record_run_telemetry

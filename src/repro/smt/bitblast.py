@@ -8,8 +8,9 @@ to exhaustive or randomized checking.
 
 from __future__ import annotations
 
+from repro.perf import global_counters
 from repro.smt.cnf import CnfBuilder
-from repro.smt.terms import App, Const, Term, Var
+from repro.smt.terms import App, Const, Term, Var, term_uid
 
 
 class NotBitblastable(Exception):
@@ -20,24 +21,39 @@ Bits = list[int]
 
 
 class BitBlaster:
-    """Lowers a term DAG into a :class:`CnfBuilder`, sharing subcircuits."""
+    """Lowers a term DAG into a :class:`CnfBuilder`, sharing subcircuits.
+
+    The circuit cache is keyed on hash-consed *structural* uids, not
+    ``id(term)``: structurally identical subterms are blasted once even
+    across separate queries sharing this blaster, and a recycled object id
+    (possible once the original term is garbage collected) can never alias
+    an unrelated term's circuit.
+    """
 
     def __init__(self) -> None:
         self.cnf = CnfBuilder()
         self.var_bits: dict[str, Bits] = {}
         self._cache: dict[int, Bits] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     # ------------------------------------------------------------------
     # Public interface
     # ------------------------------------------------------------------
 
     def blast(self, term: Term) -> Bits:
-        cached = self._cache.get(id(term))
+        key = term_uid(term)
+        cached = self._cache.get(key)
+        perf = global_counters()
         if cached is not None:
+            self.cache_hits += 1
+            perf.blast_cache_hits += 1
             return cached
+        self.cache_misses += 1
+        perf.blast_cache_misses += 1
         bits = self._blast_node(term)
         assert len(bits) == term.width, f"{term}: {len(bits)} bits != {term.width}"
-        self._cache[id(term)] = bits
+        self._cache[key] = bits
         return bits
 
     def input_bits(self, name: str, width: int) -> Bits:

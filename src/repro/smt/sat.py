@@ -5,10 +5,20 @@ reproduction: first-UIP clause learning, VSIDS-style activity decay,
 geometric restarts, and non-chronological backjumping.  It is deliberately
 compact — the paper's tractability tricks (lane scaling) keep our CNF
 instances small enough that a clean Python CDCL suffices.
+
+The solver is *incremental*: clauses and variables may be added between
+``solve()`` calls, and ``solve(assumptions=...)`` decides satisfiability
+under a set of assumption literals without asserting them permanently.
+Learned clauses and level-0 implications are retained across calls (they
+are consequences of the clause database alone, so they stay valid no
+matter which assumptions the next query carries), which is what makes
+repeated CEGIS verification queries against one specification cheap: the
+solver re-learns nothing about the shared circuit.
 """
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 
 
@@ -17,33 +27,60 @@ class SatResult:
     satisfiable: bool
     # Model maps variable -> bool for satisfiable results.
     model: dict[int, bool] = field(default_factory=dict)
+    # Conflicts spent answering this query.
+    conflicts: int = 0
 
 
 class CdclSolver:
-    """Solve one CNF instance (one-shot; build a new solver per query)."""
+    """CDCL over a growable clause database.
 
-    def __init__(self, num_vars: int, clauses: list[tuple[int, ...]]) -> None:
-        self.num_vars = num_vars
+    One-shot use is unchanged: ``CdclSolver(n, clauses).solve()``.
+    Incremental use interleaves :meth:`ensure_vars` / :meth:`add_clause`
+    with ``solve(assumptions=[...])`` calls on one instance.
+    """
+
+    def __init__(
+        self, num_vars: int = 0, clauses: Iterable[Sequence[int]] = ()
+    ) -> None:
+        self.num_vars = 0
         # assignment[v]: None unassigned, else bool.
-        self.assignment: list[bool | None] = [None] * (num_vars + 1)
-        self.level: list[int] = [0] * (num_vars + 1)
-        self.reason: list[list[int] | None] = [None] * (num_vars + 1)
+        self.assignment: list[bool | None] = [None]
+        self.level: list[int] = [0]
+        self.reason: list[list[int] | None] = [None]
+        self.activity: list[float] = [0.0]
         self.trail: list[int] = []
-        self.trail_marks: list[int] = []
-        self.activity: list[float] = [0.0] * (num_vars + 1)
         self.activity_inc = 1.0
         self.clauses: list[list[int]] = []
         self.watches: dict[int, list[list[int]]] = {}
         self._empty_clause = False
         self._units: list[int] = []
+        self._prop_head = 0
+        # Permanently unsatisfiable (conflict at level 0, no assumptions).
+        self._unsat = False
+        # Cumulative accounting across all solve() calls.
+        self.learned_count = 0
+        self.total_conflicts = 0
+        self.ensure_vars(num_vars)
         for clause in clauses:
-            self._add_clause(list(clause))
+            self.add_clause(clause)
 
     # ------------------------------------------------------------------
     # Clause database
     # ------------------------------------------------------------------
 
-    def _add_clause(self, lits: list[int]) -> None:
+    def ensure_vars(self, num_vars: int) -> None:
+        """Grow the variable space to at least ``num_vars`` variables."""
+        if num_vars <= self.num_vars:
+            return
+        grow = num_vars - self.num_vars
+        self.assignment.extend([None] * grow)
+        self.level.extend([0] * grow)
+        self.reason.extend([None] * grow)
+        self.activity.extend([0.0] * grow)
+        self.num_vars = num_vars
+
+    def add_clause(self, lits: Sequence[int]) -> None:
+        """Add one clause; safe to call between ``solve()`` calls."""
         # Dedup literals; drop tautologies.
         seen: set[int] = set()
         unique: list[int] = []
@@ -56,6 +93,9 @@ class CdclSolver:
         if not unique:
             self._empty_clause = True
             return
+        top = max(abs(lit) for lit in unique)
+        if top > self.num_vars:
+            self.ensure_vars(top)
         if len(unique) == 1:
             self._units.append(unique[0])
             return
@@ -85,10 +125,7 @@ class CdclSolver:
 
     def _propagate(self, level: int) -> list[int] | None:
         """Unit propagation; returns a conflicting clause or None."""
-        index = len(self.trail) - 1 if self.trail else 0
-        queue_start = getattr(self, "_prop_head", 0)
-        del index
-        head = queue_start
+        head = self._prop_head
         while head < len(self.trail):
             lit = self.trail[head]
             head += 1
@@ -197,47 +234,101 @@ class CdclSolver:
     # Main loop
     # ------------------------------------------------------------------
 
-    def solve(self, max_conflicts: int | None = None) -> SatResult:
-        if self._empty_clause:
+    def solve(
+        self,
+        max_conflicts: int | None = None,
+        assumptions: Sequence[int] = (),
+    ) -> SatResult:
+        """Decide the database, optionally under assumption literals.
+
+        Without assumptions the answer is permanent; with assumptions an
+        UNSAT answer only refutes the database *plus the assumptions*, and
+        the solver stays usable (all learned clauses are assumption-free
+        consequences of the database).
+        """
+        if self._empty_clause or self._unsat:
             return SatResult(False)
+        if assumptions:
+            self.ensure_vars(max(abs(lit) for lit in assumptions))
+        # Retract everything above level 0; level-0 implications persist.
+        self._backtrack(0)
+        # Re-run propagation over the whole level-0 trail so that clauses
+        # added since the last call see the retained assignments.
         self._prop_head = 0
         for lit in self._units:
             current = self._lit_value(lit)
             if current is False:
+                self._unsat = True
                 return SatResult(False)
             if current is None:
                 self._enqueue(lit, None, 0)
         if self._propagate(0) is not None:
+            self._unsat = True
             return SatResult(False)
 
         level = 0
         conflicts = 0
         restart_limit = 100
         while True:
-            branch_var = self._pick_branch()
-            if branch_var == 0:
-                model = {
-                    v: bool(self.assignment[v]) for v in range(1, self.num_vars + 1)
-                }
-                return SatResult(True, model)
+            # Decide the next assumption first; branch freely only once
+            # every assumption is satisfied by the current assignment.
+            branch_lit = 0
+            failed_assumption = False
+            for lit in assumptions:
+                value = self._lit_value(lit)
+                if value is False:
+                    failed_assumption = True
+                    break
+                if value is None:
+                    branch_lit = lit
+                    break
+            if failed_assumption:
+                self.total_conflicts += conflicts
+                return SatResult(False, conflicts=conflicts)
+            if branch_lit == 0:
+                branch_var = self._pick_branch()
+                if branch_var == 0:
+                    model = {
+                        v: bool(self.assignment[v])
+                        for v in range(1, self.num_vars + 1)
+                    }
+                    self.total_conflicts += conflicts
+                    return SatResult(True, model, conflicts=conflicts)
+                branch_lit = branch_var
             level += 1
-            self.trail_marks.append(len(self.trail))
-            self._enqueue(branch_var, None, level)
+            self._enqueue(branch_lit, None, level)
             while True:
                 conflict = self._propagate(level)
                 if conflict is None:
                     break
                 conflicts += 1
                 if max_conflicts is not None and conflicts > max_conflicts:
+                    self.total_conflicts += conflicts
+                    # Leave the solver reusable after a budget blowout.
+                    self._backtrack(0)
                     raise SolverBudgetExceeded(conflicts)
                 if level == 0:
-                    return SatResult(False)
+                    self._unsat = True
+                    self.total_conflicts += conflicts
+                    return SatResult(False, conflicts=conflicts)
                 learned, backjump = self._analyze(conflict, level)
                 self._backtrack(backjump)
                 level = backjump
                 self.activity_inc *= 1.05
+                self.learned_count += 1
                 if len(learned) == 1:
-                    self._enqueue(learned[0], None, 0)
+                    self._units.append(learned[0])
+                    if self._lit_value(learned[0]) is False:
+                        # Contradicts a retained level-0 implication only
+                        # when the database itself is unsatisfiable.
+                        if self.level[abs(learned[0])] == 0:
+                            self._unsat = True
+                            self.total_conflicts += conflicts
+                            return SatResult(False, conflicts=conflicts)
+                        self._backtrack(0)
+                        level = 0
+                    if self._lit_value(learned[0]) is None:
+                        self._enqueue(learned[0], None, 0)
                 else:
                     self.clauses.append(learned)
                     self._watch(learned[0], learned)

@@ -19,9 +19,10 @@ import random
 from dataclasses import dataclass
 
 from repro.bitvector.bv import BitVector
+from repro.perf import global_counters, phase_timer
 from repro.smt.bitblast import BitBlaster, NotBitblastable
 from repro.smt.eval import evaluate
-from repro.smt.sat import CdclSolver, SolverBudgetExceeded
+from repro.smt.sat import CdclSolver, SatResult, SolverBudgetExceeded
 from repro.smt.simplify import simplify
 from repro.smt.terms import App, Term, apply_op
 
@@ -77,6 +78,75 @@ def _random_env(
     return env
 
 
+class IncrementalSatContext:
+    """One persistent blaster/solver pair amortised over many queries.
+
+    CEGIS verifies a stream of candidates against a single specification.
+    The spec's circuit only gets blasted once (the blaster's structural
+    cache is keyed on term uids), and the solver keeps its clause database
+    and learned clauses between queries — each per-candidate assertion is
+    guarded by a fresh *activation literal* passed as an assumption, then
+    retired with a unit clause so it can never constrain later queries.
+    """
+
+    def __init__(self, max_vars: int = 400_000) -> None:
+        self.blaster = BitBlaster()
+        self.solver = CdclSolver()
+        self.max_vars = max_vars
+        self.queries = 0
+        # How many of the builder's clauses have been fed to the solver.
+        self._fed = 0
+
+    def oversized(self) -> bool:
+        """True once retired queries have bloated the database enough that
+        starting over is cheaper than dragging the dead weight along."""
+        return self.blaster.cnf.num_vars > self.max_vars
+
+    def _sync(self) -> None:
+        cnf = self.blaster.cnf
+        self.solver.ensure_vars(cnf.num_vars)
+        for clause in cnf.clauses[self._fed :]:
+            self.solver.add_clause(clause)
+        self._fed = len(cnf.clauses)
+
+    def check_not_equal(
+        self, a: Term, b: Term, max_conflicts: int | None = None
+    ) -> SatResult:
+        """SAT iff some input makes ``a`` and ``b`` differ.
+
+        Raises :class:`NotBitblastable` / :class:`SolverBudgetExceeded`
+        like the one-shot path; the context stays usable afterwards.
+        """
+        perf = global_counters()
+        with phase_timer("blast"):
+            bits_a = self.blaster.blast(a)
+            bits_b = self.blaster.blast(b)
+            cnf = self.blaster.cnf
+            diff = [cnf.gate_xor(x, y) for x, y in zip(bits_a, bits_b)]
+            any_diff = cnf.gate_big_or(diff)
+            activation = cnf.new_var()
+            cnf.add_clause([-activation, any_diff])
+            self._sync()
+        self.queries += 1
+        perf.incremental_queries += 1
+        perf.sat_queries += 1
+        learned_before = self.solver.learned_count
+        try:
+            with phase_timer("sat"):
+                result = self.solver.solve(
+                    max_conflicts, assumptions=(activation,)
+                )
+        finally:
+            # Retire the guard: later queries must not inherit this one's
+            # difference assertion.
+            self.solver.add_clause([-activation])
+            perf.learned_clauses_retained += (
+                self.solver.learned_count - learned_before
+            )
+        perf.sat_conflicts += result.conflicts
+        return result
+
+
 class EquivalenceChecker:
     """Reusable checker carrying an RNG and a conflict budget."""
 
@@ -87,6 +157,7 @@ class EquivalenceChecker:
         exhaustive_bit_limit: int = EXHAUSTIVE_BIT_LIMIT,
         sat_node_limit: int = 6_000,
         probabilistic_samples: int = PROBABILISTIC_SAMPLES,
+        incremental: bool = False,
     ) -> None:
         self.rng = random.Random(seed)
         self.max_conflicts = max_conflicts
@@ -95,6 +166,9 @@ class EquivalenceChecker:
         # Terms larger than this skip bit-blasting (the CNF would dwarf the
         # budget) and rely on the randomized battery instead.
         self.sat_node_limit = sat_node_limit
+        # Share one solver context across this checker's SAT queries.
+        self.incremental = incremental
+        self._context: IncrementalSatContext | None = None
         self.stats = {"structural": 0, "fuzz": 0, "exhaustive": 0, "sat": 0, "probabilistic": 0}
 
     # ------------------------------------------------------------------
@@ -159,17 +233,35 @@ class EquivalenceChecker:
     def _sat_check(
         self, a: Term, b: Term, variables: dict[str, int]
     ) -> CheckResult:
-        blaster = BitBlaster()
-        bits_a = blaster.blast(a)
-        bits_b = blaster.blast(b)
-        # Assert that some output bit differs.
-        diff_lits = [blaster.cnf.gate_xor(x, y) for x, y in zip(bits_a, bits_b)]
-        blaster.cnf.assert_lit(blaster.cnf.gate_big_or(diff_lits))
+        if self.incremental:
+            if self._context is None or self._context.oversized():
+                self._context = IncrementalSatContext()
+            try:
+                result = self._context.check_not_equal(a, b, self.max_conflicts)
+            except SolverBudgetExceeded as exc:
+                raise SolverTimeout(str(exc)) from exc
+            if not result.satisfiable:
+                return CheckResult(True, None, "sat")
+            env = self._model_to_env(result.model, self._context.blaster, variables)
+            return CheckResult(False, env, "sat")
+
+        perf = global_counters()
+        with phase_timer("blast"):
+            blaster = BitBlaster()
+            bits_a = blaster.blast(a)
+            bits_b = blaster.blast(b)
+            # Assert that some output bit differs.
+            diff_lits = [blaster.cnf.gate_xor(x, y) for x, y in zip(bits_a, bits_b)]
+            blaster.cnf.assert_lit(blaster.cnf.gate_big_or(diff_lits))
         solver = CdclSolver(blaster.cnf.num_vars, blaster.cnf.clauses)
+        perf.fresh_queries += 1
+        perf.sat_queries += 1
         try:
-            result = solver.solve(self.max_conflicts)
+            with phase_timer("sat"):
+                result = solver.solve(self.max_conflicts)
         except SolverBudgetExceeded as exc:
             raise SolverTimeout(str(exc)) from exc
+        perf.sat_conflicts += result.conflicts
         if not result.satisfiable:
             return CheckResult(True, None, "sat")
         env = self._model_to_env(result.model, blaster, variables)

@@ -9,11 +9,23 @@ Terms form an immutable DAG.  There are three node kinds:
 
 Operator names match the methods of :class:`repro.bitvector.BitVector`
 one-for-one, so evaluation is a direct dispatch.
+
+Terms are *hash-consed*: every distinct structure is assigned a stable
+integer uid from a process-wide intern table, and the public constructors
+(:func:`const`, :func:`var`, :func:`apply_op`) return the canonical
+instance for their structure.  Equality and hashing are O(1) through the
+uid, and downstream caches (the bit-blaster, evaluators) key on
+:func:`term_uid` instead of ``id(term)`` — uids are never reused, so a
+cache can never alias two different terms the way recycled ``id`` values
+can.
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
+
+from repro.perf import global_counters as _global_counters
 
 
 # Operators producing a result of the same width as their (equal-width) args.
@@ -142,12 +154,109 @@ class App(Term):
         return f"({self.op} {' '.join(parts)}):bv{self.width}"
 
 
+# ----------------------------------------------------------------------
+# Hash-consing
+# ----------------------------------------------------------------------
+
+# Structural key -> canonical instance.  The table is never cleared: uids
+# are handed out monotonically, so a uid uniquely names one structure for
+# the lifetime of the process (the property downstream caches rely on).
+_INTERN: dict[tuple, Term] = {}
+_UIDS = itertools.count(1)
+
+
+def _local_key(term: Term) -> tuple:
+    """Structural identity of one node in terms of its children's uids."""
+    if isinstance(term, Const):
+        return (0, term.width, term.value)
+    if isinstance(term, Var):
+        return (1, term.width, term.name)
+    assert isinstance(term, App)
+    return (
+        2,
+        term.width,
+        term.op,
+        term.params,
+        tuple(a.__dict__["_uid"] for a in term.args),
+    )
+
+
+def term_uid(term: Term) -> int:
+    """The stable structural uid of ``term`` (computing and caching it,
+    bottom-up and iteratively, for any nodes that don't have one yet)."""
+    cached = term.__dict__.get("_uid")
+    if cached is not None:
+        return cached
+    perf = _global_counters()
+    stack = [term]
+    while stack:
+        node = stack[-1]
+        if "_uid" in node.__dict__:
+            stack.pop()
+            continue
+        if isinstance(node, App):
+            pending = [a for a in node.args if "_uid" not in a.__dict__]
+            if pending:
+                stack.extend(pending)
+                continue
+        key = _local_key(node)
+        canonical = _INTERN.get(key)
+        if canonical is None:
+            object.__setattr__(node, "_uid", next(_UIDS))
+            _INTERN[key] = node
+            perf.term_intern_misses += 1
+        else:
+            object.__setattr__(node, "_uid", canonical.__dict__["_uid"])
+            perf.term_intern_hits += 1
+        stack.pop()
+    return term.__dict__["_uid"]
+
+
+def intern_term(term: Term) -> Term:
+    """The canonical instance for ``term``'s structure."""
+    uid = term_uid(term)
+    del uid
+    return _INTERN[_local_key(term)]
+
+
+def intern_table_size() -> int:
+    return len(_INTERN)
+
+
+def _term_hash(self: Term) -> int:
+    return term_uid(self)
+
+
+def _term_eq(self: Term, other: object):
+    if self is other:
+        return True
+    if not isinstance(other, Term):
+        return NotImplemented
+    return term_uid(self) == term_uid(other)
+
+
+def _term_ne(self: Term, other: object):
+    result = _term_eq(self, other)
+    if result is NotImplemented:
+        return result
+    return not result
+
+
+# Replace the dataclass-generated structural (recursive) equality and hash
+# with O(1) uid comparisons — consistent because one uid names exactly one
+# structure for the process lifetime.
+for _cls in (Const, Var, App):
+    _cls.__hash__ = _term_hash  # type: ignore[assignment]
+    _cls.__eq__ = _term_eq  # type: ignore[assignment]
+    _cls.__ne__ = _term_ne  # type: ignore[assignment]
+
+
 def const(value: int, width: int) -> Const:
-    return Const(width, value)
+    return intern_term(Const(width, value))
 
 
 def var(name: str, width: int) -> Var:
-    return Var(width, name)
+    return intern_term(Var(width, name))
 
 
 def _require_same_width(op: str, a: Term, b: Term) -> None:
@@ -156,40 +265,45 @@ def _require_same_width(op: str, a: Term, b: Term) -> None:
 
 
 def apply_op(op: str, args: list[Term], params: tuple[int, ...] = ()) -> App:
-    """Construct an :class:`App` with width inference and legality checks."""
+    """Construct an :class:`App` with width inference and legality checks.
+
+    The returned node is interned: structurally identical applications are
+    the same object, so downstream uid-keyed caches share their work."""
     if op in BINARY_SAME_WIDTH:
         first, second = args
         _require_same_width(op, first, second)
-        return App(first.width, op, (first, second))
-    if op in UNARY_SAME_WIDTH:
+        app = App(first.width, op, (first, second))
+    elif op in UNARY_SAME_WIDTH:
         (operand,) = args
-        return App(operand.width, op, (operand,))
-    if op in COMPARISONS:
+        app = App(operand.width, op, (operand,))
+    elif op in COMPARISONS:
         first, second = args
         _require_same_width(op, first, second)
-        return App(1, op, (first, second))
-    if op in WIDTH_CHANGING:
+        app = App(1, op, (first, second))
+    elif op in WIDTH_CHANGING:
         (operand,) = args
         (new_width,) = params
-        return App(new_width, op, (operand,), params)
-    if op == "extract":
+        app = App(new_width, op, (operand,), params)
+    elif op == "extract":
         (operand,) = args
         high, low = params
         if not 0 <= low <= high < operand.width:
             raise ValueError(
                 f"extract [{high}:{low}] out of range for width {operand.width}"
             )
-        return App(high - low + 1, op, (operand,), params)
-    if op == "concat":
+        app = App(high - low + 1, op, (operand,), params)
+    elif op == "concat":
         high_part, low_part = args
-        return App(high_part.width + low_part.width, op, (high_part, low_part))
-    if op == "ite":
+        app = App(high_part.width + low_part.width, op, (high_part, low_part))
+    elif op == "ite":
         cond, then_term, else_term = args
         if cond.width != 1:
             raise ValueError("ite condition must be 1 bit wide")
         _require_same_width(op, then_term, else_term)
-        return App(then_term.width, op, (cond, then_term, else_term))
-    raise ValueError(f"unknown operator {op!r}")
+        app = App(then_term.width, op, (cond, then_term, else_term))
+    else:
+        raise ValueError(f"unknown operator {op!r}")
+    return intern_term(app)
 
 
 # ----------------------------------------------------------------------

@@ -14,12 +14,15 @@ from __future__ import annotations
 
 import random
 import time
+from bisect import insort
 from dataclasses import dataclass, field
 
 from repro.analysis import hooks
 from repro.bitvector.bv import BitVector
 from repro.bitvector.lanes import Vector
+from repro.bitvector.packed import splat as packed_splat
 from repro.halide import ir as hir
+from repro.perf import global_counters, phase_timer
 from repro.smt.solver import EquivalenceChecker, SolverTimeout
 from repro.synthesis.cache import MemoCache
 from repro.synthesis.grammar import Grammar, GrammarEntry
@@ -34,6 +37,7 @@ from repro.synthesis.program import (
     SWIZZLE_SHAPES,
     apply_node,
     evaluate_program,
+    make_packed_applier,
     program_to_term,
 )
 from repro.synthesis.scale import scale_spec, scaled_member_values
@@ -63,6 +67,14 @@ class CegisOptions:
     # Verification budgets.
     verify_conflicts: int = 4_000
     full_scale_fuzz: int = 64
+    # Hot-path strategy switches.  ``legacy_eval=True`` restores the
+    # pre-optimisation enumeration loop (per-environment BitVector
+    # evaluation, uncached argument pools, full bucket re-sorts) — kept
+    # for A/B determinism audits and as the benchmark baseline.
+    legacy_eval: bool = False
+    # Reuse one SAT context (clause database + learned clauses) across a
+    # spec's verification queries instead of a fresh solver per query.
+    incremental_smt: bool = True
 
 
 @dataclass
@@ -131,6 +143,8 @@ class _Enumerator:
         self._half_lo: list[_Candidate] = []
         self._half_hi: list[_Candidate] = []
         self._half_paired: set[tuple[int, int]] = set()
+        # Memoised _args_for results; flushed on any pool mutation.
+        self._args_cache: dict[tuple, list[_Candidate]] = {}
         self.seen: set[tuple] = set()
         self.depth = 0
         self.total_candidates = 0
@@ -152,22 +166,47 @@ class _Enumerator:
     # -- environments ---------------------------------------------------
 
     def add_env(self, env: dict[str, BitVector]) -> None:
+        with phase_timer("dedup"):
+            self._add_env(env)
+
+    def _add_env(self, env: dict[str, BitVector]) -> None:
         self.envs.append(env)
         self.spec_outs.append(hir.interpret(self.spec, env))
         # The pool is in creation order, which is topological: each
         # candidate's value on the new input derives from its arguments'
         # freshly appended values with a single node application.
         env_index = len(self.envs) - 1
+        legacy = self.options.legacy_eval
         for candidate in self.pool:
             try:
                 if candidate.args is None:
-                    value = evaluate_program(candidate.node, env).value
-                else:
+                    node = candidate.node
+                    if legacy:
+                        value = evaluate_program(node, env).value
+                    elif isinstance(node, SInput):
+                        value = env[node.name].value
+                    elif isinstance(node, SConstant):
+                        if node.lanes <= 0:
+                            raise ValueError("constant splat needs lanes")
+                        value = packed_splat(
+                            node.value, node.lanes, node.elem_width
+                        )
+                    else:
+                        value = evaluate_program(node, env).value
+                elif legacy:
                     args = [
                         BitVector(a.outs[env_index], a.node.bits)
                         for a in candidate.args
                     ]
                     value = apply_node(candidate.node, args).value
+                else:
+                    applier = make_packed_applier(
+                        candidate.node,
+                        tuple(a.node.bits for a in candidate.args),
+                    )
+                    value = applier(
+                        [a.outs[env_index] for a in candidate.args]
+                    )
                 candidate.outs.append(value)
             except Exception:
                 candidate.outs.append(-1)
@@ -180,6 +219,8 @@ class _Enumerator:
             candidate.landmark = (
                 (candidate.node.bits, tuple(candidate.outs)) in self._landmarks
             )
+        # Landmark flags feed argument-pool ranking.
+        self._args_cache.clear()
 
     def _rebuild_landmarks(self) -> None:
         """Values of every specification subexpression (and their register
@@ -234,6 +275,52 @@ class _Enumerator:
 
     # -- pool growth ------------------------------------------------------
 
+    def _eval_outs(
+        self,
+        node: SNode,
+        arg_candidates: tuple["_Candidate", ...] | None,
+    ) -> list[int] | None:
+        """The candidate's output on every environment in one pass, or
+        None when any application fails (the candidate is rejected)."""
+        perf = global_counters()
+        perf.candidates_evaluated += 1
+        if self.options.legacy_eval:
+            perf.legacy_evals += 1
+            outs: list[int] = []
+            for env_index, env in enumerate(self.envs):
+                try:
+                    if arg_candidates is not None:
+                        args = [
+                            BitVector(c.outs[env_index], c.node.bits)
+                            for c in arg_candidates
+                        ]
+                        outs.append(apply_node(node, args).value)
+                    else:
+                        outs.append(evaluate_program(node, env).value)
+                except Exception:
+                    return None
+            return outs
+        perf.batched_evals += 1
+        try:
+            if arg_candidates is not None:
+                applier = make_packed_applier(
+                    node, tuple(c.node.bits for c in arg_candidates)
+                )
+                return [
+                    applier([c.outs[i] for c in arg_candidates])
+                    for i in range(len(self.envs))
+                ]
+            if isinstance(node, SInput):
+                return [env[node.name].value for env in self.envs]
+            if isinstance(node, SConstant):
+                if node.lanes <= 0:
+                    return None
+                value = packed_splat(node.value, node.lanes, node.elem_width)
+                return [value] * len(self.envs)
+            return [evaluate_program(node, env).value for env in self.envs]
+        except Exception:
+            return None
+
     def _admit(
         self,
         node: SNode,
@@ -244,21 +331,11 @@ class _Enumerator:
     ) -> None:
         if node.bits <= 0 or node.bits > self.max_bits:
             return
-        outs: list[int] = []
         if arg_candidates is None and not isinstance(node, (SInput, SConstant)):
             arg_candidates = getattr(node, "_arg_candidates", None)
-        for env_index, env in enumerate(self.envs):
-            try:
-                if arg_candidates is not None:
-                    args = [
-                        BitVector(c.outs[env_index], c.node.bits)
-                        for c in arg_candidates
-                    ]
-                    outs.append(apply_node(node, args).value)
-                else:
-                    outs.append(evaluate_program(node, env).value)
-            except Exception:
-                return
+        outs = self._eval_outs(node, arg_candidates)
+        if outs is None:
+            return
         key = (node.bits, tuple(outs))
         if key in self.seen:
             return
@@ -288,8 +365,13 @@ class _Enumerator:
             node, cost, outs, depth, arg_candidates, elem, is_landmark
         )
         self.pool.append(candidate)
-        bucket.append(candidate)
-        bucket.sort(key=lambda c: c.cost)
+        if self.options.legacy_eval:
+            bucket.append(candidate)
+            bucket.sort(key=lambda c: c.cost)
+        else:
+            # insort-right after equal costs == append + stable sort.
+            insort(bucket, candidate, key=lambda c: c.cost)
+            self._args_cache.clear()
         self.total_candidates += 1
         # Goal-directed register assembly: a candidate that computes
         # exactly the low or high half of the specification is queued so
@@ -319,6 +401,10 @@ class _Enumerator:
         return True
 
     def seed_pool(self) -> None:
+        with phase_timer("enumeration"):
+            self._seed_pool()
+
+    def _seed_pool(self) -> None:
         # Leaves come from the (possibly scaled) specification itself so
         # their widths match the scaled search space.
         for name, load_type in sorted(self.spec.loads().items()):
@@ -374,7 +460,24 @@ class _Enumerator:
         multiply only composes with 16-bit-element producers; untyped
         depth-0 leaves match anything).  Per-kind quotas keep instruction
         results, swizzles and views all represented, and the newest
-        round's intermediates always get slots."""
+        round's intermediates always get slots.
+
+        Results are memoised until the pool changes: the collection phase
+        of one grow() round asks for the same (width, cap, elem) pools
+        once per grammar entry, and between admissions the pool is
+        stable.  Callers treat the returned list as read-only."""
+        if self.options.legacy_eval:
+            return self._args_for_uncached(bits, cap, elem)
+        key = (bits, cap, elem, self.depth)
+        hit = self._args_cache.get(key)
+        if hit is None:
+            hit = self._args_for_uncached(bits, cap, elem)
+            self._args_cache[key] = hit
+        return hit
+
+    def _args_for_uncached(
+        self, bits: int, cap: int | None = None, elem: int | None = None
+    ):
         bucket = self.by_width.get(bits, [])
         if elem is not None:
             bucket = [
@@ -408,8 +511,13 @@ class _Enumerator:
 
     def grow(self) -> None:
         """One depth round: apply every grammar production once."""
+        with phase_timer("enumeration"):
+            self._grow()
+
+    def _grow(self) -> None:
         self._check_deadline()
         self.depth += 1
+        self._args_cache.clear()
         new_nodes: list[tuple[SNode, float, int]] = []
         frontier = self.depth - 1  # at least one arg from the last round
 
@@ -772,6 +880,9 @@ def _lanewise_synthesis(
         # so the term-level battery can stay small.
         sat_node_limit=1_500,
         probabilistic_samples=96,
+        # One solver context per spec: the spec circuit is blasted once
+        # and learned clauses carry over between candidate queries.
+        incremental=options.incremental_smt,
     )
     enumerator = _Enumerator(grammar, options, spec_scaled, rng, deadline)
     enumerator.scale_factor = factor
@@ -808,7 +919,8 @@ def _lanewise_synthesis(
 
         # Cheap refutation first: program-level evaluation is much faster
         # than term evaluation, and wrong candidates rarely survive it.
-        refuting_env = _fuzz_refute(solution.node, spec_scaled, enumerator, 96)
+        with phase_timer("verify"):
+            refuting_env = _fuzz_refute(solution.node, spec_scaled, enumerator, 96)
         if refuting_env is not None:
             enumerator.add_env(refuting_env)
             failing_lanes.add(
@@ -821,7 +933,8 @@ def _lanewise_synthesis(
         hooks.verify_program(solution.node, isa=grammar.isa, stage="cegis")
         candidate_term = program_to_term(solution.node)
         try:
-            verdict = checker.check_equivalence(candidate_term, spec_term)
+            with phase_timer("verify"):
+                verdict = checker.check_equivalence(candidate_term, spec_term)
         except SolverTimeout:
             verdict = None
         if verdict is not None and verdict.equivalent:

@@ -14,8 +14,16 @@ from dataclasses import dataclass
 
 from repro.bitvector.bv import BitVector
 from repro.bitvector.lanes import Vector, vector_from_elems
+from repro.bitvector.packed import (
+    concat_pair,
+    gather_lanes,
+    slice_half,
+    splat,
+    swizzle_order,
+)
 from repro.autollvm.intrinsics import AutoLLVMOp, TargetBinding
 from repro.hydride_ir.interp import interpret as interpret_semantics
+from repro.hydride_ir.interp import make_evaluator
 from repro.hydride_ir.interp import to_term as semantics_to_term
 from repro.smt import terms as smt
 from repro.smt.simplify import substitute
@@ -265,49 +273,106 @@ def _eval_swizzle(node: SSwizzle, args: list[BitVector]) -> BitVector:
 
 
 def swizzle_elements(pattern: str, vectors: list[Vector], amount: int = 0):
-    """Element-level semantics of the five swizzle patterns."""
-    if pattern == "interleave_full":
-        a, b = vectors
-        out = []
-        for i in range(a.num_elems):
-            out.append(a.elem(i))
-            out.append(b.elem(i))
-        return out
-    if pattern == "interleave_single":
-        (a,) = vectors
-        half = a.num_elems // 2
-        out = []
-        for i in range(half):
-            out.append(a.elem(i))
-            out.append(a.elem(half + i))
-        return out
-    if pattern == "deinterleave_single":
-        (a,) = vectors
-        half = a.num_elems // 2
-        return [a.elem(2 * i) for i in range(half)] + [
-            a.elem(2 * i + 1) for i in range(half)
-        ]
-    if pattern in ("interleave_lo", "interleave_hi"):
-        a, b = vectors
-        half = a.num_elems // 2
-        offset = half if pattern == "interleave_hi" else 0
-        out = []
-        for i in range(half):
-            out.append(a.elem(offset + i))
-            out.append(b.elem(offset + i))
-        return out
-    if pattern in ("concat_lo", "concat_hi"):
-        a, b = vectors
-        half = a.num_elems // 2
-        offset = half if pattern == "concat_hi" else 0
-        return [a.elem(offset + i) for i in range(half)] + [
-            b.elem(offset + i) for i in range(half)
-        ]
-    if pattern == "rotate_right":
-        (a,) = vectors
-        n = a.num_elems
-        return [a.elem((i + amount) % n) for i in range(n)]
-    raise ValueError(f"unknown swizzle pattern {pattern!r}")
+    """Element-level semantics of the swizzle patterns.
+
+    The gather order comes from :func:`repro.bitvector.packed.swizzle_order`
+    — the same list the packed evaluator and the solver lowering use, so
+    the three views of a pattern agree by construction.
+    """
+    order = swizzle_order(pattern, vectors[0].num_elems, amount)
+    return [vectors[source].elem(index) for source, index in order]
+
+
+# ----------------------------------------------------------------------
+# Packed (integer-domain) evaluation — the enumerator's hot path
+# ----------------------------------------------------------------------
+
+# (id(binding), parameter values, immediates) -> hoisted evaluation plan.
+# The binding reference inside the value keeps the id()-keyed entry from
+# ever aliasing a recycled binding object.
+_SOP_EVAL_CACHE: dict[tuple, tuple] = {}
+
+
+def _sop_plan(node: SOp) -> tuple:
+    """Hoisted per-(binding, params, imms) evaluation state for one SOp.
+
+    Everything :func:`apply_node` recomputes per call — the parameter
+    dict, the concrete semantics function, the resolved input widths and
+    the immediate operands — is computed once here and shared by every
+    candidate applying the same instruction with the same parameters.
+    """
+    key = (id(node.binding), node.values(), node.imm_values)
+    plan = _SOP_EVAL_CACHE.get(key)
+    if plan is None:
+        symbolic = node.binding.member.symbolic
+        values = dict(zip(symbolic.param_names, node.values()))
+        func = symbolic.to_function(values)
+        evaluator = make_evaluator(func, values)
+        imm_env: dict[str, BitVector] = {}
+        reg_names: list[str] = []
+        imm_iter = iter(node.imm_values)
+        for inp in func.inputs:
+            if inp.is_immediate:
+                width = evaluator.input_widths[inp.name]
+                imm_env[inp.name] = BitVector(next(imm_iter), width)
+            else:
+                reg_names.append(inp.name)
+        plan = (node.binding, evaluator, imm_env, tuple(reg_names))
+        _SOP_EVAL_CACHE[key] = plan
+    return plan
+
+
+def make_packed_applier(node: SNode, arg_widths: tuple[int, ...]):
+    """A callable evaluating ``node`` on packed integer argument values.
+
+    Arguments and result are plain ints (a whole register each); only the
+    instruction-semantics path still boxes its operands into
+    :class:`BitVector`.  Malformed applications raise exactly where the
+    object path raises, so candidate rejection is unchanged — values out
+    of range are masked the same way :class:`BitVector` masks them.
+    """
+    if isinstance(node, SInput):
+        raise ValueError("inputs have no arguments")
+    if isinstance(node, SConstant):
+        value = splat(node.value, node.lanes, node.elem_width)
+        return lambda args: value
+    if isinstance(node, SSlice):
+        width = arg_widths[0]
+        high = node.high
+        return lambda args: slice_half(args[0], width, high)
+    if isinstance(node, SConcat):
+        high_width, low_width = arg_widths
+        return lambda args: concat_pair(args[0], args[1], high_width, low_width)
+    if isinstance(node, SSwizzle):
+        elem_width = node.elem_width
+        for width in arg_widths:
+            if width % elem_width:
+                raise ValueError(
+                    f"register width {width} is not a multiple of "
+                    f"element width {elem_width}"
+                )
+        order = swizzle_order(
+            node.pattern, arg_widths[0] // elem_width, node.amount
+        )
+        widths = list(arg_widths)
+
+        def apply_swizzle(args: list[int]) -> int:
+            return gather_lanes(order, args, widths, elem_width)
+
+        return apply_swizzle
+    assert isinstance(node, SOp)
+    _, evaluator, imm_env, reg_names = _sop_plan(node)
+
+    def apply_sop(args: list[int]) -> int:
+        env = dict(imm_env)
+        # Box at the *argument's* width, not the declared input width, so
+        # a width-mismatched application is rejected by the evaluator's
+        # validation exactly like the object path.
+        for name, value, width in zip(reg_names, args, arg_widths):
+            env[name] = BitVector(value, width)
+        return evaluator(env).value
+
+    return apply_sop
 
 
 SWIZZLE_PATTERNS = (
@@ -397,33 +462,7 @@ def _swizzle_term(node: SSwizzle, args: list[smt.Term]) -> smt.Term:
         )
 
     lanes = args[0].width // width
-    if node.pattern == "interleave_full":
-        order = [
-            (source, i) for i in range(lanes) for source in (0, 1)
-        ]
-    elif node.pattern == "interleave_single":
-        half = lanes // 2
-        order = [(0, i if s == 0 else half + i) for i in range(half) for s in (0, 1)]
-    elif node.pattern == "deinterleave_single":
-        half = lanes // 2
-        order = [(0, 2 * i) for i in range(half)] + [
-            (0, 2 * i + 1) for i in range(half)
-        ]
-    elif node.pattern in ("interleave_lo", "interleave_hi"):
-        half = lanes // 2
-        offset = half if node.pattern == "interleave_hi" else 0
-        order = [(s, offset + i) for i in range(half) for s in (0, 1)]
-    elif node.pattern in ("concat_lo", "concat_hi"):
-        half = lanes // 2
-        offset = half if node.pattern == "concat_hi" else 0
-        order = [(0, offset + i) for i in range(half)] + [
-            (1, offset + i) for i in range(half)
-        ]
-    elif node.pattern == "rotate_right":
-        order = [(0, (i + node.amount) % lanes) for i in range(lanes)]
-    else:
-        raise ValueError(node.pattern)
-
+    order = swizzle_order(node.pattern, lanes, node.amount)
     parts = [elem(args[source], index) for source, index in order]
     result = parts[0]
     for part in parts[1:]:

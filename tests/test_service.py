@@ -290,6 +290,24 @@ class TestServiceSmoke:
         assert last is not None
         assert "hit_rate" in last
 
+    def test_perf_counters_surface_in_telemetry(self, warm_run):
+        stats, results = warm_run
+        # The cold run synthesized, so at least one job carries a
+        # synthesis hot-path snapshot delta (counters are process-global;
+        # forked workers attribute them cleanly to their one job).
+        synth = [r for r in results if r.telemetry.synth_calls > 0]
+        assert synth
+        assert any(
+            r.telemetry.perf.get("candidates_evaluated", 0) > 0 for r in synth
+        )
+        metrics = synth[0].telemetry.perf_metrics()
+        assert "candidates_per_sec" in metrics
+        # The scheduler sums per-job deltas into the run aggregate and
+        # exports derived rates for `repro.service stats`.
+        assert stats.perf.get("candidates_evaluated", 0) > 0
+        exported = stats.to_dict()
+        assert "blast_cache_hit_rate" in exported["perf_metrics"]
+
 
 class TestSchedulerSerialPath:
     def test_serial_run_matches_runner(self, dictionary):

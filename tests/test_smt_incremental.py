@@ -1,0 +1,248 @@
+"""Incremental SAT solving, hash-consing and the blast cache.
+
+Property tests check that the incremental solver (persistent clause
+database, learned-clause retention, assumption-based queries) agrees
+with one-shot solving on random CNFs, and that the hash-consed term
+layer keys the :class:`BitBlaster` cache structurally rather than by
+``id()`` (which could alias after garbage collection).
+"""
+
+import gc
+import random
+
+from repro.perf import global_counters
+from repro.smt.bitblast import BitBlaster
+from repro.smt.sat import CdclSolver, solve_cnf
+from repro.smt.solver import IncrementalSatContext
+from repro.smt.terms import apply_op, const, term_uid, var
+
+
+def random_cnf(rng: random.Random, num_vars: int, num_clauses: int):
+    """A random 3-ish-SAT instance without tautology clauses.
+
+    Tautologies are dropped by ``add_clause`` before the variable space
+    grows, so a variable appearing only in tautologies would be missing
+    from the model — skip them so model checks can be exact.
+    """
+    clauses = []
+    while len(clauses) < num_clauses:
+        width = rng.randint(1, 3)
+        chosen = rng.sample(range(1, num_vars + 1), width)
+        clause = [v if rng.random() < 0.5 else -v for v in chosen]
+        if any(-lit in clause for lit in clause):
+            continue
+        clauses.append(clause)
+    return clauses
+
+
+def check_model(clauses, model):
+    for clause in clauses:
+        assert any(
+            model[abs(lit)] == (lit > 0) for lit in clause
+        ), f"model does not satisfy {clause}"
+
+
+class TestIncrementalAgreesWithFresh:
+    def test_batched_clause_addition(self):
+        """Adding clauses in batches with solves in between matches a
+        fresh one-shot solve of everything seen so far."""
+        rng = random.Random(1234)
+        for _ in range(25):
+            num_vars = rng.randint(4, 12)
+            clauses = random_cnf(rng, num_vars, rng.randint(6, 40))
+            incremental = CdclSolver()
+            fed = 0
+            while fed < len(clauses):
+                batch = rng.randint(1, 8)
+                for clause in clauses[fed : fed + batch]:
+                    incremental.add_clause(clause)
+                fed += batch
+                result = incremental.solve()
+                fresh = solve_cnf(num_vars, clauses[:fed])
+                assert result.satisfiable == fresh.satisfiable
+                if result.satisfiable:
+                    check_model(clauses[:fed], result.model)
+
+    def test_assumptions_match_unit_clauses(self):
+        """solve(assumptions=...) matches a fresh solver with the
+        assumptions added as unit clauses."""
+        rng = random.Random(99)
+        for _ in range(40):
+            num_vars = rng.randint(4, 10)
+            clauses = random_cnf(rng, num_vars, rng.randint(5, 30))
+            assumed = [
+                v if rng.random() < 0.5 else -v
+                for v in rng.sample(range(1, num_vars + 1), rng.randint(1, 3))
+            ]
+            solver = CdclSolver(num_vars, clauses)
+            result = solver.solve(assumptions=assumed)
+            fresh = solve_cnf(
+                num_vars, clauses + [[lit] for lit in assumed]
+            )
+            assert result.satisfiable == fresh.satisfiable
+            if result.satisfiable:
+                check_model(clauses, result.model)
+                for lit in assumed:
+                    assert result.model[abs(lit)] == (lit > 0)
+
+    def test_assumption_queries_repeatable(self):
+        """The same assumption query gives the same answer when
+        repeated, regardless of queries in between."""
+        rng = random.Random(7)
+        for _ in range(15):
+            num_vars = rng.randint(4, 10)
+            clauses = random_cnf(rng, num_vars, rng.randint(5, 25))
+            solver = CdclSolver(num_vars, clauses)
+            queries = [
+                [v if rng.random() < 0.5 else -v
+                 for v in rng.sample(range(1, num_vars + 1), 2)]
+                for _ in range(4)
+            ]
+            first = [solver.solve(assumptions=q).satisfiable for q in queries]
+            second = [solver.solve(assumptions=q).satisfiable for q in queries]
+            assert first == second
+
+    def test_solver_usable_after_unsat_assumptions(self):
+        """An UNSAT-under-assumptions answer must not poison the solver:
+        the clause database alone is still satisfiable afterwards."""
+        solver = CdclSolver(2, [[1, 2]])
+        refused = solver.solve(assumptions=[-1, -2])
+        assert not refused.satisfiable
+        retry = solver.solve()
+        assert retry.satisfiable
+        check_model([[1, 2]], retry.model)
+
+
+class TestLearnedClauseRetention:
+    def _conflict_rich_cnf(self):
+        # Pigeonhole PHP(4,3): 4 pigeons, 3 holes — UNSAT, needs real
+        # conflict analysis rather than pure propagation.
+        def hole_var(p, h):
+            return p * 3 + h + 1
+
+        clauses = [[hole_var(p, h) for h in range(3)] for p in range(4)]
+        for h in range(3):
+            for p1 in range(4):
+                for p2 in range(p1 + 1, 4):
+                    clauses.append([-hole_var(p1, h), -hole_var(p2, h)])
+        return 12, clauses
+
+    def test_learning_accumulates_across_solves(self):
+        num_vars, clauses = self._conflict_rich_cnf()
+        solver = CdclSolver(num_vars, clauses)
+        result = solver.solve()
+        assert not result.satisfiable
+        assert solver.total_conflicts > 0
+
+        # A second solver under assumptions hits conflicts on the first
+        # query; the learned clauses stay in the database so total
+        # learning only ever grows, never resets between solve() calls.
+        probing = CdclSolver(num_vars, clauses[:-1])
+        probing.solve(assumptions=[1])
+        learned_after_first = probing.learned_count
+        conflicts_after_first = probing.total_conflicts
+        assert learned_after_first > 0
+        probing.solve(assumptions=[1])
+        assert probing.learned_count >= learned_after_first
+        assert probing.total_conflicts >= conflicts_after_first
+
+    def test_repeat_query_cheaper_with_retained_clauses(self):
+        """Re-asking the exact same assumption query reuses retained
+        learned clauses: the repeat costs no more conflicts than the
+        first ask."""
+        num_vars, clauses = self._conflict_rich_cnf()
+        solver = CdclSolver(num_vars, clauses[:-1])
+        first = solver.solve(assumptions=[1])
+        repeat = solver.solve(assumptions=[1])
+        assert repeat.satisfiable == first.satisfiable
+        assert repeat.conflicts <= first.conflicts
+
+    def test_clauses_added_after_solve_take_effect(self):
+        solver = CdclSolver(2, [[1, 2]])
+        assert solver.solve().satisfiable
+        solver.add_clause([-1])
+        solver.add_clause([-2])
+        assert not solver.solve().satisfiable
+        # UNSAT without assumptions is final: it sticks.
+        assert not solver.solve().satisfiable
+
+
+class TestIncrementalSatContext:
+    def test_query_sequence_reuses_one_solver(self):
+        x = var("x", 8)
+        one = const(1, 8)
+        ctx = IncrementalSatContext()
+
+        # (x + 1) vs (1 + x): equal for all x -> no difference (UNSAT).
+        a = apply_op("bvadd", [x, one])
+        b = apply_op("bvadd", [one, x])
+        assert not ctx.check_not_equal(a, b).satisfiable
+
+        # x vs x + 1: always different (SAT) with a witness.
+        witness = ctx.check_not_equal(x, apply_op("bvadd", [x, one]))
+        assert witness.satisfiable
+
+        # Back to an UNSAT query after a SAT one: the retired activation
+        # literal must not leak the old difference constraint.
+        assert not ctx.check_not_equal(a, b).satisfiable
+        assert ctx.queries == 3
+
+    def test_model_decodes_through_shared_blaster(self):
+        x = var("x", 4)
+        ctx = IncrementalSatContext()
+        result = ctx.check_not_equal(x, const(5, 4))
+        assert result.satisfiable
+        bits = ctx.blaster.blast(x)
+        value = sum(
+            (1 << i) if result.model.get(abs(lit), False) == (lit > 0) else 0
+            for i, lit in enumerate(bits)
+        )
+        assert value != 5
+
+
+class TestHashConsing:
+    def test_structural_identity_interns(self):
+        a = apply_op("bvadd", [var("x", 8), const(3, 8)])
+        b = apply_op("bvadd", [var("x", 8), const(3, 8)])
+        assert a is b
+        assert term_uid(a) == term_uid(b)
+        assert hash(a) == hash(b)
+
+    def test_distinct_terms_distinct_uids(self):
+        a = apply_op("bvadd", [var("x", 8), const(3, 8)])
+        b = apply_op("bvadd", [var("x", 8), const(4, 8)])
+        assert a is not b
+        assert term_uid(a) != term_uid(b)
+        assert a != b
+
+    def test_blast_cache_keys_survive_term_churn(self):
+        """Regression: the blast cache used to key on ``id(term)``, so a
+        garbage-collected term could alias a new term at the same
+        address.  Structural uids are never reused: churning through
+        fresh structurally-distinct terms must never produce a stale
+        cache hit, and rebuilding an old structure must hit."""
+        blaster = BitBlaster()
+        x = var("x", 8)
+        blaster.blast(apply_op("bvnot", [x]))
+        baseline_bits = {}
+        for i in range(50):
+            term = apply_op("bvadd", [x, const(i, 8)])
+            baseline_bits[i] = tuple(blaster.blast(term))
+            del term
+            gc.collect()
+        misses = blaster.cache_misses
+        hits = blaster.cache_hits
+        for i in range(50):
+            term = apply_op("bvadd", [x, const(i, 8)])
+            assert tuple(blaster.blast(term)) == baseline_bits[i]
+        # All 50 re-blasts are structural re-requests: pure cache hits.
+        assert blaster.cache_misses == misses
+        assert blaster.cache_hits == hits + 50
+
+    def test_global_counters_track_intern_hits(self):
+        perf = global_counters()
+        before = perf.term_intern_hits
+        first = apply_op("bvxor", [var("q", 16), var("r", 16)])
+        again = apply_op("bvxor", [var("q", 16), var("r", 16)])
+        assert first is again
+        assert perf.term_intern_hits > before
