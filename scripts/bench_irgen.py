@@ -1,0 +1,263 @@
+#!/usr/bin/env python
+"""Benchmark the offline IR-generation pipeline and audit its determinism.
+
+Three arms, each in its *own subprocess* so per-process caches (lru_cache
+on catalogs, parsed ISAs, the artifact memo) can't flatter any arm:
+
+``serial``
+    The reference: :func:`build_equivalence_classes` (the unsharded
+    in-memory engine) plus dictionary assembly.
+
+``parallel``
+    A cold ``repro.irgen`` build with ``--jobs N`` (sharded similarity
+    checking, pooled parsing), persisted into a fresh artifact store.
+
+``warm``
+    A second process loading that artifact.  It must be a pure cache hit:
+    any rebuild, or any equivalence check performed, fails the run.
+
+All three arms must produce the identical class partition (member names,
+argument orders, parameter values, fixed params) and the identical
+AutoLLVM dictionary fingerprint; a mismatch is a determinism bug and
+fails the run.  Slow results do not fail the run — CI uses this in a
+"crash only" smoke job.  Speedups only show on multi-core machines; the
+warm-load time is the headline number everywhere.
+
+Usage:
+    python scripts/bench_irgen.py [--smoke] [--jobs N]
+        [--isas x86,hvx,arm] [--output BENCH_irgen.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+import time
+
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+SMOKE_ISAS = ("hvx",)
+FULL_ISAS = ("x86", "hvx", "arm")
+
+
+# ----------------------------------------------------------------------
+# Arm bodies (run in subprocesses via `--arm`)
+# ----------------------------------------------------------------------
+
+
+def _arm_serial(isas: tuple[str, ...], cache_dir: str, jobs: int) -> dict:
+    from repro.autollvm.intrinsics import dictionary_from_classes
+    from repro.irgen import partition_digest
+    from repro.similarity.engine import build_equivalence_classes
+    from repro.synthesis.serialize import dictionary_fingerprint
+
+    start = time.monotonic()
+    classes, stats = build_equivalence_classes(isas)
+    dictionary = dictionary_from_classes(isas, classes)
+    return {
+        "seconds": time.monotonic() - start,
+        "digest": partition_digest(classes),
+        "dictionary_fingerprint": dictionary_fingerprint(dictionary),
+        "op_names": [op.name for op in dictionary.ops],
+        "stats": stats.to_dict(),
+    }
+
+
+def _arm_parallel(isas: tuple[str, ...], cache_dir: str, jobs: int) -> dict:
+    from repro.irgen import ensure_artifact, partition_digest
+    from repro.synthesis.serialize import dictionary_fingerprint
+
+    start = time.monotonic()
+    artifact = ensure_artifact(isas, cache_dir, jobs=jobs)
+    seconds = time.monotonic() - start
+    return {
+        "seconds": seconds,
+        "loaded": artifact.loaded,
+        "jobs": artifact.jobs,
+        "digest": partition_digest(artifact.classes),
+        "dictionary_fingerprint": dictionary_fingerprint(artifact.dictionary),
+        "op_names": [op.name for op in artifact.dictionary.ops],
+        "stats": artifact.stats.to_dict(),
+        "phase_seconds": {
+            k: round(v, 4) for k, v in sorted(artifact.phase_seconds.items())
+        },
+    }
+
+
+def _arm_warm(isas: tuple[str, ...], cache_dir: str, jobs: int) -> dict:
+    from repro.irgen import ensure_artifact, partition_digest
+    from repro.perf import snapshot, snapshot_delta
+    from repro.synthesis.serialize import dictionary_fingerprint
+
+    before = snapshot()
+    start = time.monotonic()
+    artifact = ensure_artifact(isas, cache_dir)
+    load_seconds = time.monotonic() - start
+    dict_start = time.monotonic()
+    dictionary = artifact.dictionary
+    delta = snapshot_delta(before)
+    return {
+        "seconds": load_seconds,
+        "dictionary_seconds": time.monotonic() - dict_start,
+        "loaded": artifact.loaded,
+        # Any equivalence checking in the warm arm means the "cache hit"
+        # actually recomputed something.
+        "check_seconds": delta.get("seconds_irgen_check", 0.0),
+        "checks_delta": 0 if artifact.loaded else artifact.stats.checks,
+        "digest": partition_digest(artifact.classes),
+        "dictionary_fingerprint": dictionary_fingerprint(dictionary),
+        "op_names": [op.name for op in dictionary.ops],
+    }
+
+
+_ARMS = {"serial": _arm_serial, "parallel": _arm_parallel, "warm": _arm_warm}
+
+
+def _run_arm(arm: str, isas: tuple[str, ...], cache_dir: str, jobs: int) -> dict:
+    """Execute one arm in a fresh interpreter; returns its JSON report."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        out_path = handle.name
+    env = dict(os.environ)
+    env.pop("REPRO_IRGEN_CACHE", None)  # arms opt in explicitly
+    env["PYTHONPATH"] = str(_SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    try:
+        proc = subprocess.run(
+            [
+                sys.executable, os.path.abspath(__file__),
+                "--arm", arm, "--arm-output", out_path,
+                "--isas", ",".join(isas),
+                "--cache-dir", cache_dir, "--jobs", str(jobs),
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"arm {arm!r} failed:\n{proc.stdout}\n{proc.stderr}"
+            )
+        return json.loads(pathlib.Path(out_path).read_text())
+    finally:
+        try:
+            os.unlink(out_path)
+        except OSError:
+            pass
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="hvx only (fast)")
+    parser.add_argument("--isas", default="", help="comma-separated ISA set")
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 1)
+    parser.add_argument("--output", default="BENCH_irgen.json")
+    parser.add_argument("--cache-dir", default=None, help=argparse.SUPPRESS)
+    parser.add_argument("--arm", default=None, help=argparse.SUPPRESS)
+    parser.add_argument("--arm-output", default=None, help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+
+    if args.isas:
+        isas = tuple(s for s in args.isas.split(",") if s)
+    else:
+        isas = SMOKE_ISAS if args.smoke else FULL_ISAS
+
+    if args.arm:  # subprocess mode
+        report = _ARMS[args.arm](isas, args.cache_dir, args.jobs)
+        pathlib.Path(args.arm_output).write_text(
+            json.dumps(report, sort_keys=True)
+        )
+        return 0
+
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="irgen-bench-") as cache_dir:
+        print(f"[bench] serial engine ({'+'.join(isas)}) ...", flush=True)
+        serial = _run_arm("serial", isas, cache_dir, 1)
+        print(
+            f"[bench] serial: {serial['seconds']:.2f}s "
+            f"({serial['stats']['classes']} classes, "
+            f"{serial['stats']['checks']} checks)",
+            flush=True,
+        )
+
+        print(f"[bench] parallel cold build (jobs={args.jobs}) ...", flush=True)
+        parallel = _run_arm("parallel", isas, cache_dir, args.jobs)
+        if parallel["loaded"]:
+            failures.append("parallel arm loaded a pre-existing artifact")
+        print(
+            f"[bench] parallel: {parallel['seconds']:.2f}s "
+            f"(phases: {parallel['phase_seconds']})",
+            flush=True,
+        )
+
+        print("[bench] warm load ...", flush=True)
+        warm = _run_arm("warm", isas, cache_dir, 1)
+        if not warm["loaded"]:
+            failures.append("warm arm rebuilt instead of loading the artifact")
+        if warm["checks_delta"]:
+            failures.append(
+                f"warm arm performed {warm['checks_delta']} equivalence checks"
+            )
+        print(
+            f"[bench] warm: load={warm['seconds']:.3f}s "
+            f"dictionary={warm['dictionary_seconds']:.3f}s "
+            f"loaded={warm['loaded']}",
+            flush=True,
+        )
+
+    for name, arm in (("parallel", parallel), ("warm", warm)):
+        if arm["digest"] != serial["digest"]:
+            failures.append(f"{name} partition digest != serial")
+        if arm["dictionary_fingerprint"] != serial["dictionary_fingerprint"]:
+            failures.append(f"{name} dictionary fingerprint != serial")
+        if arm["op_names"] != serial["op_names"]:
+            failures.append(f"{name} AutoLLVM op names != serial")
+
+    identical = not failures
+    speedup = round(serial["seconds"] / max(parallel["seconds"], 1e-9), 2)
+    report = {
+        "isas": list(isas),
+        "jobs": args.jobs,
+        "cpu_count": os.cpu_count(),
+        "serial": serial,
+        "parallel": parallel,
+        "warm": {k: v for k, v in warm.items() if k != "op_names"},
+        "speedup": speedup,
+        "warm_load_seconds": round(warm["seconds"], 4),
+        "identical": identical,
+        "failures": failures,
+    }
+    # op name lists are long and identical across arms; keep one copy.
+    report["serial"] = {k: v for k, v in serial.items() if k != "op_names"}
+    report["parallel"] = {k: v for k, v in parallel.items() if k != "op_names"}
+    report["op_count"] = len(serial["op_names"])
+
+    out = pathlib.Path(args.output)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(
+        f"[bench] total: serial={serial['seconds']:.2f}s "
+        f"parallel={parallel['seconds']:.2f}s (jobs={args.jobs}, "
+        f"speedup={speedup:.2f}x on {os.cpu_count()} cpus) "
+        f"warm={warm['seconds']:.3f}s identical={identical}"
+    )
+    print(f"[bench] wrote {out}")
+
+    if failures:
+        for failure in failures:
+            print(f"[bench] DETERMINISM FAILURE: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

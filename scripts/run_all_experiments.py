@@ -32,9 +32,19 @@ def main() -> int:
         "--cache-dir", default=None,
         help="persistent synthesis cache directory (survives restarts)",
     )
+    parser.add_argument(
+        "--irgen-cache", default=None,
+        help="offline IR-generation artifact store: equivalence classes "
+        "and the AutoLLVM dictionary load from disk instead of being "
+        "recomputed (see python -m repro.irgen build)",
+    )
     args = parser.parse_args()
     if args.full:
         os.environ["REPRO_FULL_SUITE"] = "1"
+    if args.irgen_cache:
+        # Before the repro.experiments imports below: every table pulls
+        # the dictionary/classes at first use.
+        os.environ["REPRO_IRGEN_CACHE"] = args.irgen_cache
 
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)

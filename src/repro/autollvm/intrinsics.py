@@ -12,7 +12,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from functools import lru_cache
 
-from repro.isa.registry import load_isa
+from repro.isa.registry import load_catalog
 from repro.isa.spec import InstructionSpec
 from repro.similarity.eqclass import ClassMember, EquivalenceClass
 from repro.similarity.engine import build_equivalence_classes
@@ -71,13 +71,6 @@ class AutoLLVMOp:
         return f"<W x iN> @{self.name}({params})"
 
 
-def _friendly_kind(members: list[ClassMember]) -> str:
-    families = Counter()
-    for member in members:
-        families[member.symbolic.name] = 0  # placeholder, replaced below
-    return ""
-
-
 @dataclass
 class AutoLLVMDictionary:
     """The generated dictionary: every AutoLLVM op plus reverse indexes.
@@ -109,20 +102,24 @@ def _family_label(bindings: list[TargetBinding]) -> str:
     return label.replace("/", "_")
 
 
-def build_dictionary(isas: tuple[str, ...] = ("x86", "hvx", "arm")) -> AutoLLVMDictionary:
-    """Generate the AutoLLVM dictionary for a set of ISAs (cached)."""
-    return _build_dictionary_cached(tuple(isas))
+def dictionary_from_classes(
+    isas: tuple[str, ...], classes: list[EquivalenceClass]
+) -> AutoLLVMDictionary:
+    """Assemble the dictionary over an already-computed class partition.
 
-
-@lru_cache(maxsize=None)
-def _build_dictionary_cached(isas: tuple[str, ...]) -> AutoLLVMDictionary:
-    classes, _stats = build_equivalence_classes(isas)
-    catalogs = {isa: load_isa(isa) for isa in isas}
+    Target specs are resolved from the (cheap, parse-free) generated
+    catalogs by name, which is what lets an artifact loaded from disk
+    (:mod:`repro.irgen`) rebuild the full dictionary without ever running
+    the pseudocode parser.
+    """
+    specs = {
+        isa: {spec.name: spec for spec in load_catalog(isa)} for isa in isas
+    }
     ops: list[AutoLLVMOp] = []
     reverse: dict[str, AutoLLVMOp] = {}
     for cls in classes:
         bindings = [
-            TargetBinding(member, catalogs[member.isa].spec(member.name))
+            TargetBinding(member, specs[member.isa][member.name])
             for member in cls.members
         ]
         label = _family_label(bindings)
@@ -135,4 +132,26 @@ def _build_dictionary_cached(isas: tuple[str, ...]) -> AutoLLVMDictionary:
         ops.append(op)
         for binding in bindings:
             reverse[binding.spec.name] = op
-    return AutoLLVMDictionary(isas, ops, reverse)
+    return AutoLLVMDictionary(tuple(isas), ops, reverse)
+
+
+def build_dictionary(isas: tuple[str, ...] = ("x86", "hvx", "arm")) -> AutoLLVMDictionary:
+    """Generate the AutoLLVM dictionary for a set of ISAs (cached).
+
+    When ``REPRO_IRGEN_CACHE`` names an artifact store, the class
+    partition comes from the persisted irgen artifact (warm load or
+    rebuild-and-persist); otherwise the in-memory serial engine runs.
+    """
+    return _build_dictionary_cached(tuple(isas))
+
+
+@lru_cache(maxsize=None)
+def _build_dictionary_cached(isas: tuple[str, ...]) -> AutoLLVMDictionary:
+    from repro.irgen import artifact_classes_and_stats
+
+    cached = artifact_classes_and_stats(isas)
+    if cached is not None:
+        classes, _stats = cached
+    else:
+        classes, _stats = build_equivalence_classes(isas)
+    return dictionary_from_classes(isas, classes)

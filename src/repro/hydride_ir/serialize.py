@@ -1,0 +1,168 @@
+"""Structural (de)serialization of Hydride IR expressions.
+
+The offline IR-generation artifact (:mod:`repro.irgen`) persists the
+parameterized semantics of every instruction — full :class:`BvExpr`
+bodies over symbolic :class:`IndexExpr` widths — so that a warm process
+can reload equivalence classes without re-parsing any vendor pseudocode.
+
+The encoding is compact JSON: index expressions are plain integers
+(``IConst``, by far the most common node) or small tagged lists;
+bitvector nodes are tagged lists whose first element selects the
+constructor.  Encoding and decoding are exact inverses on canonical IR,
+which the artifact round-trip tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.hydride_ir.ast import (
+    BvBinOp,
+    BvBroadcastConst,
+    BvCast,
+    BvCmp,
+    BvConcat,
+    BvConst,
+    BvExpr,
+    BvExtract,
+    BvIte,
+    BvUnOp,
+    BvVar,
+    ForConcat,
+    Input,
+)
+from repro.hydride_ir.indexexpr import IBin, IConst, IndexExpr, IParam, IVar
+
+
+class IrSerializeError(ValueError):
+    """An IR node cannot be encoded or a payload cannot be decoded."""
+
+
+# ----------------------------------------------------------------------
+# Index expressions
+# ----------------------------------------------------------------------
+
+
+def index_to_obj(expr: IndexExpr) -> Any:
+    if isinstance(expr, IConst):
+        return expr.value
+    if isinstance(expr, IParam):
+        return ["p", expr.name]
+    if isinstance(expr, IVar):
+        return ["v", expr.name]
+    if isinstance(expr, IBin):
+        return [expr.op, index_to_obj(expr.left), index_to_obj(expr.right)]
+    raise IrSerializeError(f"cannot serialize index node {type(expr).__name__}")
+
+
+def index_from_obj(obj: Any) -> IndexExpr:
+    if isinstance(obj, bool):
+        raise IrSerializeError(f"invalid index payload {obj!r}")
+    if isinstance(obj, int):
+        return IConst(obj)
+    if not isinstance(obj, list) or not obj:
+        raise IrSerializeError(f"invalid index payload {obj!r}")
+    tag = obj[0]
+    if tag == "p":
+        return IParam(obj[1])
+    if tag == "v":
+        return IVar(obj[1])
+    if tag in IBin._OPS:
+        return IBin(tag, index_from_obj(obj[1]), index_from_obj(obj[2]))
+    raise IrSerializeError(f"unknown index tag {tag!r}")
+
+
+# ----------------------------------------------------------------------
+# Bitvector expressions
+# ----------------------------------------------------------------------
+
+
+def expr_to_obj(expr: BvExpr) -> Any:
+    if isinstance(expr, BvVar):
+        return ["V", expr.name]
+    if isinstance(expr, BvConst):
+        return ["C", index_to_obj(expr.value), index_to_obj(expr.width)]
+    if isinstance(expr, BvBroadcastConst):
+        return [
+            "B",
+            index_to_obj(expr.value),
+            index_to_obj(expr.elem_width),
+            index_to_obj(expr.num_elems),
+        ]
+    if isinstance(expr, BvExtract):
+        return [
+            "X",
+            expr_to_obj(expr.src),
+            index_to_obj(expr.low),
+            index_to_obj(expr.width),
+        ]
+    if isinstance(expr, BvBinOp):
+        return ["O", expr.op, expr_to_obj(expr.left), expr_to_obj(expr.right)]
+    if isinstance(expr, BvUnOp):
+        return ["U", expr.op, expr_to_obj(expr.operand)]
+    if isinstance(expr, BvCmp):
+        return ["M", expr.op, expr_to_obj(expr.left), expr_to_obj(expr.right)]
+    if isinstance(expr, BvCast):
+        return ["T", expr.op, expr_to_obj(expr.operand), index_to_obj(expr.new_width)]
+    if isinstance(expr, BvIte):
+        return [
+            "I",
+            expr_to_obj(expr.cond),
+            expr_to_obj(expr.then_expr),
+            expr_to_obj(expr.else_expr),
+        ]
+    if isinstance(expr, BvConcat):
+        return ["K", [expr_to_obj(p) for p in expr.parts]]
+    if isinstance(expr, ForConcat):
+        return ["F", expr.var, index_to_obj(expr.count), expr_to_obj(expr.body)]
+    raise IrSerializeError(f"cannot serialize IR node {type(expr).__name__}")
+
+
+def expr_from_obj(obj: Any) -> BvExpr:
+    if not isinstance(obj, list) or not obj:
+        raise IrSerializeError(f"invalid IR payload {obj!r}")
+    tag = obj[0]
+    if tag == "V":
+        return BvVar(obj[1])
+    if tag == "C":
+        return BvConst(index_from_obj(obj[1]), index_from_obj(obj[2]))
+    if tag == "B":
+        return BvBroadcastConst(
+            index_from_obj(obj[1]), index_from_obj(obj[2]), index_from_obj(obj[3])
+        )
+    if tag == "X":
+        return BvExtract(
+            expr_from_obj(obj[1]), index_from_obj(obj[2]), index_from_obj(obj[3])
+        )
+    if tag == "O":
+        return BvBinOp(obj[1], expr_from_obj(obj[2]), expr_from_obj(obj[3]))
+    if tag == "U":
+        return BvUnOp(obj[1], expr_from_obj(obj[2]))
+    if tag == "M":
+        return BvCmp(obj[1], expr_from_obj(obj[2]), expr_from_obj(obj[3]))
+    if tag == "T":
+        return BvCast(obj[1], expr_from_obj(obj[2]), index_from_obj(obj[3]))
+    if tag == "I":
+        return BvIte(
+            expr_from_obj(obj[1]), expr_from_obj(obj[2]), expr_from_obj(obj[3])
+        )
+    if tag == "K":
+        return BvConcat(tuple(expr_from_obj(p) for p in obj[1]))
+    if tag == "F":
+        return ForConcat(obj[1], index_from_obj(obj[2]), expr_from_obj(obj[3]))
+    raise IrSerializeError(f"unknown IR tag {tag!r}")
+
+
+# ----------------------------------------------------------------------
+# Declared inputs
+# ----------------------------------------------------------------------
+
+
+def input_to_obj(inp: Input) -> Any:
+    return [inp.name, index_to_obj(inp.width), 1 if inp.is_immediate else 0]
+
+
+def input_from_obj(obj: Any) -> Input:
+    if not isinstance(obj, list) or len(obj) != 3:
+        raise IrSerializeError(f"invalid input payload {obj!r}")
+    return Input(obj[0], index_from_obj(obj[1]), bool(obj[2]))

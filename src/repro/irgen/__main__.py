@@ -1,0 +1,3 @@
+from repro.irgen.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,342 @@
+"""The on-disk IR-generation artifact: equivalence classes + dictionary.
+
+The paper runs the Automatic IR Generator once offline per ISA set; this
+module makes that phase a cacheable artifact.  Layout under a cache root
+directory (mirroring :mod:`repro.service.store`'s conventions)::
+
+    <root>/
+      <fingerprint16>/
+        meta.json        # fingerprint, versions, isas, build stats
+        artifact.json    # equivalence classes with full symbolic semantics
+
+The fingerprint (:func:`irgen_fingerprint`) hashes every spec's text and
+structure (name, operands, output width, pseudocode, family, extension)
+together with the engine/grammar/format versions, so any change to a
+vendor spec or to the similarity algorithm lands in a fresh namespace and
+stale artifacts are never replayed.  Writes are atomic and idempotent;
+racing builders produce byte-identical files.
+
+Class members persist with their *full* parameterized semantics (via
+:mod:`repro.hydride_ir.serialize`), so a warm load reconstructs the
+AutoLLVM dictionary without parsing a single line of vendor pseudocode —
+target :class:`InstructionSpec` objects are re-resolved from the cheap,
+freshly generated catalogs (their fuzzer reference callables cannot be
+serialized, and re-resolving keeps them live).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.hydride_ir.serialize import (
+    IrSerializeError,
+    expr_from_obj,
+    expr_to_obj,
+    input_from_obj,
+    input_to_obj,
+)
+from repro.isa.registry import load_catalog
+from repro.similarity.constants import SymbolicSemantics
+from repro.similarity.engine import ENGINE_VERSION, EngineStats
+from repro.similarity.eqclass import ClassMember, EquivalenceClass
+
+# Bump when the artifact encoding changes shape.
+IRGEN_FORMAT_VERSION = 1
+
+META_FILE = "meta.json"
+ARTIFACT_FILE = "artifact.json"
+FINGERPRINT_DIR_CHARS = 16
+
+
+class ArtifactError(ValueError):
+    """An artifact cannot be encoded, decoded, or trusted."""
+
+
+# ----------------------------------------------------------------------
+# Fingerprinting
+# ----------------------------------------------------------------------
+
+
+def irgen_fingerprint(
+    isas: tuple[str, ...],
+    extra: tuple[str, ...] = (),
+    catalogs: dict[str, Any] | None = None,
+) -> str:
+    """A stable hash of everything the generated IR depends on.
+
+    Covers the artifact format, the similarity-engine version, the
+    synthesis grammar version, and the full spec text of every ISA in the
+    set.  ``catalogs`` is injectable for tests; by default the (cheap)
+    generated catalogs are used.
+    """
+    from repro.synthesis.grammar import GRAMMAR_VERSION
+
+    digest = hashlib.sha256()
+    digest.update(f"irgen:{IRGEN_FORMAT_VERSION}\n".encode())
+    digest.update(f"engine:{ENGINE_VERSION}\n".encode())
+    digest.update(f"grammar:{GRAMMAR_VERSION}\n".encode())
+    digest.update(f"isas:{','.join(isas)}\n".encode())
+    for isa in isas:
+        catalog = (catalogs or {}).get(isa) or load_catalog(isa)
+        for spec in catalog:
+            operands = ",".join(
+                f"{op.name}:{op.width}:{int(op.is_immediate)}"
+                for op in spec.operands
+            )
+            digest.update(
+                f"spec:{spec.isa}:{spec.name}:{spec.family}:{spec.extension}"
+                f":{spec.output_width}:[{operands}]\n".encode()
+            )
+            digest.update(spec.pseudocode.encode())
+            digest.update(b"\n")
+    for item in extra:
+        digest.update(f"extra:{item}\n".encode())
+    return digest.hexdigest()
+
+
+def partition_digest(classes: list[EquivalenceClass]) -> str:
+    """A hash of the class partition: member names, orders, parameter
+    vectors and fixed parameters.  Serial, sharded and artifact-loaded
+    runs must agree on this digest bit-for-bit — the determinism gate the
+    tests and ``scripts/bench_irgen.py`` enforce."""
+    digest = hashlib.sha256()
+    for cls in classes:
+        digest.update(f"class:{cls.class_id}\n".encode())
+        for member in cls.members:
+            values = ",".join(str(v) for v in member.values())
+            order = ",".join(str(i) for i in member.arg_order)
+            digest.update(
+                f"  member:{member.isa}:{member.name}:[{order}]:[{values}]"
+                f":{len(member.symbolic.param_names)}\n".encode()
+            )
+        fixed = ",".join(
+            f"{k}={v}" for k, v in sorted(cls.fixed_params.items())
+        )
+        digest.update(f"  fixed:[{fixed}]\n".encode())
+    return digest.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# The artifact object
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class IrgenArtifact:
+    """Everything the offline phase produces, plus build provenance."""
+
+    isas: tuple[str, ...]
+    fingerprint: str
+    classes: list[EquivalenceClass]
+    stats: EngineStats
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    jobs: int = 1
+    built_at: str = ""
+    # Path the artifact was loaded from; None for freshly built ones.
+    loaded_from: str | None = None
+    _dictionary: Any = field(default=None, repr=False, compare=False)
+
+    @property
+    def dictionary(self):
+        """The AutoLLVM dictionary over this artifact's classes (lazy)."""
+        if self._dictionary is None:
+            from repro.autollvm.intrinsics import dictionary_from_classes
+
+            self._dictionary = dictionary_from_classes(self.isas, self.classes)
+        return self._dictionary
+
+    @property
+    def loaded(self) -> bool:
+        return self.loaded_from is not None
+
+    def digest(self) -> str:
+        return partition_digest(self.classes)
+
+    def summary(self) -> dict:
+        return {
+            "isas": list(self.isas),
+            "fingerprint": self.fingerprint,
+            "classes": len(self.classes),
+            "instructions": self.stats.instructions,
+            "jobs": self.jobs,
+            "built_at": self.built_at,
+            "loaded_from": self.loaded_from,
+            "stats": self.stats.to_dict(),
+            "phase_seconds": {
+                k: round(v, 4) for k, v in sorted(self.phase_seconds.items())
+            },
+        }
+
+
+# ----------------------------------------------------------------------
+# Encoding
+# ----------------------------------------------------------------------
+
+
+def _symbolic_to_obj(symbolic: SymbolicSemantics) -> dict[str, Any]:
+    return {
+        "name": symbolic.name,
+        "isa": symbolic.isa,
+        "inputs": [input_to_obj(i) for i in symbolic.inputs],
+        "body": expr_to_obj(symbolic.body),
+        # Ordered pairs preserve the canonical alpha_1..alpha_r order.
+        "params": [
+            [name, symbolic.param_values[name]] for name in symbolic.param_names
+        ],
+        "skeleton": symbolic.skeleton,
+    }
+
+
+def _symbolic_from_obj(obj: dict[str, Any]) -> SymbolicSemantics:
+    params = obj["params"]
+    return SymbolicSemantics(
+        obj["name"],
+        obj["isa"],
+        tuple(input_from_obj(i) for i in obj["inputs"]),
+        expr_from_obj(obj["body"]),
+        tuple(name for name, _value in params),
+        {name: value for name, value in params},
+        obj.get("skeleton", ""),
+    )
+
+
+def artifact_to_obj(artifact: IrgenArtifact) -> dict[str, Any]:
+    return {
+        "version": IRGEN_FORMAT_VERSION,
+        "fingerprint": artifact.fingerprint,
+        "isas": list(artifact.isas),
+        "jobs": artifact.jobs,
+        "built_at": artifact.built_at,
+        "stats": artifact.stats.to_dict(),
+        "phase_seconds": artifact.phase_seconds,
+        "classes": [
+            {
+                "id": cls.class_id,
+                "members": [
+                    {
+                        "order": list(m.arg_order),
+                        "sym": _symbolic_to_obj(m.symbolic),
+                    }
+                    for m in cls.members
+                ],
+            }
+            for cls in artifact.classes
+        ],
+    }
+
+
+def artifact_from_obj(obj: dict[str, Any]) -> IrgenArtifact:
+    if obj.get("version") != IRGEN_FORMAT_VERSION:
+        raise ArtifactError(
+            f"unsupported artifact version {obj.get('version')!r}"
+        )
+    try:
+        classes: list[EquivalenceClass] = []
+        for cls_obj in obj["classes"]:
+            cls = EquivalenceClass(int(cls_obj["id"]))
+            for member in cls_obj["members"]:
+                cls.members.append(
+                    ClassMember(
+                        _symbolic_from_obj(member["sym"]),
+                        tuple(member["order"]),
+                    )
+                )
+            # Cheaper to recompute than to trust: fixed parameters are a
+            # pure function of the member parameter vectors.
+            cls.compute_fixed_params()
+            classes.append(cls)
+    except (KeyError, TypeError, IndexError, IrSerializeError) as exc:
+        raise ArtifactError(f"corrupt artifact payload: {exc}") from exc
+    return IrgenArtifact(
+        isas=tuple(obj["isas"]),
+        fingerprint=obj["fingerprint"],
+        classes=classes,
+        stats=EngineStats.from_dict(obj.get("stats", {})),
+        phase_seconds=dict(obj.get("phase_seconds", {})),
+        jobs=int(obj.get("jobs", 1)),
+        built_at=obj.get("built_at", ""),
+    )
+
+
+# ----------------------------------------------------------------------
+# Store I/O
+# ----------------------------------------------------------------------
+
+
+def artifact_dir(root: str | Path, fingerprint: str) -> Path:
+    return Path(root) / fingerprint[:FINGERPRINT_DIR_CHARS]
+
+
+def persist_artifact(root: str | Path, artifact: IrgenArtifact) -> Path:
+    """Atomically write ``meta.json`` + ``artifact.json``; returns the
+    namespace directory."""
+    from repro.service.store import atomic_write
+
+    directory = artifact_dir(root, artifact.fingerprint)
+    directory.mkdir(parents=True, exist_ok=True)
+    atomic_write(
+        directory / META_FILE,
+        json.dumps(artifact.summary(), sort_keys=True, indent=2),
+    )
+    atomic_write(
+        directory / ARTIFACT_FILE,
+        json.dumps(artifact_to_obj(artifact), sort_keys=True),
+    )
+    return directory
+
+
+def load_artifact(
+    root: str | Path, fingerprint: str
+) -> IrgenArtifact | None:
+    """Load the artifact for ``fingerprint``; None when absent/corrupt/stale.
+
+    A payload whose recorded fingerprint disagrees with the requested one
+    (e.g. a truncated-directory-name collision) is treated as a miss, so
+    the caller rebuilds rather than trusting a mismatched artifact.
+    """
+    path = artifact_dir(root, fingerprint) / ARTIFACT_FILE
+    if not path.exists():
+        return None
+    try:
+        obj = json.loads(path.read_text())
+        artifact = artifact_from_obj(obj)
+    except (json.JSONDecodeError, OSError, ArtifactError):
+        return None
+    if artifact.fingerprint != fingerprint:
+        return None
+    artifact.loaded_from = str(path)
+    return artifact
+
+
+def store_inventory(root: str | Path) -> list[dict]:
+    """Every persisted artifact namespace under ``root`` (CLI ``stats``)."""
+    root = Path(root)
+    namespaces: list[dict] = []
+    if not root.is_dir():
+        return namespaces
+    for directory in sorted(p for p in root.iterdir() if p.is_dir()):
+        meta_path = directory / META_FILE
+        payload = directory / ARTIFACT_FILE
+        entry: dict = {
+            "dir": directory.name,
+            "bytes": sum(
+                p.stat().st_size for p in directory.glob("*.json")
+            ),
+            "complete": payload.exists(),
+        }
+        if meta_path.exists():
+            try:
+                entry.update(json.loads(meta_path.read_text()))
+            except json.JSONDecodeError:
+                entry["complete"] = False
+        namespaces.append(entry)
+    return namespaces
+
+
+def timestamp() -> str:
+    return time.strftime("%Y-%m-%dT%H:%M:%S")

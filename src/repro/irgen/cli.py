@@ -1,0 +1,163 @@
+"""``python -m repro.irgen`` — manage the offline IR-generation artifact.
+
+Subcommands::
+
+    build   Build (or warm-load) the artifact for an ISA set.
+            --expect-cached exits non-zero if a rebuild was needed — the
+            CI smoke job uses it to prove the second build is a pure
+            cache hit.
+    stats   Inventory of a cache root: per-namespace class counts, build
+            stats (including attempt_truncations, the engine's precision
+            -loss counter), disk usage, and which namespace is current.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.irgen import (
+    ENV_CACHE,
+    cache_root_from_env,
+    default_jobs,
+    ensure_artifact,
+    irgen_fingerprint,
+    store_inventory,
+)
+
+DEFAULT_ISAS = "x86,hvx,arm"
+
+
+def _parse_isas(text: str) -> tuple[str, ...]:
+    return tuple(part.strip() for part in text.split(",") if part.strip())
+
+
+def _resolve_root(args) -> str:
+    root = args.cache_dir or cache_root_from_env()
+    if not root:
+        print(
+            f"error: no cache root; pass --cache-dir or set {ENV_CACHE}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    return root
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=f"artifact root directory (default: ${ENV_CACHE})",
+    )
+    parser.add_argument(
+        "--isas",
+        default=DEFAULT_ISAS,
+        help=f"comma-separated ISA set (default: {DEFAULT_ISAS})",
+    )
+
+
+def cmd_build(args) -> int:
+    root = _resolve_root(args)
+    isas = _parse_isas(args.isas)
+    began = time.monotonic()
+    artifact = ensure_artifact(
+        isas, root, jobs=args.jobs, force=args.force
+    )
+    elapsed = time.monotonic() - began
+    action = "loaded" if artifact.loaded else "built"
+    print(
+        f"[irgen] {action} {'+'.join(isas)}: {len(artifact.classes)} classes"
+        f" from {artifact.stats.instructions} instructions in {elapsed:.2f}s"
+        f" (checks={artifact.stats.checks},"
+        f" truncations={artifact.stats.attempt_truncations},"
+        f" fingerprint={artifact.fingerprint[:16]})"
+    )
+    if args.expect_cached and not artifact.loaded:
+        print(
+            "[irgen] error: --expect-cached but the artifact was rebuilt",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def cmd_stats(args) -> int:
+    root = _resolve_root(args)
+    isas = _parse_isas(args.isas)
+    current = irgen_fingerprint(isas)
+    namespaces = store_inventory(root)
+    for entry in namespaces:
+        entry["current"] = entry.get("fingerprint") == current
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "root": root,
+                    "current_fingerprint": current,
+                    "namespaces": namespaces,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    print(f"[irgen] store {root}: {len(namespaces)} namespace(s)")
+    print(f"[irgen] current fingerprint ({'+'.join(isas)}): {current[:16]}")
+    for entry in namespaces:
+        stats = entry.get("stats", {})
+        marker = "*" if entry.get("current") else " "
+        state = "complete" if entry.get("complete") else "INCOMPLETE"
+        print(
+            f"  {marker} {entry['dir']}  {state}"
+            f"  classes={entry.get('classes', '?')}"
+            f"  instructions={entry.get('instructions', '?')}"
+            f"  checks={stats.get('checks', '?')}"
+            f"  truncations={stats.get('attempt_truncations', '?')}"
+            f"  build_s={stats.get('seconds', '?')}"
+            f"  KiB={entry['bytes'] // 1024}"
+        )
+    if not namespaces:
+        print("  (empty)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.irgen",
+        description="Offline IR-generation artifact store",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser("build", help="build or warm-load the artifact")
+    _add_common(build)
+    build.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: $REPRO_IRGEN_JOBS or cpu count)",
+    )
+    build.add_argument(
+        "--force", action="store_true", help="rebuild even on a cache hit"
+    )
+    build.add_argument(
+        "--expect-cached",
+        action="store_true",
+        help="fail unless the artifact loaded without a rebuild",
+    )
+    build.set_defaults(func=cmd_build)
+
+    stats = sub.add_parser("stats", help="inspect a cache root")
+    _add_common(stats)
+    stats.add_argument("--json", action="store_true", help="machine output")
+    stats.set_defaults(func=cmd_stats)
+
+    args = parser.parse_args(argv)
+    if args.func is cmd_build and args.jobs is None:
+        args.jobs = default_jobs()
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,259 @@
+"""The parallel offline IR-generation pipeline.
+
+Four phases, each timed into :mod:`repro.perf` (``irgen_*`` counters):
+
+``parse``
+    Per-ISA spec parsing + canonicalisation + constant extraction, fanned
+    across a process pool in contiguous catalog slices.  Workers
+    regenerate the (millisecond-cheap) catalogs themselves — spec
+    ``reference`` callables don't pickle — and return picklable
+    :class:`SymbolicSemantics`.
+
+``bucket``
+    Group the symbolics by :func:`repro.similarity.engine.shard_key`.
+    ``insert`` and the permutation pass only ever compare instructions
+    whose signature *and* operator multiset agree, so these groups are
+    *exactly* the units of independent pass-1/2 work: sharding cannot add
+    or drop a single comparison relative to the serial engine.
+
+``check``
+    One pool task per group runs :meth:`SimilarityEngine.run_pass12` on a
+    private engine and returns its classes as ``(global_index,
+    arg_order)`` member lists.  The parent rebuilds the classes over its
+    own symbolic objects and sorts them by the global index of each
+    class's first member — pass-1 creation order is first-member order and
+    pass-2 merges always fold the later class into the earlier one, so
+    this reproduces the serial engine's class ordering bit-for-bit.
+
+``merge``
+    Pass 3 (offset-hole refinement) merges *across* the original groups —
+    hole insertion changes signatures — so it runs in the parent over the
+    combined classes.  The per-class hole synthesis is precomputed in the
+    pool; only the cross-class merge loop is serial.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+from repro.isa.registry import load_catalog, parse_slice
+from repro.perf import global_counters, phase_timer
+from repro.similarity.constants import SymbolicSemantics, extract_constants
+from repro.similarity.engine import SimilarityEngine, shard_key
+from repro.similarity.eqclass import ClassMember, EquivalenceClass
+from repro.similarity.holes import synthesize_offset_hole
+from repro.smt.solver import EquivalenceChecker
+
+from repro.irgen.artifact import (
+    IrgenArtifact,
+    irgen_fingerprint,
+    timestamp,
+)
+
+# Below this many specs an ISA is parsed as a single slice: the pickle +
+# fork overhead of extra tasks costs more than the parse itself.
+MIN_PARSE_SLICE = 32
+
+
+def _fresh_checker() -> EquivalenceChecker:
+    # Same seed as the serial engine's default checker: worker verdicts
+    # must reproduce the serial run's.
+    return EquivalenceChecker(seed=1)
+
+
+# ----------------------------------------------------------------------
+# Worker entry points (module-level: Pool pickles the callable)
+# ----------------------------------------------------------------------
+
+
+def _parse_task(task: tuple[str, int, int]):
+    """Parse + canonicalise + extract one catalog slice.
+
+    Returns ``(symbolics, parse_seconds, extract_seconds)`` so the parent
+    can aggregate worker-side phase time into its own counters.
+    """
+    isa, start, stop = task
+    began = time.monotonic()
+    parsed = parse_slice(isa, start, stop)
+    mid = time.monotonic()
+    symbolics = [extract_constants(func, isa) for _name, func in parsed]
+    return symbolics, mid - began, time.monotonic() - mid
+
+
+def _check_task(task: tuple[list[int], list[SymbolicSemantics]]):
+    """Run passes 1–2 over one shard group.
+
+    Returns ``(classes, stats)`` where each class is a list of
+    ``(global_index, arg_order)`` members in engine order, and ``stats``
+    carries this worker's check/merge/truncation counts.
+    """
+    indices, symbolics = task
+    began = time.monotonic()
+    engine = SimilarityEngine(_fresh_checker())
+    classes = engine.run_pass12(symbolics)
+    index_of = {id(s): g for g, s in zip(indices, symbolics)}
+    encoded = [
+        [(index_of[id(m.symbolic)], list(m.arg_order)) for m in cls.members]
+        for cls in classes
+    ]
+    stats = {
+        "checks": engine.stats.checks,
+        "permute_merges": engine.stats.permute_merges,
+        "attempt_truncations": engine.stats.attempt_truncations,
+        "checker_stats": dict(engine.checker.stats),
+        "seconds": time.monotonic() - began,
+    }
+    return encoded, stats
+
+
+def _refine_task(task: tuple[int, SymbolicSemantics]):
+    """Precompute one class representative's offset-hole refinement."""
+    position, representative = task
+    return position, synthesize_offset_hole(representative, _fresh_checker())
+
+
+# ----------------------------------------------------------------------
+# Pool plumbing
+# ----------------------------------------------------------------------
+
+
+def _pool_map(func, tasks, jobs: int):
+    """``map`` over a fork pool, or inline when one job (or one task)."""
+    if jobs <= 1 or len(tasks) <= 1:
+        return [func(task) for task in tasks]
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        context = multiprocessing.get_context("spawn")
+    with context.Pool(processes=min(jobs, len(tasks))) as pool:
+        return pool.map(func, tasks)
+
+
+def _parse_tasks(isas: tuple[str, ...], jobs: int) -> list[tuple[str, int, int]]:
+    tasks: list[tuple[str, int, int]] = []
+    for isa in isas:
+        count = len(load_catalog(isa))
+        width = max(MIN_PARSE_SLICE, -(-count // max(1, jobs)))
+        tasks.extend(
+            (isa, start, min(start + width, count))
+            for start in range(0, count, width)
+        )
+    return tasks
+
+
+# ----------------------------------------------------------------------
+# The pipeline driver
+# ----------------------------------------------------------------------
+
+
+def build_artifact(
+    isas: tuple[str, ...],
+    jobs: int = 1,
+    extra: tuple[str, ...] = (),
+) -> IrgenArtifact:
+    """Run the full sharded pipeline; returns a freshly built artifact.
+
+    With ``jobs <= 1`` the identical phase structure runs inline — the
+    partition it produces is the determinism reference the tests compare
+    against :func:`repro.similarity.engine.build_equivalence_classes`.
+    """
+    perf = global_counters()
+    began = time.monotonic()
+    phases: dict[str, float] = {}
+
+    # -- parse + extract ----------------------------------------------
+    parse_began = time.monotonic()
+    results = _pool_map(_parse_task, _parse_tasks(isas, jobs), jobs)
+    symbolics: list[SymbolicSemantics] = []
+    parse_seconds = extract_seconds = 0.0
+    for chunk, parsed, extracted in results:
+        symbolics.extend(chunk)
+        parse_seconds += parsed
+        extract_seconds += extracted
+    perf.add_phase("irgen_parse", parse_seconds)
+    perf.add_phase("irgen_extract", extract_seconds)
+    phases["parse"] = parse_seconds
+    phases["extract"] = extract_seconds
+    phases["parse_wall"] = time.monotonic() - parse_began
+
+    # -- bucket --------------------------------------------------------
+    with phase_timer("irgen_bucket"):
+        bucket_began = time.monotonic()
+        groups: dict[tuple, tuple[list[int], list[SymbolicSemantics]]] = {}
+        for index, symbolic in enumerate(symbolics):
+            indices, members = groups.setdefault(
+                shard_key(symbolic), ([], [])
+            )
+            indices.append(index)
+            members.append(symbolic)
+        phases["bucket"] = time.monotonic() - bucket_began
+
+    # -- check (passes 1–2, sharded) ----------------------------------
+    check_began = time.monotonic()
+    # Largest groups first: better tail latency when one group dominates.
+    tasks = sorted(groups.values(), key=lambda g: -len(g[0]))
+    outcomes = _pool_map(_check_task, tasks, jobs)
+    combined: list[tuple[int, EquivalenceClass]] = []
+    worker_stats = {
+        "checks": 0, "permute_merges": 0, "attempt_truncations": 0,
+        "checker_stats": {}, "seconds": 0.0,
+    }
+    for encoded, stats in outcomes:
+        for members in encoded:
+            cls = EquivalenceClass(-1)
+            cls.members = [
+                ClassMember(symbolics[gidx], tuple(order))
+                for gidx, order in members
+            ]
+            combined.append((members[0][0], cls))
+        for name in ("checks", "permute_merges", "attempt_truncations"):
+            worker_stats[name] += stats[name]
+        worker_stats["seconds"] += stats["seconds"]
+        for key, value in stats["checker_stats"].items():
+            worker_stats["checker_stats"][key] = (
+                worker_stats["checker_stats"].get(key, 0) + value
+            )
+    # Serial creation order: first-member global index (see module doc).
+    combined.sort(key=lambda pair: pair[0])
+    classes = [cls for _first, cls in combined]
+    perf.add_phase("irgen_check", worker_stats["seconds"])
+    phases["check"] = worker_stats["seconds"]
+    phases["check_wall"] = time.monotonic() - check_began
+
+    # -- merge (pass 3 + finalisation, centralised) -------------------
+    with phase_timer("irgen_merge"):
+        merge_began = time.monotonic()
+        refined_pairs = _pool_map(
+            _refine_task,
+            [(pos, cls.representative) for pos, cls in enumerate(classes)],
+            jobs,
+        )
+        refined = {
+            pos: symbolic for pos, symbolic in refined_pairs
+            if symbolic is not None
+        }
+        engine = SimilarityEngine(_fresh_checker())
+        engine.stats.instructions = len(symbolics)
+        engine.stats.checks = worker_stats["checks"]
+        engine.stats.permute_merges = worker_stats["permute_merges"]
+        engine.stats.attempt_truncations = worker_stats["attempt_truncations"]
+        final = engine.finish(classes, refined)
+        # finish() recorded the parent checker's ladder stats; fold the
+        # workers' in so the totals match a serial run's accounting.
+        for key, value in worker_stats["checker_stats"].items():
+            engine.stats.checker_stats[key] = (
+                engine.stats.checker_stats.get(key, 0) + value
+            )
+        phases["merge"] = time.monotonic() - merge_began
+
+    engine.stats.seconds = time.monotonic() - began
+    return IrgenArtifact(
+        isas=tuple(isas),
+        fingerprint=irgen_fingerprint(tuple(isas), extra),
+        classes=final,
+        stats=engine.stats,
+        phase_seconds=phases,
+        jobs=jobs,
+        built_at=timestamp(),
+    )

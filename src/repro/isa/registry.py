@@ -1,7 +1,11 @@
 """Central access point for ISA catalogs and parsed semantics.
 
-Catalog generation, pseudocode parsing and canonicalisation together take
-a few seconds per ISA, so everything is cached per process.
+Catalog generation is cheap (milliseconds); pseudocode parsing and
+canonicalisation take a few seconds per ISA, so everything is cached per
+process.  The offline IR-generation pipeline (:mod:`repro.irgen`) slices
+the parse work across worker processes via :func:`parse_slice` and
+persists the result, so warm processes skip this module's slow path
+entirely.
 """
 
 from __future__ import annotations
@@ -34,46 +38,77 @@ class LoadedIsa:
         return len(self.catalog)
 
 
-def _generate_and_parse(isa: str) -> LoadedIsa:
+def _generators(isa: str):
+    """(catalog generator, pseudocode parser) for one ISA."""
     if isa == "x86":
         from repro.isa.x86 import generate_x86_catalog, x86_semantics
 
-        catalog = generate_x86_catalog()
-        parse = x86_semantics
-    elif isa == "hvx":
+        return generate_x86_catalog, x86_semantics
+    if isa == "hvx":
         from repro.isa.hvx import generate_hvx_catalog, hvx_semantics
 
-        catalog = generate_hvx_catalog()
-        parse = hvx_semantics
-    elif isa == "arm":
+        return generate_hvx_catalog, hvx_semantics
+    if isa == "arm":
         from repro.isa.arm import generate_arm_catalog, arm_semantics
 
-        catalog = generate_arm_catalog()
-        parse = arm_semantics
-    else:
-        raise ValueError(f"unknown ISA {isa!r}; supported: {SUPPORTED_ISAS}")
+        return generate_arm_catalog, arm_semantics
+    raise ValueError(f"unknown ISA {isa!r}; supported: {SUPPORTED_ISAS}")
+
+
+@lru_cache(maxsize=None)
+def load_catalog(isa: str) -> IsaCatalog:
+    """Generate one ISA's spec catalog (no parsing), cached."""
+    generate, _parse = _generators(isa)
+    return generate()
+
+
+def parse_spec(isa: str, spec: InstructionSpec) -> SemanticsFunction:
+    """Parse + canonicalise one spec's pseudocode (verification-hooked)."""
     from repro.analysis import hooks
 
+    _generate, parse = _generators(isa)
     verify = hooks.verification_enabled()
-    semantics: dict[str, SemanticsFunction] = {}
-    for spec in catalog:
-        parsed = parse(spec)
-        if verify:
-            hooks.verify_semantics(
-                parsed,
-                isa=isa,
-                stage="parse",
-                declared_output_width=spec.output_width,
-            )
-        canonical = canonicalize(parsed)
-        if verify:
-            hooks.verify_semantics(
-                canonical,
-                isa=isa,
-                stage="canonicalize",
-                declared_output_width=spec.output_width,
-            )
-        semantics[spec.name] = canonical
+    parsed = parse(spec)
+    if verify:
+        hooks.verify_semantics(
+            parsed,
+            isa=isa,
+            stage="parse",
+            declared_output_width=spec.output_width,
+        )
+    canonical = canonicalize(parsed)
+    if verify:
+        hooks.verify_semantics(
+            canonical,
+            isa=isa,
+            stage="canonicalize",
+            declared_output_width=spec.output_width,
+        )
+    return canonical
+
+
+def parse_slice(
+    isa: str, start: int, stop: int
+) -> list[tuple[str, SemanticsFunction]]:
+    """Parse + canonicalise one contiguous slice of an ISA's catalog.
+
+    The worker entry point of the parallel parse phase: each worker
+    regenerates the (cheap, cached) catalog itself rather than having
+    spec objects — whose fuzzer ``reference`` callables don't pickle —
+    shipped over the process boundary.
+    """
+    catalog = load_catalog(isa)
+    return [
+        (spec.name, parse_spec(isa, spec))
+        for spec in catalog.specs[start:stop]
+    ]
+
+
+def _generate_and_parse(isa: str) -> LoadedIsa:
+    catalog = load_catalog(isa)
+    semantics = {
+        name: func for name, func in parse_slice(isa, 0, len(catalog))
+    }
     return LoadedIsa(catalog, semantics)
 
 

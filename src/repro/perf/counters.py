@@ -21,7 +21,14 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 
-PHASES = ("enumeration", "dedup", "blast", "sat", "verify")
+PHASES = (
+    "enumeration", "dedup", "blast", "sat", "verify",
+    # Offline IR generation (repro.irgen): spec parse/canonicalize,
+    # constant extraction, shard bucketing, pass-1/2 equivalence checking,
+    # hole refinement + deterministic merge, and artifact loading.
+    "irgen_parse", "irgen_extract", "irgen_bucket", "irgen_check",
+    "irgen_merge", "irgen_load",
+)
 
 
 @dataclass

@@ -48,7 +48,10 @@ def _key_hash(key: str) -> str:
     return hashlib.sha256(key.encode()).hexdigest()[:32]
 
 
-def _atomic_write(path: Path, text: str) -> None:
+def atomic_write(path: Path, text: str) -> None:
+    """Write-to-temp + rename: concurrent writers of identical content are
+    safe, and readers never observe a partially written file.  Shared by
+    the synthesis cache and the irgen artifact store."""
     fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-", suffix=".json")
     try:
         with os.fdopen(fd, "w") as handle:
@@ -60,6 +63,10 @@ def _atomic_write(path: Path, text: str) -> None:
         except OSError:
             pass
         raise
+
+
+# Backwards-compatible private alias (pre-irgen callers).
+_atomic_write = atomic_write
 
 
 class PersistentCache(MemoCache):

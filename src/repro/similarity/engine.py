@@ -31,6 +31,12 @@ from repro.similarity.eqclass import ClassMember, EquivalenceClass
 from repro.similarity.equivalence import check_similar, find_similar_permutation
 from repro.similarity.holes import synthesize_offset_hole
 
+# Version of the similarity algorithm itself.  Bump on any change that can
+# alter the produced class partition; the on-disk irgen artifact
+# (:mod:`repro.irgen`) folds this into its fingerprint so stale artifacts
+# are never replayed against a newer engine.
+ENGINE_VERSION = 1
+
 
 def _op_multiset(symbolic: SymbolicSemantics) -> tuple[tuple[str, int], ...]:
     counter: Counter[str] = Counter()
@@ -48,8 +54,47 @@ class EngineStats:
     checks: int = 0
     permute_merges: int = 0
     hole_merges: int = 0
+    # Candidate-class comparisons skipped because an insert already spent
+    # its ``max_semantic_attempts`` budget — each skip is a potential
+    # missed merge, so precision loss stays observable (`repro.irgen stats`).
+    attempt_truncations: int = 0
     seconds: float = 0.0
     checker_stats: dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "instructions": self.instructions,
+            "classes": self.classes,
+            "checks": self.checks,
+            "permute_merges": self.permute_merges,
+            "hole_merges": self.hole_merges,
+            "attempt_truncations": self.attempt_truncations,
+            "seconds": round(self.seconds, 6),
+            "checker_stats": dict(self.checker_stats),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EngineStats":
+        stats = cls()
+        for name in (
+            "instructions", "classes", "checks", "permute_merges",
+            "hole_merges", "attempt_truncations",
+        ):
+            setattr(stats, name, int(data.get(name, 0)))
+        stats.seconds = float(data.get("seconds", 0.0))
+        stats.checker_stats = dict(data.get("checker_stats", {}))
+        return stats
+
+
+def shard_key(symbolic: SymbolicSemantics) -> tuple:
+    """The finest unit of independent similarity work.
+
+    ``insert`` only ever compares an instruction against candidate classes
+    whose signature bucket *and* operator multiset both match, and the
+    permutation pass pairs classes under the same two filters — so the
+    (signature, op-multiset) groups partition passes 1–2 into jobs that
+    can run in parallel workers without changing any comparison."""
+    return (symbolic.signature(), _op_multiset(symbolic))
 
 
 class SimilarityEngine:
@@ -102,6 +147,7 @@ class SimilarityEngine:
             skeleton_equal = self._class_skeletons[class_index] == symbolic.skeleton
             if not skeleton_equal:
                 if attempts >= self.max_semantic_attempts:
+                    self.stats.attempt_truncations += 1
                     continue
                 attempts += 1
             cls = self._classes[class_index]
@@ -156,20 +202,26 @@ class SimilarityEngine:
     # Pass 3: hole refinement merges
     # ------------------------------------------------------------------
 
-    def refine_with_holes(self) -> None:
+    def refine_with_holes(
+        self, refined: dict[int, SymbolicSemantics] | None = None
+    ) -> None:
         """Insert offset holes into class representatives and re-check.
 
         Classes whose refined representatives become similar are merged;
         all members of merged classes are re-extracted with holes so the
-        class shares one parameterization.
+        class shares one parameterization.  ``refined`` optionally supplies
+        precomputed hole refinements (index into the class list -> refined
+        representative) — the parallel pipeline synthesizes them in worker
+        processes; when omitted they are computed inline.
         """
-        refined: dict[int, SymbolicSemantics] = {}
-        for index, cls in enumerate(self._classes):
-            if cls is None:
-                continue
-            result = synthesize_offset_hole(cls.representative, self.checker)
-            if result is not None:
-                refined[index] = result
+        if refined is None:
+            refined = {}
+            for index, cls in enumerate(self._classes):
+                if cls is None:
+                    continue
+                result = synthesize_offset_hole(cls.representative, self.checker)
+                if result is not None:
+                    refined[index] = result
 
         by_signature: dict[tuple, list[int]] = {}
         for index, cls in enumerate(self._classes):
@@ -223,20 +275,44 @@ class SimilarityEngine:
     # ------------------------------------------------------------------
 
     def run(self, symbolics: list[SymbolicSemantics]) -> list[EquivalenceClass]:
-        start = time.time()
+        start = time.monotonic()
         self.stats.instructions = len(symbolics)
         for symbolic in symbolics:
             self.insert(symbolic)
         self.permute_and_merge()
-        self.refine_with_holes()
-        classes = [c for c in self._classes if c is not None]
-        for index, cls in enumerate(classes):
+        classes = self.finish(self._classes)
+        self.stats.seconds = time.monotonic() - start
+        return classes
+
+    def run_pass12(
+        self, symbolics: list[SymbolicSemantics]
+    ) -> list[EquivalenceClass]:
+        """Passes 1–2 only (plain insertion + argument permutation).
+
+        The sharded pipeline runs this per (signature, op-multiset) group
+        in worker processes and hands the surviving classes to
+        :meth:`finish` in the parent for the cross-group hole pass."""
+        self.stats.instructions += len(symbolics)
+        for symbolic in symbolics:
+            self.insert(symbolic)
+        self.permute_and_merge()
+        return [c for c in self._classes if c is not None]
+
+    def finish(
+        self,
+        classes: list[EquivalenceClass],
+        refined: dict[int, SymbolicSemantics] | None = None,
+    ) -> list[EquivalenceClass]:
+        """Pass 3 (hole refinement) plus finalization over ``classes``."""
+        self._classes = list(classes)
+        self.refine_with_holes(refined)
+        result = [c for c in self._classes if c is not None]
+        for index, cls in enumerate(result):
             cls.class_id = index
             cls.compute_fixed_params()
-        self.stats.classes = len(classes)
-        self.stats.seconds = time.time() - start
+        self.stats.classes = len(result)
         self.stats.checker_stats = dict(self.checker.stats)
-        return classes
+        return result
 
 
 def _symbolics_for_isa(isa: str) -> list[SymbolicSemantics]:

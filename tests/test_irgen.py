@@ -1,0 +1,253 @@
+"""Tests for the parallel, persistent offline IR generator (repro.irgen).
+
+The hvx catalog (141 instructions, ~3s per engine run) keeps every build
+here cheap; full-ISA determinism is additionally audited by
+``scripts/bench_irgen.py``.
+"""
+
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.autollvm.intrinsics import dictionary_from_classes
+from repro.hydride_ir.ast import BvBinOp, BvVar, Input
+from repro.hydride_ir.indexexpr import IConst
+from repro.irgen import (
+    build_artifact,
+    classes_and_stats,
+    clear_memo,
+    ensure_artifact,
+    irgen_fingerprint,
+    load_artifact,
+    partition_digest,
+    persist_artifact,
+)
+from repro.irgen.artifact import ARTIFACT_FILE, artifact_dir
+from repro.similarity.constants import SymbolicSemantics, skeleton_key
+from repro.similarity.engine import (
+    EngineStats,
+    SimilarityEngine,
+    _symbolics_for_isa,
+    shard_key,
+)
+from repro.synthesis.serialize import dictionary_fingerprint
+
+ISAS = ("hvx",)
+
+
+@pytest.fixture(scope="module")
+def serial_reference():
+    """The unsharded engine's partition — the determinism yardstick."""
+    engine = SimilarityEngine()
+    classes = engine.run(_symbolics_for_isa("hvx"))
+    return classes, engine.stats
+
+
+@pytest.fixture(scope="module")
+def artifacts():
+    """Sharded builds at several worker counts (built once per module)."""
+    return {jobs: build_artifact(ISAS, jobs=jobs) for jobs in (1, 2, 4)}
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory, artifacts):
+    """A persisted artifact store holding the jobs=2 build."""
+    root = tmp_path_factory.mktemp("irgen-store")
+    persist_artifact(root, artifacts[2])
+    return root
+
+
+class TestShardedDeterminism:
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    def test_partition_matches_serial(self, jobs, artifacts, serial_reference):
+        serial_classes, serial_stats = serial_reference
+        artifact = artifacts[jobs]
+        assert partition_digest(artifact.classes) == partition_digest(
+            serial_classes
+        )
+        # Same comparisons were performed, not merely the same outcome.
+        assert artifact.stats.checks == serial_stats.checks
+        assert artifact.stats.instructions == serial_stats.instructions
+        assert artifact.stats.classes == serial_stats.classes
+
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    def test_dictionary_matches_serial(self, jobs, artifacts, serial_reference):
+        serial_classes, _stats = serial_reference
+        reference = dictionary_from_classes(ISAS, serial_classes)
+        dictionary = artifacts[jobs].dictionary
+        assert [op.name for op in dictionary.ops] == [
+            op.name for op in reference.ops
+        ]
+        assert dictionary_fingerprint(dictionary) == dictionary_fingerprint(
+            reference
+        )
+
+    def test_member_orders_identical(self, artifacts, serial_reference):
+        serial_classes, _stats = serial_reference
+        built = artifacts[4].classes
+        assert len(built) == len(serial_classes)
+        for ours, theirs in zip(built, serial_classes):
+            assert [(m.name, m.arg_order) for m in ours.members] == [
+                (m.name, m.arg_order) for m in theirs.members
+            ]
+
+    def test_shard_key_groups_cover_catalog(self):
+        symbolics = _symbolics_for_isa("hvx")
+        groups = {}
+        for symbolic in symbolics:
+            groups.setdefault(shard_key(symbolic), []).append(symbolic)
+        assert sum(len(g) for g in groups.values()) == len(symbolics)
+        # Sharding is only worth anything if there is more than one shard.
+        assert len(groups) > 1
+
+
+class TestArtifactStore:
+    def test_round_trip(self, store, artifacts):
+        original = artifacts[2]
+        loaded = load_artifact(store, original.fingerprint)
+        assert loaded is not None
+        assert loaded.loaded and loaded.loaded_from
+        assert partition_digest(loaded.classes) == partition_digest(
+            original.classes
+        )
+        assert loaded.stats.to_dict() == original.stats.to_dict()
+        assert dictionary_fingerprint(loaded.dictionary) == (
+            dictionary_fingerprint(original.dictionary)
+        )
+
+    def test_missing_fingerprint_is_a_miss(self, store):
+        assert load_artifact(store, "0" * 64) is None
+
+    def test_corrupt_payload_is_a_miss(self, store, artifacts, tmp_path):
+        fingerprint = artifacts[2].fingerprint
+        broken_root = tmp_path / "broken"
+        directory = artifact_dir(broken_root, fingerprint)
+        directory.mkdir(parents=True)
+        (directory / ARTIFACT_FILE).write_text("{not json")
+        assert load_artifact(broken_root, fingerprint) is None
+
+    def test_warm_load_does_no_equivalence_checking(self, store, artifacts):
+        from repro.perf import snapshot, snapshot_delta
+
+        clear_memo()
+        before = snapshot()
+        artifact = ensure_artifact(ISAS, str(store))
+        delta = snapshot_delta(before)
+        assert artifact.loaded
+        assert delta["seconds_irgen_check"] == 0.0
+        assert delta["seconds_irgen_parse"] == 0.0
+        # The build-time stats still travel with the artifact.
+        assert artifact.stats.checks == artifacts[2].stats.checks
+
+    def test_classes_and_stats_prefers_artifact(self, store, monkeypatch):
+        monkeypatch.setenv("REPRO_IRGEN_CACHE", str(store))
+        clear_memo()
+        _classes, stats, source = classes_and_stats(ISAS)
+        assert source == "artifact"
+        assert stats.checks > 0
+        monkeypatch.delenv("REPRO_IRGEN_CACHE")
+        _classes, _stats, source = classes_and_stats(ISAS)
+        assert source == "engine"
+
+    def test_cli_build_expect_cached(self, store, capsys):
+        from repro.irgen.cli import main
+
+        clear_memo()
+        assert (
+            main(
+                [
+                    "build", "--cache-dir", str(store),
+                    "--isas", "hvx", "--expect-cached",
+                ]
+            )
+            == 0
+        )
+        assert "loaded hvx" in capsys.readouterr().out
+
+    def test_cli_stats_lists_namespace(self, store, artifacts, capsys):
+        from repro.irgen.cli import main
+
+        assert main(["stats", "--cache-dir", str(store), "--isas", "hvx"]) == 0
+        out = capsys.readouterr().out
+        assert artifacts[2].fingerprint[:16] in out
+        assert "truncations=" in out
+        assert main(
+            ["stats", "--cache-dir", str(store), "--isas", "hvx", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["namespaces"][0]["complete"] is True
+
+
+class TestFingerprintInvalidation:
+    def test_extra_salt_changes_fingerprint(self):
+        base = irgen_fingerprint(ISAS)
+        assert irgen_fingerprint(ISAS, extra=("salt",)) != base
+        assert irgen_fingerprint(ISAS, extra=("salt",)) == irgen_fingerprint(
+            ISAS, extra=("salt",)
+        )
+
+    def test_spec_text_changes_fingerprint(self):
+        spec = SimpleNamespace(
+            isa="fake", name="op", family="f", extension="e",
+            output_width=128, pseudocode="a + b",
+            operands=[SimpleNamespace(name="a", width=128, is_immediate=False)],
+        )
+        catalog_a = [spec]
+        edited = SimpleNamespace(**{**vars(spec), "pseudocode": "a - b"})
+        assert irgen_fingerprint(
+            ("fake",), catalogs={"fake": catalog_a}
+        ) != irgen_fingerprint(("fake",), catalogs={"fake": [edited]})
+
+    def test_stale_artifact_triggers_rebuild(self, store, artifacts):
+        # A salted fingerprint misses the persisted namespace: ensure
+        # rebuilds and persists into a new one.
+        clear_memo()
+        salted = ensure_artifact(
+            ISAS, str(store), jobs=1, extra=("invalidate",)
+        )
+        assert not salted.loaded
+        assert salted.fingerprint != artifacts[2].fingerprint
+        assert artifact_dir(store, salted.fingerprint).exists()
+        assert partition_digest(salted.classes) == partition_digest(
+            artifacts[2].classes
+        )
+
+
+class TestEngineStats:
+    def test_round_trip(self):
+        stats = EngineStats(
+            instructions=10, classes=4, checks=7, permute_merges=1,
+            hole_merges=2, attempt_truncations=3, seconds=1.25,
+            checker_stats={"structural": 5},
+        )
+        assert EngineStats.from_dict(stats.to_dict()).to_dict() == (
+            stats.to_dict()
+        )
+
+    def test_attempt_truncations_counted(self):
+        def symbolic(name, swapped):
+            # Declared input order stays (a, b); swapping the *body*'s
+            # operand order changes the skeleton (v1 before v0) without
+            # touching the signature or the operator multiset.
+            operands = ("b", "a") if swapped else ("a", "b")
+            body = BvBinOp("bvadd", BvVar(operands[0]), BvVar(operands[1]))
+            inputs = (
+                Input("a", IConst(32), False), Input("b", IConst(32), False),
+            )
+            sym = SymbolicSemantics(name, "fake", inputs, body, (), {})
+            sym.skeleton = skeleton_key(sym)
+            return sym
+
+        # With a zero attempt budget the candidate comparison is skipped
+        # and counted instead of performed.
+        first = symbolic("f", swapped=False)
+        second = symbolic("g", swapped=True)
+        assert first.skeleton != second.skeleton
+        assert shard_key(first) == shard_key(second)
+        engine = SimilarityEngine()
+        engine.max_semantic_attempts = 0
+        engine.insert(first)
+        engine.insert(second)
+        assert engine.stats.attempt_truncations == 1
+        assert engine.stats.checks == 0
