@@ -1,0 +1,328 @@
+#!/usr/bin/env python
+"""Chaos soak for the compilation service (``repro.faults`` harness).
+
+Runs a job batch repeatedly under randomized-but-seeded fault schedules
+(worker crashes and mute hangs, torn/corrupt/slow cache writes, pipe
+EOFs, injected attempt timeouts) and asserts the service's survival
+invariants:
+
+* the scheduler **terminates** within a wall guard, every round;
+* every job yields a :class:`JobResult` — fallbacks are fine, hangs and
+  unhandled exceptions are not;
+* after the soak, a fault-free rerun over the *surviving* cache produces
+  results identical to a never-faulted reference run — i.e. no poisoned
+  negative entries, no corrupt-file crashes, no stale state;
+* no ``.tmp-*`` litter survives.
+
+Each round runs in its own forked process so a reintroduced hang is
+killed by the harness (and fails the run) instead of stalling it; the
+same seed always replays the same schedules, which is what makes this a
+regression test.  Usage::
+
+    PYTHONPATH=src python scripts/chaos_service.py --seed 0 --jobs 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import random
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.faults import (  # noqa: E402
+    FaultPlan,
+    RandomPlanOptions,
+    install_plan,
+    random_plan,
+)
+from repro.service import (  # noqa: E402
+    CompileJob,
+    JobResult,
+    Scheduler,
+    ServiceOptions,
+    reap_tmp,
+)
+from repro.synthesis import CegisOptions  # noqa: E402
+
+
+def _jobs(benchmarks: list[str], isas: list[str]) -> list[CompileJob]:
+    # No per-job wall budget on purpose: the scheduler's kill backstop
+    # (ServiceOptions.kill_seconds) must be what bounds a mute worker.
+    return [
+        CompileJob(name, isa, "hydride", retries=1, fallback="llvm")
+        for isa in isas
+        for name in benchmarks
+    ]
+
+
+def _result_row(outcome: JobResult) -> dict:
+    return {
+        "benchmark": outcome.result.benchmark,
+        "isa": outcome.result.target,
+        "ok": outcome.ok,
+        "runtime_us": outcome.result.runtime_us,
+        "fallback": outcome.telemetry.fallback,
+        "error": outcome.result.error,
+    }
+
+
+def _batch_main(
+    report_path: str,
+    cache_dir: str,
+    plan_json: str | None,
+    benchmarks: list[str],
+    isas: list[str],
+    jobs: int,
+    synth_timeout: float,
+    kill_seconds: float,
+) -> None:
+    """One guarded batch (a chaos round, the reference, or the rerun).
+
+    Runs in a forked child; writes a JSON report and exits 0 only when
+    every job came back as a JobResult.  A hang here is the parent's
+    wall guard's problem — that is the point.
+    """
+    if plan_json:
+        install_plan(FaultPlan.from_json(plan_json))
+    batch = _jobs(benchmarks, isas)
+    scheduler = Scheduler(
+        ServiceOptions(
+            jobs=jobs,
+            cache_dir=cache_dir,
+            cegis=CegisOptions(timeout_seconds=synth_timeout, scale_factor=8),
+            kill_seconds=kill_seconds,
+        )
+    )
+    violations: list[str] = []
+    try:
+        results = scheduler.run(batch)
+    except BaseException as exc:  # noqa: BLE001 - a crash IS the finding
+        Path(report_path).write_text(
+            json.dumps(
+                {
+                    "ok": False,
+                    "violations": [
+                        f"scheduler raised {type(exc).__name__}: {exc}"
+                    ],
+                }
+            )
+        )
+        sys.exit(1)
+    if len(results) != len(batch):
+        violations.append(
+            f"{len(batch)} jobs in, {len(results)} results out"
+        )
+    for outcome in results:
+        if not isinstance(outcome, JobResult):
+            violations.append(f"non-JobResult outcome {type(outcome).__name__}")
+            continue
+        if not outcome.ok:
+            violations.append(
+                f"{outcome.result.benchmark}/{outcome.result.target} "
+                f"failed outright: {outcome.result.error}"
+            )
+    report = {
+        "ok": not violations,
+        "violations": violations,
+        "results": [
+            _result_row(r) for r in results if isinstance(r, JobResult)
+        ],
+        "stats": scheduler.last_stats.to_dict(),
+    }
+    Path(report_path).write_text(json.dumps(report, indent=2))
+    sys.exit(0 if not violations else 1)
+
+
+def _run_guarded(args_tuple: tuple, wall_guard: float) -> tuple[str, dict | None]:
+    """Run one batch under the wall guard.
+
+    Returns ``(status, report)`` where status is ``ok``, ``violated`` or
+    ``wedged`` (scheduler failed to terminate — the cardinal sin).
+    """
+    ctx = multiprocessing.get_context("fork")
+    proc = ctx.Process(target=_batch_main, args=args_tuple)
+    started = time.monotonic()
+    proc.start()
+    proc.join(wall_guard)
+    if proc.is_alive():
+        proc.terminate()
+        proc.join(5.0)
+        if proc.is_alive():
+            proc.kill()
+            proc.join()
+        return "wedged", None
+    report = None
+    report_path = Path(args_tuple[0])
+    if report_path.exists():
+        try:
+            report = json.loads(report_path.read_text())
+        except json.JSONDecodeError:
+            pass
+    if proc.exitcode == 0 and report is not None and report.get("ok"):
+        report["wall_seconds"] = round(time.monotonic() - started, 2)
+        return "ok", report
+    return "violated", report
+
+
+def _runtimes(report: dict) -> dict[tuple[str, str], float | None]:
+    return {
+        (row["benchmark"], row["isa"]): row["runtime_us"]
+        for row in report.get("results", [])
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--benchmarks", default="add,mul")
+    parser.add_argument("--isa", default="x86")
+    parser.add_argument("--synth-timeout", type=float, default=6.0)
+    parser.add_argument(
+        "--kill-seconds", type=float, default=60.0,
+        help="scheduler kill backstop; injected hangs outlast it on "
+        "purpose, legitimate cold synthesis must finish well within it",
+    )
+    parser.add_argument(
+        "--wall-guard", type=float, default=180.0,
+        help="per-batch wall guard; a round that outlives it fails the soak",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="work directory (default: a fresh temp dir)",
+    )
+    parser.add_argument("--report", default=None, help="summary JSON path")
+    args = parser.parse_args(argv)
+
+    benchmarks = [s for s in args.benchmarks.split(",") if s]
+    isas = [s for s in args.isa.split(",") if s]
+    work = Path(args.cache_dir or tempfile.mkdtemp(prefix="repro-chaos-"))
+    work.mkdir(parents=True, exist_ok=True)
+    chaos_cache = work / "chaos-cache"
+    reference_cache = work / "reference-cache"
+    print(f"[chaos] seed={args.seed} rounds={args.rounds} work={work}")
+
+    failures: list[str] = []
+
+    def batch(name, cache, plan):
+        return _run_guarded(
+            (
+                str(work / f"report-{name}.json"),
+                str(cache),
+                plan.to_json() if plan else None,
+                benchmarks,
+                isas,
+                args.jobs,
+                args.synth_timeout,
+                args.kill_seconds,
+            ),
+            args.wall_guard,
+        )
+
+    # 1. Fault-free reference over a fresh cache.  It must not need
+    #    fallbacks or kills: otherwise the baseline itself is degraded
+    #    (e.g. --kill-seconds below real cold-synthesis time) and the
+    #    rerun comparison proves nothing.
+    status, reference = batch("reference", reference_cache, None)
+    ref_stats = (reference or {}).get("stats", {})
+    if status != "ok" or ref_stats.get("fallbacks") or ref_stats.get("killed"):
+        print(
+            f"[chaos] FATAL: fault-free reference run degraded "
+            f"(status={status}, fallbacks={ref_stats.get('fallbacks')}, "
+            f"killed={ref_stats.get('killed')}): "
+            f"{(reference or {}).get('violations')}"
+        )
+        return 2
+    print(
+        f"[chaos] reference: {len(reference.get('results', []))} jobs ok "
+        f"in {reference.get('wall_seconds')}s"
+    )
+
+    # 2. Seeded chaos rounds over the (persistent) chaos cache.
+    subseeds = random.Random(f"chaos:{args.seed}").sample(range(1 << 30), args.rounds)
+    plan_options = RandomPlanOptions(hang_seconds=args.kill_seconds + 8.0)
+    for round_index, subseed in enumerate(subseeds):
+        plan = random_plan(subseed, plan_options)
+        schedule = ", ".join(f"{s.site}:{s.kind}@{s.at}" for s in plan.specs)
+        status, report = batch(f"round{round_index}", chaos_cache, plan)
+        stats = (report or {}).get("stats", {})
+        fired = stats.get("perf", {}).get("faults_injected", 0)
+        print(
+            f"[chaos] round {round_index}: {status} "
+            f"(schedule [{schedule}], {fired:.0f} faults fired, "
+            f"{stats.get('fallbacks', 0)} fallbacks, "
+            f"{stats.get('killed', 0)} killed, "
+            f"{stats.get('worker_eofs', 0)} pipe EOFs, "
+            f"wall {(report or {}).get('wall_seconds', '?')}s)"
+        )
+        if status == "wedged":
+            failures.append(
+                f"round {round_index}: scheduler failed to terminate within "
+                f"{args.wall_guard}s (schedule [{schedule}])"
+            )
+        elif status != "ok":
+            failures.append(
+                f"round {round_index}: invariant violations "
+                f"{(report or {}).get('violations')} (schedule [{schedule}])"
+            )
+
+    # 3. Recovery: reap litter, then a fault-free rerun over the
+    #    surviving cache must reproduce the reference bit-for-bit.
+    reaped = reap_tmp(chaos_cache, min_age_seconds=0.0, recursive=True)
+    status, rerun = batch("rerun", chaos_cache, None)
+    if status != "ok":
+        failures.append(
+            f"fault-free rerun over the surviving cache {status}: "
+            f"{(rerun or {}).get('violations')}"
+        )
+    else:
+        if rerun["stats"].get("fallbacks"):
+            failures.append(
+                "fault-free rerun needed fallbacks — surviving cache is "
+                "poisoned or the hydride path broke"
+            )
+        mismatches = [
+            f"{key[0]}/{key[1]}: {have} != reference {want}"
+            for key, want in _runtimes(reference).items()
+            for have in [_runtimes(rerun).get(key, "missing")]
+            if have != want
+        ]
+        if mismatches:
+            failures.append(
+                "rerun diverged from the never-faulted reference: "
+                + "; ".join(mismatches)
+            )
+    litter = [str(p) for p in chaos_cache.glob("**/.tmp-*")]
+    if litter:
+        failures.append(f".tmp litter survived the soak: {litter}")
+
+    summary = {
+        "seed": args.seed,
+        "rounds": args.rounds,
+        "tmp_reaped": reaped,
+        "failures": failures,
+        "ok": not failures,
+    }
+    if args.report:
+        Path(args.report).write_text(json.dumps(summary, indent=2))
+    if failures:
+        print("[chaos] FAIL")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(
+        f"[chaos] PASS: {args.rounds} faulted rounds survived, "
+        f"{reaped} tmp file(s) reaped, rerun identical to reference"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

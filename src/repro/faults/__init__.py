@@ -1,0 +1,54 @@
+"""``repro.faults`` — a deterministic, seeded fault-injection plane.
+
+Production code calls :func:`check`/:func:`trip` at named *sites* (pipe
+receives, atomic writes, worker startup, cache loads ...).  With no plan
+active — the default — every hook is a no-op costing one dict lookup.
+A plan activates either in-process via :func:`install_plan` (forked
+workers inherit it) or through the ``REPRO_FAULTS`` environment variable
+(inline JSON or a path to a plan file), and then injects crashes, hangs,
+torn writes, corrupt payloads, slow I/O, and EOFs exactly where the
+schedule says — reproducibly, so ``scripts/chaos_service.py`` soaks are
+regression tests rather than dice rolls.
+
+See :mod:`repro.faults.plan` for the site catalog and the plan format.
+"""
+
+from repro.faults.inject import (
+    ENV_FAULTS,
+    INJECTED_EXIT_CODE,
+    InjectedFault,
+    active,
+    check,
+    clear_plan,
+    install_plan,
+    perform,
+    recovered,
+    transform_text,
+    trip,
+)
+from repro.faults.plan import (
+    SITES,
+    FaultPlan,
+    FaultSpec,
+    RandomPlanOptions,
+    random_plan,
+)
+
+__all__ = [
+    "ENV_FAULTS",
+    "INJECTED_EXIT_CODE",
+    "InjectedFault",
+    "SITES",
+    "FaultPlan",
+    "FaultSpec",
+    "RandomPlanOptions",
+    "active",
+    "check",
+    "clear_plan",
+    "install_plan",
+    "perform",
+    "random_plan",
+    "recovered",
+    "transform_text",
+    "trip",
+]

@@ -1,0 +1,150 @@
+"""Injection hooks: the runtime side of the fault plane.
+
+Call sites ask :func:`check` whether a fault fires at their site on this
+call, or use :func:`trip` to both ask and act on the standard kinds
+(``exit``/``hang``/``slow``/``raise``/``eof``).  With no plan installed
+and ``REPRO_FAULTS`` unset both are a dict-lookup-and-return no-op, so
+production paths pay nothing.
+
+Activation, in priority order:
+
+1. :func:`install_plan` — in-process (tests, the chaos harness's parent
+   process; forked workers inherit the installed plan and its counters).
+2. ``REPRO_FAULTS`` — inline JSON (``{"specs": [...]}`` or a bare list)
+   when the value starts with ``{``/``[``, otherwise a path to a JSON
+   plan file.  Re-read whenever the value changes.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.faults.plan import FaultPlan
+from repro.perf import global_counters
+
+ENV_FAULTS = "REPRO_FAULTS"
+
+# Exit code used by injected process deaths; distinctive in waitpid
+# statuses so soak reports can tell injected crashes from real ones.
+INJECTED_EXIT_CODE = 70
+
+
+class InjectedFault(OSError):
+    """An injected failure.
+
+    Subclasses :class:`OSError` on purpose: hardened I/O paths that
+    tolerate real I/O errors tolerate injected ones through the same
+    handler, so injection exercises exactly the recovery code a torn
+    disk or dead pipe would.
+    """
+
+
+_installed: FaultPlan | None = None
+_env_raw: str | None = None
+_env_plan: FaultPlan | None = None
+
+
+def install_plan(plan: FaultPlan | None) -> None:
+    """Install (or, with None, remove) an in-process plan."""
+    global _installed
+    _installed = plan
+
+
+def clear_plan() -> None:
+    install_plan(None)
+
+
+def active() -> FaultPlan | None:
+    """The currently effective plan, or None (the fast path)."""
+    if _installed is not None:
+        return _installed
+    raw = os.environ.get(ENV_FAULTS) or None
+    global _env_raw, _env_plan
+    if raw != _env_raw:
+        _env_raw = raw
+        _env_plan = _parse_env(raw) if raw else None
+    return _env_plan
+
+
+def _parse_env(raw: str) -> FaultPlan | None:
+    try:
+        if raw.lstrip().startswith(("{", "[")):
+            return FaultPlan.from_json(raw)
+        with open(raw, encoding="utf-8") as handle:
+            return FaultPlan.from_json(handle.read())
+    except (OSError, ValueError) as exc:
+        # A broken plan must not take the service down with it.
+        import sys
+
+        print(f"[faults] ignoring unusable {ENV_FAULTS}: {exc}", file=sys.stderr)
+        return None
+
+
+# ----------------------------------------------------------------------
+# Hooks
+# ----------------------------------------------------------------------
+
+
+def check(site: str, detail: str = ""):
+    """The spec firing at this call of ``site``, or None.
+
+    The caller interprets site-specific kinds (``corrupt``, ``timeout``,
+    ...); use :func:`perform` for the standard ones.
+    """
+    plan = active()
+    if plan is None:
+        return None
+    spec = plan.fire(site, detail)
+    if spec is not None:
+        global_counters().faults_injected += 1
+    return spec
+
+
+def perform(spec, site: str = "", detail: str = "") -> None:
+    """Act on a standard-kind spec (no-op for None or custom kinds)."""
+    if spec is None:
+        return
+    if spec.kind == "exit":
+        os._exit(INJECTED_EXIT_CODE)
+    if spec.kind == "hang":
+        time.sleep(spec.delay or 3600.0)
+        return
+    if spec.kind == "slow":
+        time.sleep(spec.delay or 0.05)
+        return
+    if spec.kind == "raise":
+        raise InjectedFault(f"injected fault at {site or spec.site} ({detail})")
+    if spec.kind == "eof":
+        raise EOFError(f"injected EOF at {site or spec.site} ({detail})")
+
+
+def trip(site: str, detail: str = "") -> None:
+    """check() + perform() for sites with only standard kinds."""
+    spec = check(site, detail)
+    if spec is not None:
+        perform(spec, site, detail)
+
+
+def transform_text(spec, text: str) -> str:
+    """Payload transform for write sites on an already-fired spec:
+    corrupt/truncate/zero the text; ``slow`` sleeps and returns it
+    unchanged; any other kind (or None) leaves it untouched —
+    ``leak_tmp`` and crash kinds are handled by the write site itself,
+    which knows the destination directory."""
+    if spec is None:
+        return text
+    if spec.kind == "corrupt":
+        return text[: max(1, len(text) // 2)] + '\x00{"corrupt":'
+    if spec.kind == "truncate":
+        return text[: len(text) // 2]
+    if spec.kind == "zero":
+        return ""
+    if spec.kind == "slow":
+        time.sleep(spec.delay or 0.05)
+    return text
+
+
+def recovered(count: int = 1) -> None:
+    """Record that a hardened path absorbed a failure (injected or real)."""
+    global_counters().fault_recoveries += count

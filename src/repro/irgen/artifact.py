@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+from repro import faults
 from repro.hydride_ir.serialize import (
     IrSerializeError,
     expr_from_obj,
@@ -277,6 +278,7 @@ def persist_artifact(root: str | Path, artifact: IrgenArtifact) -> Path:
     namespace directory."""
     from repro.service.store import atomic_write
 
+    faults.trip("irgen.save", detail=artifact.fingerprint[:FINGERPRINT_DIR_CHARS])
     directory = artifact_dir(root, artifact.fingerprint)
     directory.mkdir(parents=True, exist_ok=True)
     atomic_write(
@@ -298,23 +300,33 @@ def load_artifact(
     A payload whose recorded fingerprint disagrees with the requested one
     (e.g. a truncated-directory-name collision) is treated as a miss, so
     the caller rebuilds rather than trusting a mismatched artifact.
+    Every miss on an *existing* file — torn write, corrupt JSON, stale
+    schema — counts as a recovery: the caller rebuilds and overwrites
+    instead of crashing.
     """
     path = artifact_dir(root, fingerprint) / ARTIFACT_FILE
     if not path.exists():
         return None
     try:
+        faults.trip("irgen.load", detail=path.name)
         obj = json.loads(path.read_text())
         artifact = artifact_from_obj(obj)
     except (json.JSONDecodeError, OSError, ArtifactError):
+        faults.recovered()
         return None
     if artifact.fingerprint != fingerprint:
+        faults.recovered()
         return None
     artifact.loaded_from = str(path)
     return artifact
 
 
 def store_inventory(root: str | Path) -> list[dict]:
-    """Every persisted artifact namespace under ``root`` (CLI ``stats``)."""
+    """Every persisted artifact namespace under ``root`` (CLI ``stats``).
+
+    ``.tmp-*`` litter from killed writers is reported per namespace and
+    excluded from the byte counts; files vanishing mid-scan are skipped.
+    """
     root = Path(root)
     namespaces: list[dict] = []
     if not root.is_dir():
@@ -322,17 +334,26 @@ def store_inventory(root: str | Path) -> list[dict]:
     for directory in sorted(p for p in root.iterdir() if p.is_dir()):
         meta_path = directory / META_FILE
         payload = directory / ARTIFACT_FILE
+        size = 0
+        tmp_litter = 0
+        for path in directory.glob("*.json"):
+            if path.name.startswith(".tmp-"):
+                tmp_litter += 1
+                continue
+            try:
+                size += path.stat().st_size
+            except OSError:
+                continue
         entry: dict = {
             "dir": directory.name,
-            "bytes": sum(
-                p.stat().st_size for p in directory.glob("*.json")
-            ),
+            "bytes": size,
+            "tmp_litter": tmp_litter,
             "complete": payload.exists(),
         }
-        if meta_path.exists():
-            try:
-                entry.update(json.loads(meta_path.read_text()))
-            except json.JSONDecodeError:
+        try:
+            entry.update(json.loads(meta_path.read_text()))
+        except (json.JSONDecodeError, OSError):
+            if meta_path.exists():
                 entry["complete"] = False
         namespaces.append(entry)
     return namespaces

@@ -109,6 +109,7 @@ def cmd_stats(args) -> int:
         stats = entry.get("stats", {})
         marker = "*" if entry.get("current") else " "
         state = "complete" if entry.get("complete") else "INCOMPLETE"
+        litter = entry.get("tmp_litter", 0)
         print(
             f"  {marker} {entry['dir']}  {state}"
             f"  classes={entry.get('classes', '?')}"
@@ -117,6 +118,7 @@ def cmd_stats(args) -> int:
             f"  truncations={stats.get('attempt_truncations', '?')}"
             f"  build_s={stats.get('seconds', '?')}"
             f"  KiB={entry['bytes'] // 1024}"
+            + (f"  tmp_litter={litter}" if litter else "")
         )
     if not namespaces:
         print("  (empty)")

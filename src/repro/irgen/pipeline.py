@@ -37,6 +37,7 @@ from __future__ import annotations
 import multiprocessing
 import time
 
+from repro import faults
 from repro.isa.registry import load_catalog, parse_slice
 from repro.perf import global_counters, phase_timer
 from repro.similarity.constants import SymbolicSemantics, extract_constants
@@ -158,6 +159,7 @@ def build_artifact(
     partition it produces is the determinism reference the tests compare
     against :func:`repro.similarity.engine.build_equivalence_classes`.
     """
+    faults.trip("irgen.build", detail="+".join(isas))
     perf = global_counters()
     began = time.monotonic()
     phases: dict[str, float] = {}

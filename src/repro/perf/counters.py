@@ -59,6 +59,12 @@ class PerfCounters:
     # Hash-consing: term constructions served from the intern table.
     term_intern_hits: int = 0
     term_intern_misses: int = 0
+    # Fault plane (repro.faults): faults actually fired in this process,
+    # and failures — injected or real — absorbed by a hardened recovery
+    # path (corrupt entry skipped, stale tmp reaped, dead pipe routed to
+    # fallback, stale negative entry ignored).
+    faults_injected: int = 0
+    fault_recoveries: int = 0
 
     # ------------------------------------------------------------------
 
@@ -94,6 +100,8 @@ class PerfCounters:
             fresh_queries=self.fresh_queries,
             term_intern_hits=self.term_intern_hits,
             term_intern_misses=self.term_intern_misses,
+            faults_injected=self.faults_injected,
+            fault_recoveries=self.fault_recoveries,
         )
         return out
 
@@ -112,6 +120,8 @@ class PerfCounters:
         self.fresh_queries = 0
         self.term_intern_hits = 0
         self.term_intern_misses = 0
+        self.faults_injected = 0
+        self.fault_recoveries = 0
 
 
 _GLOBAL = PerfCounters()

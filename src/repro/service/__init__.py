@@ -25,6 +25,7 @@ from repro.service.scheduler import (
 from repro.service.store import (
     PersistentCache,
     gc_store,
+    reap_tmp,
     read_run_telemetry,
     record_run_telemetry,
     store_stats,
@@ -41,6 +42,7 @@ __all__ = [
     "default_cegis_options",
     "PersistentCache",
     "gc_store",
+    "reap_tmp",
     "read_run_telemetry",
     "record_run_telemetry",
     "store_stats",

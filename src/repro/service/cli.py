@@ -49,6 +49,12 @@ def _parse_args(argv: list[str] | None) -> argparse.Namespace:
             help="offline IR-generation artifact store "
             "(sets REPRO_IRGEN_CACHE; see python -m repro.irgen)",
         )
+        p.add_argument(
+            "--faults",
+            default=None,
+            help="fault-injection plan: inline JSON or a plan-file path "
+            "(sets REPRO_FAULTS; see repro.faults and scripts/chaos_service.py)",
+        )
 
     warm = sub.add_parser("warm", help="populate a cache from a suite")
     common(warm, cache_required=True)
@@ -64,6 +70,9 @@ def _parse_args(argv: list[str] | None) -> argparse.Namespace:
     warm.add_argument("--retries", type=int, default=1)
     warm.add_argument("--synth-timeout", type=float, default=None,
                       help="per-window CEGIS budget in seconds")
+    warm.add_argument("--kill-seconds", type=float, default=None,
+                      help="kill backstop for workers whose job has no "
+                      "wall budget (default: scheduler default)")
 
     compile_ = sub.add_parser("compile", help="compile one benchmark")
     common(compile_, cache_required=False)
@@ -74,6 +83,7 @@ def _parse_args(argv: list[str] | None) -> argparse.Namespace:
     compile_.add_argument("--timeout", type=float, default=None)
     compile_.add_argument("--retries", type=int, default=1)
     compile_.add_argument("--synth-timeout", type=float, default=None)
+    compile_.add_argument("--kill-seconds", type=float, default=None)
 
     stats = sub.add_parser("stats", help="cache inventory + last-run telemetry")
     common(stats, cache_required=True)
@@ -89,7 +99,10 @@ def _options(args: argparse.Namespace, jobs: int) -> ServiceOptions:
     cegis = default_cegis_options()
     if getattr(args, "synth_timeout", None):
         cegis.timeout_seconds = args.synth_timeout
-    return ServiceOptions(jobs=jobs, cache_dir=args.cache_dir, cegis=cegis)
+    options = ServiceOptions(jobs=jobs, cache_dir=args.cache_dir, cegis=cegis)
+    if getattr(args, "kill_seconds", None):
+        options.kill_seconds = args.kill_seconds
+    return options
 
 
 def _print_results(results: list[JobResult], scheduler: Scheduler) -> None:
@@ -127,7 +140,7 @@ def _print_results(results: list[JobResult], scheduler: Scheduler) -> None:
 
 def _perf_line(metrics: dict, raw: dict) -> str:
     """One-line synthesis hot-path summary (perf counters)."""
-    return (
+    line = (
         f"synthesis: {raw.get('candidates_evaluated', 0):.0f} candidates "
         f"({metrics.get('candidates_per_sec', 0.0):,.0f}/s) | "
         f"blast cache {metrics.get('blast_cache_hit_rate', 0.0):.1%} | "
@@ -135,6 +148,13 @@ def _perf_line(metrics: dict, raw: dict) -> str:
         f"retained over {raw.get('incremental_queries', 0):.0f} "
         f"incremental queries"
     )
+    injected = raw.get("faults_injected", 0)
+    recovered = raw.get("fault_recoveries", 0)
+    if injected or recovered:
+        line += (
+            f" | faults: {injected:.0f} injected, {recovered:.0f} recovered"
+        )
+    return line
 
 
 def _cmd_warm(args: argparse.Namespace) -> int:
@@ -187,6 +207,11 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         f"\ntotal: {stats['total_entries']} entries, "
         f"{stats['total_failures']} negative, "
         f"{stats['total_bytes'] / 1024:.1f} KiB"
+        + (
+            f", {stats['total_tmp_litter']} .tmp litter"
+            if stats.get("total_tmp_litter")
+            else ""
+        )
     )
     last = stats.get("last_run")
     if last:
@@ -224,6 +249,11 @@ def main(argv: list[str] | None = None) -> int:
         import os
 
         os.environ["REPRO_IRGEN_CACHE"] = args.irgen_cache
+    if getattr(args, "faults", None):
+        # Workers inherit the env (fork) or re-read it (spawn).
+        import os
+
+        os.environ["REPRO_FAULTS"] = args.faults
     handlers = {
         "warm": _cmd_warm,
         "compile": _cmd_compile,

@@ -25,6 +25,7 @@ import os
 import time
 from dataclasses import dataclass, field
 
+from repro import faults
 from repro.autollvm import build_dictionary
 from repro.backend import (
     CompileError,
@@ -42,6 +43,26 @@ from repro.workloads.registry import benchmark_named
 
 class JobTimeout(Exception):
     """One attempt exceeded its share of the job's wall budget."""
+
+
+def _attempt_fault(job: "CompileJob", attempt: int) -> None:
+    """Per-attempt injection inside the retry ladder.
+
+    ``timeout`` raises :class:`JobTimeout` (the attempt walks the ladder
+    and retries at a halved budget); standard kinds (``raise``/``slow``/
+    ...) are performed as-is and surface through the same handlers a
+    real failure would.
+    """
+    spec = faults.check(
+        "jobs.attempt", detail=f"{job.benchmark}:{job.isa}:{attempt}"
+    )
+    if spec is None:
+        return
+    if spec.kind == "timeout":
+        raise JobTimeout(
+            f"injected timeout ({job.benchmark}/{job.isa} attempt {attempt})"
+        )
+    faults.perform(spec, "jobs.attempt", job.benchmark)
 
 
 @dataclass
@@ -191,9 +212,11 @@ def execute_job(
         started + job.timeout_seconds if job.timeout_seconds is not None else None
     )
     dictionary = build_dictionary(("x86", "hvx", "arm"))
+    # Snapshot before the cache opens so open-time events (entry loads,
+    # reaped litter, absorbed faults) are attributed to this job too.
+    perf_before = perf_snapshot()
     cache = _open_cache(job, cache_dir, dictionary)
     telemetry = JobTelemetry(worker_pid=os.getpid())
-    perf_before = perf_snapshot()
 
     result: BenchmarkResult | None = None
     for attempt in range(job.retries + 1):
@@ -204,6 +227,7 @@ def execute_job(
         before = cache.counters()
         timed_out = False
         try:
+            _attempt_fault(job, attempt)
             result = _compile_once(
                 job, job.compiler, dictionary, cache, budget, deadline
             )
@@ -211,6 +235,13 @@ def execute_job(
             timed_out = True
             result = BenchmarkResult(
                 job.benchmark, job.isa, job.compiler, None, error=str(exc)
+            )
+        except faults.InjectedFault as exc:
+            # Deterministic injected failure: recorded like any other
+            # attempt error and resolved by the baseline fallback below.
+            result = BenchmarkResult(
+                job.benchmark, job.isa, job.compiler, None,
+                error=f"injected fault: {exc}",
             )
         after = cache.counters()
         telemetry.cache_hits += after["hits"] - before["hits"]

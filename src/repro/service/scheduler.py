@@ -20,9 +20,14 @@ uses take.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 from dataclasses import dataclass, field
 
+from repro import faults
+from repro.perf import global_counters
+from repro.perf import snapshot as perf_snapshot
+from repro.perf import snapshot_delta as perf_snapshot_delta
 from repro.synthesis import CegisOptions
 from repro.service.jobs import (
     CompileJob,
@@ -35,7 +40,15 @@ from repro.service.jobs import (
 # worker (the in-worker deadline normally fires first; the kill is the
 # backstop for a genuinely wedged process).
 KILL_GRACE = 1.5
+# Kill backstop for jobs with no wall budget of their own: every worker
+# must have a *finite* kill limit, or a mute-but-alive worker wedges the
+# whole run (the pre-faults scheduler returned None here and never
+# killed such workers).
+DEFAULT_KILL_SECONDS = 600.0
 _POLL_SECONDS = 0.02
+# How long finish() waits for a worker to join before escalating from
+# SIGTERM to SIGKILL.
+_JOIN_GRACE_SECONDS = 5.0
 
 
 def default_cegis_options() -> CegisOptions:
@@ -48,6 +61,9 @@ class ServiceOptions:
     jobs: int = 1
     cache_dir: str | None = None
     cegis: CegisOptions = field(default_factory=default_cegis_options)
+    # Kill backstop for workers whose job has no wall budget
+    # (timeout_seconds=None); must be finite.
+    kill_seconds: float = DEFAULT_KILL_SECONDS
 
 
 @dataclass
@@ -63,6 +79,9 @@ class ServiceStats:
     fallbacks: int = 0
     deferred: int = 0
     killed: int = 0
+    # Workers whose pipe hit EOF before a result arrived (crashed
+    # mid-send, or closed the pipe and hung) — recovered via fallback.
+    worker_eofs: int = 0
     wall_seconds: float = 0.0
     busy_seconds: float = 0.0
     workers: int = 1
@@ -105,6 +124,7 @@ class ServiceStats:
             "fallbacks": self.fallbacks,
             "deferred": self.deferred,
             "killed": self.killed,
+            "worker_eofs": self.worker_eofs,
             "wall_seconds": round(self.wall_seconds, 3),
             "hit_rate": round(self.hit_rate, 4),
             "utilization": round(self.utilization, 4),
@@ -188,6 +208,10 @@ class Scheduler:
         from repro.autollvm import build_dictionary
 
         build_dictionary(("x86", "hvx", "arm"))
+        # Parent-side counters (fallback compiles, EOF/kill recoveries)
+        # are folded into the run aggregate at the end; workers are
+        # separate processes, so there is no double counting.
+        parent_before = perf_snapshot()
 
         methods = multiprocessing.get_all_start_methods()
         ctx = multiprocessing.get_context(
@@ -223,8 +247,14 @@ class Scheduler:
         def finish(index: int, outcome: JobResult) -> None:
             results[index] = outcome
             proc, conn, _started = running.pop(index)
-            conn.close()
-            proc.join()
+            try:
+                conn.close()
+            except OSError:
+                pass
+            proc.join(timeout=_JOIN_GRACE_SECONDS)
+            if proc.is_alive():
+                proc.kill()
+                proc.join()
             running_keys.difference_update(keys[index])
             # Keys owned by still-running jobs stay blocked.
             for other in running:
@@ -260,12 +290,40 @@ class Scheduler:
                 job = jobs[index]
                 if conn.poll(0):
                     try:
+                        faults.trip("scheduler.recv", detail=job.benchmark)
                         outcome = conn.recv()
-                    except EOFError:
-                        outcome = None
-                    if outcome is not None:
-                        finish(index, outcome)
+                    except (EOFError, OSError) as exc:
+                        # The pipe closed without a payload: the worker
+                        # crashed mid-send, or closed its end and hung.
+                        # poll(0) stays True forever after EOF, so the
+                        # "died without reporting" guard below can never
+                        # fire — mark the connection dead *now*, reap the
+                        # process, and route the job to the fallback.
+                        stats.worker_eofs += 1
+                        global_counters().fault_recoveries += 1
+                        if proc.is_alive():
+                            proc.terminate()
+                        finish(
+                            index,
+                            fallback_job_result(
+                                job,
+                                self.options.cegis,
+                                "worker pipe closed without a result "
+                                f"({type(exc).__name__})",
+                            ),
+                        )
                         continue
+                    if not isinstance(outcome, JobResult):
+                        # A worker must only ever send a JobResult;
+                        # anything else is a corrupted payload.
+                        outcome = fallback_job_result(
+                            job,
+                            self.options.cegis,
+                            "worker sent "
+                            f"{type(outcome).__name__} instead of a JobResult",
+                        )
+                    finish(index, outcome)
+                    continue
                 if not proc.is_alive() and not conn.poll(0):
                     # Worker died without reporting (crash/OOM).
                     finish(
@@ -277,11 +335,11 @@ class Scheduler:
                         ),
                     )
                     continue
-                limit = _kill_limit(job)
-                if limit is not None and time.monotonic() - started_at > limit:
+                limit = _kill_limit(job, self.options.kill_seconds)
+                if time.monotonic() - started_at > limit:
                     proc.terminate()
-                    proc.join()
                     stats.killed += 1
+                    global_counters().fault_recoveries += 1
                     finish(
                         index,
                         fallback_job_result(
@@ -289,16 +347,32 @@ class Scheduler:
                         ),
                     )
 
+        for key, value in perf_snapshot_delta(parent_before).items():
+            if value:
+                stats.perf[key] = stats.perf.get(key, 0) + value
         return [results[i] for i in range(len(jobs))]
 
 
-def _kill_limit(job: CompileJob) -> float | None:
+def _kill_limit(job: CompileJob, default_seconds: float = DEFAULT_KILL_SECONDS) -> float:
+    """Finite wall limit after which the parent hard-kills the worker.
+
+    Jobs without a wall budget get the configurable backstop instead of
+    running unkillable: a worker that hangs while its pipe stays open
+    would otherwise wedge the scheduler forever.
+    """
     if job.timeout_seconds is None:
-        return None
+        return default_seconds
     return job.timeout_seconds * KILL_GRACE + 5.0
 
 
 def _worker_main(conn, job: CompileJob, cache_dir, cegis) -> None:
+    faults.trip("scheduler.worker.start", detail=job.benchmark)
+    mute = faults.check("scheduler.worker.mute", detail=job.benchmark)
+    if mute is not None:
+        # The PR-2 deadlock scenario: pipe closed, process still alive.
+        conn.close()
+        time.sleep(mute.delay or 3600.0)
+        os._exit(faults.INJECTED_EXIT_CODE)
     try:
         outcome = execute_job(job, cache_dir, cegis)
     except BaseException as exc:  # noqa: BLE001 - must report, not die silent
@@ -313,5 +387,10 @@ def _worker_main(conn, job: CompileJob, cache_dir, cegis) -> None:
             ),
             JobTelemetry(),
         )
-    conn.send(outcome)
-    conn.close()
+    faults.trip("scheduler.worker.send", detail=job.benchmark)
+    try:
+        conn.send(outcome)
+        conn.close()
+    except (BrokenPipeError, OSError):
+        # Parent is gone (or killed us mid-send); nothing left to report.
+        os._exit(1)

@@ -29,6 +29,7 @@ import tempfile
 import time
 from pathlib import Path
 
+from repro import faults
 from repro.autollvm.intrinsics import AutoLLVMDictionary
 from repro.halide import ir as hir
 from repro.synthesis.cache import CacheEntry, MemoCache, canonical_key
@@ -43,19 +44,49 @@ from repro.synthesis.serialize import (
 STATS_FILE = "stats.json"
 FINGERPRINT_DIR_CHARS = 16
 
+# Leftover ``.tmp-*`` files older than this are reaped on cache open.
+# The age guard keeps a cache opening *now* from unlinking a temp file a
+# live concurrent writer is about to rename into place.
+TMP_REAP_AGE_SECONDS = 60.0
+
 
 def _key_hash(key: str) -> str:
     return hashlib.sha256(key.encode()).hexdigest()[:32]
 
 
 def atomic_write(path: Path, text: str) -> None:
-    """Write-to-temp + rename: concurrent writers of identical content are
-    safe, and readers never observe a partially written file.  Shared by
-    the synthesis cache and the irgen artifact store."""
+    """Durable write-to-temp + rename.
+
+    Concurrent writers of identical content are safe, readers never
+    observe a partially written file, and the ``fsync`` before the rename
+    means a crash (even SIGKILL) can never publish a truncated entry —
+    the worst outcome is a leaked ``.tmp-*`` file, which cache open
+    reaps.  Shared by the synthesis cache and the irgen artifact store.
+    """
+    spec = faults.check("store.atomic_write", detail=path.name)
+    if spec is not None:
+        text = faults.transform_text(spec, text)
     fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-", suffix=".json")
     try:
         with os.fdopen(fd, "w") as handle:
             handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    if spec is not None and spec.kind == "leak_tmp":
+        leak_fd, _leak = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        os.close(leak_fd)
+    # A crash between the durable write and the publish (injected here as
+    # "exit"/"raise") leaves only .tmp litter, never a partial entry.
+    faults.trip("store.atomic_write.crash", detail=path.name)
+    try:
         os.replace(tmp, path)
     except BaseException:
         try:
@@ -69,6 +100,34 @@ def atomic_write(path: Path, text: str) -> None:
 _atomic_write = atomic_write
 
 
+def reap_tmp(
+    directory: str | Path,
+    min_age_seconds: float = TMP_REAP_AGE_SECONDS,
+    recursive: bool = False,
+) -> int:
+    """Unlink stale ``.tmp-*`` litter left by killed writers.
+
+    Returns the number of files removed.  Races with concurrent reapers
+    and writers are tolerated (missing files are skipped; young files are
+    left for their writer to rename).
+    """
+    directory = Path(directory)
+    pattern = "**/.tmp-*" if recursive else ".tmp-*"
+    now = time.time()
+    reaped = 0
+    for path in directory.glob(pattern):
+        try:
+            if now - path.stat().st_mtime < min_age_seconds:
+                continue
+            path.unlink()
+            reaped += 1
+        except OSError:
+            continue
+    if reaped:
+        faults.recovered(reaped)
+    return reaped
+
+
 class PersistentCache(MemoCache):
     """A :class:`MemoCache` backed by an on-disk store.
 
@@ -76,7 +135,12 @@ class PersistentCache(MemoCache):
     is loaded; ``store``/``store_failure`` write through to disk.  Entries
     that fail to deserialize (corrupt files, instructions that no longer
     exist) are skipped — the window simply re-synthesizes and overwrites
-    them.
+    them.  Negative entries carry the CEGIS budget they failed under, so
+    a timeout recorded by a reduced-budget retry never poisons a later
+    full-budget run (see :meth:`MemoCache.lookup_failure`).  Stale
+    ``.tmp-*`` litter from killed writers is reaped on open, and
+    ``refresh`` only parses files whose (size, mtime) signature changed
+    since they were last read.
     """
 
     def __init__(
@@ -94,6 +158,11 @@ class PersistentCache(MemoCache):
         self.dir = self.root / isa / self.fingerprint[:FINGERPRINT_DIR_CHARS]
         self.dir.mkdir(parents=True, exist_ok=True)
         self.load_errors = 0
+        self.write_errors = 0
+        # (size, mtime_ns) of every entry file already parsed — loads and
+        # refreshes only touch files whose signature changed.
+        self._seen_files: dict[str, tuple[int, int]] = {}
+        self.tmp_reaped = reap_tmp(self.dir)
         self._write_meta()
         self._load()
 
@@ -102,7 +171,7 @@ class PersistentCache(MemoCache):
     def _write_meta(self) -> None:
         meta = self.dir / "meta.json"
         if not meta.exists():
-            _atomic_write(
+            self._best_effort_write(
                 meta,
                 json.dumps(
                     {
@@ -114,33 +183,80 @@ class PersistentCache(MemoCache):
                 ),
             )
 
-    def _load(self) -> None:
+    def _best_effort_write(self, path: Path, text: str) -> None:
+        """Write-through that degrades instead of failing the compile.
+
+        The disk cache is an accelerator: an I/O error publishing an
+        entry must cost exactly that entry (the window re-synthesizes
+        next time), never the compilation that produced it.
+        """
+        try:
+            _atomic_write(path, text)
+        except OSError:
+            self.write_errors += 1
+            faults.recovered()
+
+    def _changed(self, path: Path) -> bool:
+        """True when ``path`` is new or rewritten since it was last
+        parsed; records the new signature.  A corrupt file is therefore
+        counted (and its error charged) exactly once until someone
+        overwrites it."""
+        try:
+            st = path.stat()
+        except OSError:
+            return False
+        signature = (st.st_size, st.st_mtime_ns)
+        if self._seen_files.get(path.name) == signature:
+            return False
+        self._seen_files[path.name] = signature
+        return True
+
+    def _load(self) -> int:
+        adopted = 0
         for path in sorted(self.dir.glob("e-*.json")):
+            if not self._changed(path):
+                continue
             try:
+                faults.trip("store.load", detail=path.name)
                 key, entry = entry_from_json(
                     path.read_text(), self.dictionary
                 )
             except (SerializeError, OSError):
                 self.load_errors += 1
+                faults.recovered()
                 continue
             self._entries[key] = entry
+            adopted += 1
         for path in sorted(self.dir.glob("f-*.json")):
+            if not self._changed(path):
+                continue
             try:
-                key = json.loads(path.read_text())["key"]
-            except (json.JSONDecodeError, KeyError, TypeError, OSError):
+                faults.trip("store.load", detail=path.name)
+                obj = json.loads(path.read_text())
+                key = obj["key"]
+                budget = obj.get("budget")
+                budget = None if budget is None else float(budget)
+            except (
+                json.JSONDecodeError, KeyError, TypeError, ValueError, OSError,
+            ):
                 self.load_errors += 1
+                faults.recovered()
                 continue
             self._failures.add(key)
+            self._failure_budgets[key] = budget
+            adopted += 1
+        return adopted
 
     def refresh(self) -> int:
         """Pick up entries written by other processes since load.
 
-        Returns the number of new entries adopted.  Counters are kept, so
-        a refresh never perturbs hit/miss accounting.
+        Returns the number of entries adopted.  Only files whose
+        signature changed are re-read, so refresh is idempotent: calling
+        it twice parses nothing twice and never re-charges ``load_errors``
+        for the same corrupt file.  Counters are kept, so a refresh never
+        perturbs hit/miss accounting.
         """
-        before = len(self._entries) + len(self._failures)
-        self._load()
-        return len(self._entries) + len(self._failures) - before
+        return self._load()
 
     # -- write-through overrides ---------------------------------------
 
@@ -150,22 +266,33 @@ class PersistentCache(MemoCache):
         super().store(expr, isa, program, cost)
         key = canonical_key(expr, isa)
         entry = self._entries[key]
-        _atomic_write(
+        self._best_effort_write(
             self.dir / f"e-{_key_hash(key)}.json", entry_to_json(key, entry)
         )
+        # A success supersedes any persisted failure for the window
+        # (typically one recorded under a smaller retry budget).
+        try:
+            (self.dir / f"f-{_key_hash(key)}.json").unlink()
+        except OSError:
+            pass
 
     def store_failure(self, expr: hir.HExpr, isa: str) -> None:
         super().store_failure(expr, isa)
         key = canonical_key(expr, isa)
-        _atomic_write(
+        self._best_effort_write(
             self.dir / f"f-{_key_hash(key)}.json",
-            json.dumps({"key": key}, sort_keys=True),
+            json.dumps(
+                # The recorded budget (the in-memory merge keeps the
+                # widest one); null = unconditional, always replayed.
+                {"key": key, "budget": self._failure_budgets.get(key)},
+                sort_keys=True,
+            ),
         )
 
     def put_entry(self, key: str, entry: CacheEntry) -> None:
         """Adopt an already-canonicalized entry (service internal use)."""
         self._entries[key] = entry
-        _atomic_write(
+        self._best_effort_write(
             self.dir / f"e-{_key_hash(key)}.json", entry_to_json(key, entry)
         )
 
@@ -176,23 +303,36 @@ class PersistentCache(MemoCache):
 
 
 def store_stats(root: str | Path) -> dict:
-    """Inventory of a cache root: namespaces, entry counts, disk bytes."""
+    """Inventory of a cache root: namespaces, entry counts, disk bytes.
+
+    ``.tmp-*`` litter is reported separately and excluded from the byte
+    and entry totals; files vanishing mid-scan (concurrent gc or
+    overwrites) are tolerated.
+    """
     root = Path(root)
     namespaces = []
-    total_entries = total_failures = total_bytes = 0
+    total_entries = total_failures = total_bytes = total_tmp = 0
     if root.is_dir():
         for isa_dir in sorted(p for p in root.iterdir() if p.is_dir()):
             for fp_dir in sorted(p for p in isa_dir.iterdir() if p.is_dir()):
                 entries = len(list(fp_dir.glob("e-*.json")))
                 failures = len(list(fp_dir.glob("f-*.json")))
-                size = sum(p.stat().st_size for p in fp_dir.glob("*.json"))
+                size = 0
+                tmp_litter = 0
+                for path in fp_dir.glob("*.json"):
+                    if path.name.startswith(".tmp-"):
+                        tmp_litter += 1
+                        continue
+                    try:
+                        size += path.stat().st_size
+                    except OSError:
+                        continue
                 fingerprint = fp_dir.name
                 meta = fp_dir / "meta.json"
-                if meta.exists():
-                    try:
-                        fingerprint = json.loads(meta.read_text())["fingerprint"]
-                    except (json.JSONDecodeError, KeyError):
-                        pass
+                try:
+                    fingerprint = json.loads(meta.read_text())["fingerprint"]
+                except (json.JSONDecodeError, KeyError, OSError):
+                    pass
                 namespaces.append(
                     {
                         "isa": isa_dir.name,
@@ -200,17 +340,20 @@ def store_stats(root: str | Path) -> dict:
                         "entries": entries,
                         "failures": failures,
                         "bytes": size,
+                        "tmp_litter": tmp_litter,
                     }
                 )
                 total_entries += entries
                 total_failures += failures
                 total_bytes += size
+                total_tmp += tmp_litter
     return {
         "root": str(root),
         "namespaces": namespaces,
         "total_entries": total_entries,
         "total_failures": total_failures,
         "total_bytes": total_bytes,
+        "total_tmp_litter": total_tmp,
         "last_run": read_run_telemetry(root),
     }
 
@@ -219,7 +362,10 @@ def gc_store(root: str | Path, keep_fingerprint: str) -> dict:
     """Remove every namespace whose fingerprint differs from the current one.
 
     Returns counts of removed namespaces and files.  The live namespace
-    (current fingerprint, any ISA) is left untouched.
+    (current fingerprint, any ISA) is left untouched.  Concurrent writers
+    are tolerated: a file unlinked under us is skipped, and a namespace
+    that grew a new file between the sweep and the ``rmdir`` is simply
+    left for the next gc instead of crashing this one.
     """
     root = Path(root)
     removed_dirs = 0
@@ -231,22 +377,41 @@ def gc_store(root: str | Path, keep_fingerprint: str) -> dict:
                 if fp_dir.name == keep:
                     continue
                 for path in fp_dir.glob("*"):
-                    path.unlink()
-                    removed_files += 1
-                fp_dir.rmdir()
-                removed_dirs += 1
-            if not any(isa_dir.iterdir()):
-                isa_dir.rmdir()
+                    try:
+                        path.unlink()
+                        removed_files += 1
+                    except OSError:
+                        continue
+                try:
+                    fp_dir.rmdir()
+                    removed_dirs += 1
+                except OSError:
+                    continue
+            try:
+                if not any(isa_dir.iterdir()):
+                    isa_dir.rmdir()
+            except OSError:
+                pass
     return {"removed_namespaces": removed_dirs, "removed_files": removed_files}
 
 
 def record_run_telemetry(root: str | Path, data: dict) -> None:
-    """Persist the aggregate telemetry of a service run (CLI `stats`)."""
+    """Persist the aggregate telemetry of a service run (CLI `stats`).
+
+    Best-effort: telemetry is a convenience, so an I/O error here (disk
+    full, injected crash) is absorbed rather than failing a run whose
+    results are already complete.
+    """
     root = Path(root)
-    root.mkdir(parents=True, exist_ok=True)
     data = dict(data)
     data["recorded_at"] = time.strftime("%Y-%m-%dT%H:%M:%S")
-    _atomic_write(root / STATS_FILE, json.dumps(data, sort_keys=True, indent=2))
+    try:
+        root.mkdir(parents=True, exist_ok=True)
+        _atomic_write(
+            root / STATS_FILE, json.dumps(data, sort_keys=True, indent=2)
+        )
+    except OSError:
+        faults.recovered()
 
 
 def read_run_telemetry(root: str | Path) -> dict | None:

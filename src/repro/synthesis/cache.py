@@ -83,6 +83,12 @@ class MemoCache:
     def __init__(self) -> None:
         self._entries: dict[str, CacheEntry] = {}
         self._failures: set[str] = set()
+        # CEGIS budget (seconds) each failure was recorded under; None
+        # means "unconditional" (legacy entries, or no budget known).
+        self._failure_budgets: dict[str, float | None] = {}
+        # The budget of the synthesis run currently using this cache,
+        # declared via set_budget() by the CEGIS driver.
+        self.budget_seconds: float | None = None
         self.hits = 0
         self.misses = 0
         # Negative-cache hits are counted separately: a window served
@@ -103,15 +109,49 @@ class MemoCache:
             "failures": len(self._failures),
         }
 
+    def set_budget(self, seconds: float | None) -> None:
+        """Declare the CEGIS budget of the run about to use this cache.
+
+        Failures are recorded tagged with this budget; a recorded failure
+        is only replayed when it was established under at least the
+        current budget — a window that merely timed out under a retry's
+        halved budget must not poison later full-budget runs.
+        """
+        self.budget_seconds = seconds
+
     def lookup_failure(self, expr: hir.HExpr, isa: str) -> bool:
         """True when this window already failed synthesis (negative cache)."""
-        found = canonical_key(expr, isa) in self._failures
-        if found:
-            self.failure_hits += 1
-        return found
+        key = canonical_key(expr, isa)
+        if key not in self._failures:
+            return False
+        recorded = self._failure_budgets.get(key)
+        if (
+            recorded is not None
+            and self.budget_seconds is not None
+            and recorded < self.budget_seconds - 1e-9
+        ):
+            # Recorded under a smaller budget than we now have: treat as
+            # unknown and let synthesis retry with the full budget.
+            from repro.faults import recovered
+
+            recovered()
+            return False
+        self.failure_hits += 1
+        return True
 
     def store_failure(self, expr: hir.HExpr, isa: str) -> None:
-        self._failures.add(canonical_key(expr, isa))
+        key = canonical_key(expr, isa)
+        self._failures.add(key)
+        previous = self._failure_budgets.get(key, "unset")
+        if previous is None:
+            return  # already unconditional; a budgeted re-failure can't widen it
+        if (
+            previous != "unset"
+            and self.budget_seconds is not None
+            and self.budget_seconds <= previous
+        ):
+            return  # keep the larger recorded budget
+        self._failure_budgets[key] = self.budget_seconds
 
     def lookup(self, expr: hir.HExpr, isa: str) -> CacheEntry | None:
         key = canonical_key(expr, isa)
@@ -129,13 +169,18 @@ class MemoCache:
         )
 
     def store(self, expr: hir.HExpr, isa: str, program: SNode, cost: float) -> None:
-        self._entries[canonical_key(expr, isa)] = CacheEntry(
+        key = canonical_key(expr, isa)
+        self._entries[key] = CacheEntry(
             program, cost, _appearance_order(expr)
         )
+        # A success supersedes any failure recorded under a smaller budget.
+        self._failures.discard(key)
+        self._failure_budgets.pop(key, None)
 
     def clear(self) -> None:
         self._entries.clear()
         self._failures.clear()
+        self._failure_budgets.clear()
         self.hits = 0
         self.misses = 0
         self.failure_hits = 0

@@ -818,6 +818,9 @@ def synthesize(
     options = options or CegisOptions()
     start = time.monotonic()
     if cache is not None:
+        # Declare this run's budget so negative-cache entries are tagged
+        # with (and filtered by) the budget they were established under.
+        cache.set_budget(options.timeout_seconds)
         if cache.lookup_failure(spec, grammar.isa):
             raise SynthesisFailure("window previously failed (cached)")
         hit = cache.lookup(spec, grammar.isa)

@@ -198,6 +198,14 @@ class TestPersistentCache:
         assert len(reopened) == 0
         assert reopened.load_errors == 2
 
+    def test_zero_length_entries_skipped(self, tmp_path, dictionary):
+        cache = PersistentCache(tmp_path, "x86", dictionary)
+        (cache.dir / "e-0000.json").write_text("")
+        (cache.dir / "f-0000.json").write_text("")
+        reopened = PersistentCache(tmp_path, "x86", dictionary)
+        assert len(reopened) == 0
+        assert reopened.load_errors == 2
+
     def test_refresh_adopts_foreign_writes(self, tmp_path, dictionary):
         window = _add_window()
         reader = PersistentCache(tmp_path, "x86", dictionary)
@@ -206,6 +214,34 @@ class TestPersistentCache:
         assert reader.lookup(window, "x86") is None
         assert reader.refresh() == 1
         assert reader.lookup(window, "x86") is not None
+
+    def test_refresh_is_idempotent(self, tmp_path, dictionary):
+        # Pre-faults refresh() re-parsed every file on every call and
+        # re-charged load_errors for the same corrupt file each time.
+        reader = PersistentCache(tmp_path, "x86", dictionary)
+        writer = PersistentCache(tmp_path, "x86", dictionary)
+        writer.store(_add_window(), "x86", _structural_program(), 4.0)
+        (reader.dir / "e-bad.json").write_text("{not json")
+        assert reader.refresh() == 1
+        assert reader.load_errors == 1
+        assert reader.refresh() == 0
+        assert reader.load_errors == 1
+        # Overwriting the corrupt file changes its signature: re-read.
+        writer.store(
+            _add_window(names=("p", "q")), "x86", _structural_program(), 4.0
+        )
+        assert reader.refresh() == 1
+
+    def test_store_stats_excludes_tmp_litter(self, tmp_path, dictionary):
+        cache = PersistentCache(tmp_path, "x86", dictionary)
+        cache.store(_add_window(), "x86", _structural_program(), 4.0)
+        clean = store_stats(tmp_path)
+        (cache.dir / ".tmp-orphan.json").write_text("x" * 4096)
+        littered = store_stats(tmp_path)
+        assert littered["total_tmp_litter"] == 1
+        assert littered["namespaces"][0]["tmp_litter"] == 1
+        assert littered["total_bytes"] == clean["total_bytes"]
+        assert littered["total_entries"] == clean["total_entries"]
 
     def test_store_stats_inventory(self, tmp_path, dictionary):
         cache = PersistentCache(tmp_path, "x86", dictionary)
