@@ -44,12 +44,19 @@ FULL_SUITE = ("dilate3x3", "average_pool", "max_pool", "add", "mul")
 
 
 def run_case(
-    name: str, isa: str, dictionary, timeout: float, legacy: bool
+    name: str,
+    isa: str,
+    dictionary,
+    timeout: float,
+    legacy: bool,
+    absint: bool = False,
 ) -> dict:
     """Compile one benchmark end-to-end; returns timings + programs."""
     benchmark = benchmark_named(name)
     kernels = benchmark.lower(isa)
-    options = CegisOptions(timeout_seconds=timeout, legacy_eval=legacy)
+    options = CegisOptions(
+        timeout_seconds=timeout, legacy_eval=legacy, absint_prune=absint
+    )
     compiler = HydrideCompiler(
         dictionary=dictionary, cache=MemoCache(), cegis=options
     )
@@ -87,6 +94,11 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="only run the optimised path (no legacy arm, no speedup)",
     )
+    parser.add_argument(
+        "--skip-absint",
+        action="store_true",
+        help="skip the absint_prune determinism arm",
+    )
     args = parser.parse_args(argv)
 
     if args.suite:
@@ -103,6 +115,7 @@ def main(argv: list[str] | None = None) -> int:
     }
     total_new = 0.0
     total_baseline = 0.0
+    total_absint_pruned = 0
     mismatches: list[str] = []
 
     for name in suite:
@@ -137,6 +150,29 @@ def main(argv: list[str] | None = None) -> int:
             )
         else:
             print(f"[bench] {name}: optimised={new['seconds']:.2f}s", flush=True)
+        if not args.skip_absint:
+            # Third arm: abstract-interpretation pruning must change
+            # nothing about the synthesized programs — only skip work.
+            print(f"[bench] {name} ({args.isa}) absint ...", flush=True)
+            pruned = run_case(
+                name, args.isa, dictionary, args.timeout, legacy=False,
+                absint=True,
+            )
+            identical = pruned["programs"] == new["programs"]
+            if not identical:
+                mismatches.append(f"{name} (absint)")
+            case.update(
+                seconds_absint=pruned["seconds"],
+                counters_absint=pruned["counters"],
+                absint_identical_programs=identical,
+                absint_pruned=pruned["counters"].get("absint_pruned", 0),
+            )
+            total_absint_pruned += pruned["counters"].get("absint_pruned", 0)
+            print(
+                f"[bench] {name}: absint={pruned['seconds']:.2f}s "
+                f"pruned={case['absint_pruned']} identical={identical}",
+                flush=True,
+            )
         report["cases"].append(case)
 
     report["total_seconds_optimised"] = round(total_new, 3)
@@ -149,10 +185,20 @@ def main(argv: list[str] | None = None) -> int:
             f"optimised={total_new:.2f}s speedup={report['speedup']:.2f}x"
         )
 
+    if not args.skip_absint:
+        report["absint_pruned_total"] = total_absint_pruned
+
     out = pathlib.Path(args.output)
     out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"[bench] wrote {out}")
 
+    if not args.skip_absint and total_absint_pruned == 0:
+        print(
+            "[bench] ABSINT FAILURE: absint_prune arm pruned nothing — "
+            "the abstraction lost all precision",
+            file=sys.stderr,
+        )
+        return 1
     if mismatches:
         print(
             f"[bench] DETERMINISM FAILURE: baseline and optimised paths "

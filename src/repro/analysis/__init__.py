@@ -12,7 +12,11 @@ representations the compiler moves through:
   (:mod:`repro.analysis.synth_check`) — the cheap pre-SMT
   well-typedness gate inside CEGIS;
 * **AutoLLVM / LLVM IR** functions (:mod:`repro.analysis.llvm_check`)
-  — SSA plus intrinsic-signature validation.
+  — SSA plus intrinsic-signature validation;
+* **semantic rules** (:mod:`repro.analysis.semantic_check`) — driven by
+  the abstract interpreter in :mod:`repro.analysis.absint` (known-bits
+  + value-range lattices): dead branches, impossible compares,
+  overflowing shifts, constant-foldable subtrees, dead input lanes.
 
 All checkers report through one diagnostics engine
 (:mod:`repro.analysis.diagnostics`) with stable rule IDs, severities,
@@ -21,6 +25,17 @@ provenance and JSON output.  Pipeline stages call the gated hooks in
 ``python -m repro.analysis`` lints the full generated spec corpora.
 """
 
+from repro.analysis.absint import (
+    AbsValue,
+    abstract_apply,
+    abstract_program,
+    abstract_semantics,
+    abstract_window,
+    abstract_window_lanes,
+    provably_disagrees,
+    screen_cached_program,
+    screen_dictionary,
+)
 from repro.analysis.diagnostics import (
     Diagnostic,
     DiagnosticSink,
@@ -42,9 +57,24 @@ from repro.analysis.hooks import (
 )
 from repro.analysis.hydride_check import assert_semantics, check_semantics
 from repro.analysis.llvm_check import check_function as check_llvm_function
+from repro.analysis.sarif import sarif_json, to_sarif
+from repro.analysis.semantic_check import check_semantic_rules, observed_bits
 from repro.analysis.synth_check import assert_program, check_program
 
 __all__ = [
+    "AbsValue",
+    "abstract_apply",
+    "abstract_program",
+    "abstract_semantics",
+    "abstract_window",
+    "abstract_window_lanes",
+    "check_semantic_rules",
+    "observed_bits",
+    "provably_disagrees",
+    "sarif_json",
+    "screen_cached_program",
+    "screen_dictionary",
+    "to_sarif",
     "Diagnostic",
     "DiagnosticSink",
     "IRVerificationError",

@@ -2,24 +2,39 @@
 
 ``python -m repro.analysis`` (or ``scripts/lint_ir.py``) loads each ISA's
 catalog, parses + canonicalises every instruction's semantics, and runs
-the spec-record and Hydride-IR checkers over the result, printing a
-per-ISA diagnostic summary.  Exit status 1 when any error-severity
-diagnostic was found.
+the spec-record, Hydride-IR and semantic (abstract-interpretation)
+checkers over the result, printing a per-ISA diagnostic summary.  Exit
+status 1 when any error-severity diagnostic was found, when a checker
+crashed internally (``A-INTERNAL``), or — under ``--baseline`` — when
+any diagnostic not covered by the checked-in baseline appeared.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import pathlib
 import sys
 import time
+from collections import Counter
 
-from repro.analysis import hydride_check
-from repro.analysis.diagnostics import DiagnosticSink, Provenance, Severity
+from repro.analysis import hydride_check, semantic_check
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    DiagnosticSink,
+    Provenance,
+    Severity,
+)
+from repro.analysis.sarif import sarif_json
 from repro.hydride_ir.interp import resolved_input_widths
 from repro.isa.registry import SUPPORTED_ISAS, load_isa
 from repro.isa.spec import InstructionSpec, IsaCatalog
 
 SMOKE_LIMIT = 25
+
+#: Corpus linting keeps every diagnostic so baseline counts are exact;
+#: the default sink cap is for long-running pipeline use.
+_CORPUS_MAX_PER_RULE = 1_000_000
 
 
 def _check_spec_record(
@@ -83,33 +98,113 @@ def _check_semantics_io(spec: InstructionSpec, func, sink: DiagnosticSink) -> No
             )
 
 
+def _lint_one_spec(
+    isa: str,
+    spec: InstructionSpec,
+    func,
+    seen: set[str],
+    sink: DiagnosticSink,
+    semantic: bool,
+) -> None:
+    _check_spec_record(spec, seen, sink)
+    if func is None:
+        sink.emit(
+            "spec/semantics-io",
+            "no parsed semantics for this instruction",
+            provenance=Provenance(isa=isa, instruction=spec.name, stage="parse"),
+        )
+        return
+    _check_semantics_io(spec, func, sink)
+    hydride_check.check_semantics(
+        func,
+        declared_output_width=spec.output_width,
+        isa=isa,
+        stage="canonicalize",
+        sink=sink,
+    )
+    if semantic:
+        semantic_check.check_semantic_rules(
+            func, isa=isa, stage="absint", sink=sink
+        )
+
+
 def lint_isa(
-    isa: str, sink: DiagnosticSink, limit: int | None = None
+    isa: str,
+    sink: DiagnosticSink,
+    limit: int | None = None,
+    *,
+    semantic: bool = True,
 ) -> tuple[int, int]:
-    """Lint one ISA corpus; returns (instructions checked, catalog size)."""
+    """Lint one ISA corpus; returns (instructions checked, catalog size).
+
+    A checker crash on one spec must not silently pass the whole corpus:
+    any exception escaping the per-spec checks is converted into an
+    ``A-INTERNAL`` error diagnostic (which makes the run exit nonzero)
+    and linting continues with the next instruction.
+    """
     loaded = load_isa(isa)
     catalog: IsaCatalog = loaded.catalog
     specs = list(catalog)[:limit] if limit else list(catalog)
     seen: set[str] = set()
     for spec in specs:
-        _check_spec_record(spec, seen, sink)
         func = loaded.semantics.get(spec.name)
-        if func is None:
+        try:
+            _lint_one_spec(isa, spec, func, seen, sink, semantic)
+        except Exception as exc:  # noqa: BLE001 — the tripwire itself
             sink.emit(
-                "spec/semantics-io",
-                "no parsed semantics for this instruction",
-                provenance=Provenance(isa=isa, instruction=spec.name, stage="parse"),
+                "A-INTERNAL",
+                f"checker crashed: {type(exc).__name__}: {exc}",
+                provenance=Provenance(
+                    isa=isa, instruction=spec.name, stage="lint"
+                ),
             )
-            continue
-        _check_semantics_io(spec, func, sink)
-        hydride_check.check_semantics(
-            func,
-            declared_output_width=spec.output_width,
-            isa=isa,
-            stage="canonicalize",
-            sink=sink,
-        )
     return len(specs), len(catalog)
+
+
+# -- baseline diffing ------------------------------------------------------
+
+
+def baseline_counts(diagnostics: list[Diagnostic]) -> dict[str, int]:
+    """Per-``rule|isa|instruction`` diagnostic counts, the baseline unit."""
+    counts: Counter[str] = Counter(
+        f"{d.rule}|{d.provenance.isa}|{d.provenance.instruction}"
+        for d in diagnostics
+    )
+    return dict(sorted(counts.items()))
+
+
+def diff_against_baseline(
+    diagnostics: list[Diagnostic], baseline: dict[str, int]
+) -> list[tuple[str, int, int]]:
+    """Keys whose diagnostic count exceeds the baseline.
+
+    Returns ``(key, current, allowed)`` tuples; a key absent from the
+    baseline has ``allowed == 0``.  Disappearing diagnostics are fine —
+    the gate is "no *new* findings", not an exact match.
+    """
+    current = baseline_counts(diagnostics)
+    return [
+        (key, count, baseline.get(key, 0))
+        for key, count in current.items()
+        if count > baseline.get(key, 0)
+    ]
+
+
+def load_baseline(path: str) -> dict[str, int]:
+    payload = json.loads(pathlib.Path(path).read_text())
+    counts = payload.get("counts", payload)
+    return {str(k): int(v) for k, v in counts.items()}
+
+
+def write_baseline(path: str, diagnostics: list[Diagnostic]) -> None:
+    payload = {
+        "comment": (
+            "hydride-lint corpus baseline: per rule|isa|instruction "
+            "diagnostic counts; regenerate with --write-baseline"
+        ),
+        "counts": baseline_counts(diagnostics),
+    }
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -132,9 +227,36 @@ def main(argv: list[str] | None = None) -> int:
         "--limit", type=int, default=None, help="max instructions per ISA"
     )
     parser.add_argument(
+        "--format",
+        choices=("table", "json", "sarif"),
+        default="table",
+        help="report format (default: table)",
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
-        help="emit machine-readable JSON instead of the summary table",
+        help="alias for --format json",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="also write the machine-readable report to this file "
+        "(JSON unless --format sarif)",
+    )
+    parser.add_argument(
+        "--no-semantic",
+        action="store_true",
+        help="skip the abstract-interpretation (sem/*) rules",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline JSON; exit 1 on any diagnostic not covered by it",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        default=None,
+        help="write the current diagnostic counts as a new baseline file",
     )
     parser.add_argument(
         "--verbose", action="store_true", help="print every diagnostic"
@@ -145,14 +267,17 @@ def main(argv: list[str] | None = None) -> int:
     limit = args.limit if args.limit is not None else (
         SMOKE_LIMIT if args.smoke else None
     )
+    fmt = "json" if args.json else args.format
 
-    sink = DiagnosticSink()
+    sink = DiagnosticSink(max_per_rule=_CORPUS_MAX_PER_RULE)
     rows = []
     for isa in isas:
         start = time.time()
         errors_before = sink.error_count
         warnings_before = sink.warning_count
-        checked, total = lint_isa(isa, sink, limit)
+        checked, total = lint_isa(
+            isa, sink, limit, semantic=not args.no_semantic
+        )
         rows.append(
             (
                 isa,
@@ -164,9 +289,29 @@ def main(argv: list[str] | None = None) -> int:
             )
         )
 
-    if args.json:
+    if args.write_baseline:
+        write_baseline(args.write_baseline, sink.diagnostics)
+
+    new_findings: list[tuple[str, int, int]] = []
+    if args.baseline:
+        new_findings = diff_against_baseline(
+            sink.diagnostics, load_baseline(args.baseline)
+        )
+
+    if args.output:
+        report = (
+            sarif_json(sink.diagnostics) if fmt == "sarif" else sink.to_json()
+        )
+        pathlib.Path(args.output).write_text(report + "\n")
+
+    failed = sink.has_errors() or bool(new_findings)
+
+    if fmt == "sarif":
+        print(sarif_json(sink.diagnostics))
+        return 1 if failed else 0
+    if fmt == "json":
         print(sink.to_json())
-        return 1 if sink.has_errors() else 0
+        return 1 if failed else 0
 
     print(f"{'ISA':<6} {'checked':>8} {'total':>6} {'errors':>7} "
           f"{'warnings':>9} {'secs':>6}")
@@ -180,6 +325,10 @@ def main(argv: list[str] | None = None) -> int:
         print("\nrule histogram:")
         for rule, count in sorted(histogram.items(), key=lambda kv: -kv[1]):
             print(f"  {rule:<28} {count}")
+    if new_findings:
+        print(f"\n{len(new_findings)} finding(s) not in the baseline:")
+        for key, count, allowed in new_findings[:50]:
+            print(f"  {key}: {count} (baseline allows {allowed})")
     if args.verbose or sink.has_errors():
         shown = [
             d for d in sink.diagnostics
@@ -189,12 +338,12 @@ def main(argv: list[str] | None = None) -> int:
             print()
         for diag in shown[:100]:
             print(diag.format())
-    status = "FAIL" if sink.has_errors() else "OK"
+    status = "FAIL" if failed else "OK"
     print(
         f"\n{status}: {sink.error_count} error(s), "
         f"{sink.warning_count} warning(s) across {len(isas)} ISA(s)"
     )
-    return 1 if sink.has_errors() else 0
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -76,6 +76,14 @@ RULES: dict[str, str] = {
     "synth/slice-width": "half-register slice of an unsplittable width",
     "synth/swizzle-arity": "swizzle pattern applied at the wrong arity",
     "synth/swizzle-width": "swizzle operand/output widths are inconsistent",
+    # -- semantic rules (abstract interpretation, repro.analysis.absint) -
+    "sem/select-const": "select condition is abstractly constant",
+    "sem/shift-overflow": "shift amount is provably >= the operand width",
+    "sem/impossible-compare": "comparison result is abstractly constant",
+    "sem/const-subtree": "subtree always evaluates to one constant",
+    "sem/dead-lanes": "input bits never observed by the output",
+    # -- lint driver internals --------------------------------------------
+    "A-INTERNAL": "a checker raised an internal error while linting",
     # -- AutoLLVM / LLVM IR functions ------------------------------------
     "llvm/undef-value": "use of an undefined SSA value",
     "llvm/redef": "SSA value defined twice",

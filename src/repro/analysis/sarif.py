@@ -1,0 +1,80 @@
+"""SARIF 2.1.0 output for hydride-lint diagnostics.
+
+CI systems (GitHub code scanning among them) ingest SARIF to annotate
+diagnostics on pull requests.  The mapping from our diagnostics model:
+
+* each entry of :data:`repro.analysis.diagnostics.RULES` becomes a
+  ``reportingDescriptor`` under ``tool.driver.rules`` — the stable rule
+  ID (e.g. ``hydride/shift-range``, ``sem/dead-lanes``, ``A-INTERNAL``)
+  is the SARIF ``ruleId`` verbatim, and the catalogue's one-line
+  description is its ``shortDescription``;
+* :class:`Severity` maps onto the SARIF ``level`` — ``ERROR`` ->
+  ``error``, ``WARNING`` -> ``warning``, ``NOTE`` -> ``note``;
+* provenance has no file/line (specs are generated in memory), so it is
+  carried as a ``logicalLocation`` whose ``fullyQualifiedName`` is
+  ``<isa>:<instruction>`` and whose ``kind`` is the pipeline stage.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.diagnostics import RULES, Diagnostic
+
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Severity.value -> SARIF result level (they coincide by design).
+_LEVELS = {"error": "error", "warning": "warning", "note": "note"}
+
+
+def to_sarif(diagnostics: list[Diagnostic]) -> dict:
+    """Render diagnostics as a single-run SARIF 2.1.0 log (as a dict)."""
+    used = sorted({d.rule for d in diagnostics})
+    rules = [
+        {
+            "id": rule,
+            "shortDescription": {"text": RULES[rule]},
+        }
+        for rule in used
+    ]
+    index = {rule: i for i, rule in enumerate(used)}
+    results = []
+    for diag in diagnostics:
+        origin = ":".join(
+            p for p in (diag.provenance.isa, diag.provenance.instruction) if p
+        )
+        result = {
+            "ruleId": diag.rule,
+            "ruleIndex": index[diag.rule],
+            "level": _LEVELS[diag.severity.value],
+            "message": {"text": diag.message},
+        }
+        if origin:
+            location: dict = {"fullyQualifiedName": origin}
+            if diag.provenance.stage:
+                location["kind"] = diag.provenance.stage
+            result["locations"] = [{"logicalLocations": [location]}]
+        results.append(result)
+    return {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "hydride-lint",
+                        "informationUri": "https://github.com/",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def sarif_json(diagnostics: list[Diagnostic], indent: int | None = 2) -> str:
+    return json.dumps(to_sarif(diagnostics), indent=indent, sort_keys=True)

@@ -1,0 +1,304 @@
+"""Semantic lint rules driven by the abstract interpreter.
+
+The syntactic checker (:mod:`repro.analysis.hydride_check`) verifies that
+a semantics function is *well-formed*; the rules here verify that it is
+*sensible*.  Each rule is a statement the abstract interpreter can prove
+about every concrete execution of the spec:
+
+``sem/select-const``
+    an ``ite`` condition evaluates to the same truth value on every
+    input — one branch is dead vendor pseudocode.
+``sem/shift-overflow``
+    a non-constant shift amount is provably >= the operand width, so the
+    shift always produces the degenerate fill value.
+``sem/impossible-compare``
+    a comparison's result is abstractly constant — the predicate can
+    never flip, e.g. an unsigned value compared against a range it
+    cannot reach.
+``sem/const-subtree``
+    a non-trivial subtree evaluates to one known constant on every
+    observed path — it could be folded offline.
+``sem/dead-lanes``
+    bits of a register input that no extract/use ever reads — lanes the
+    output provably does not depend on.
+
+All rules are WARNING/NOTE severity: they flag suspicious-but-executable
+specs, and the corpus gate is a baseline diff rather than zero-tolerance.
+Malformed specs (which raise :class:`SemanticsError` under abstract
+evaluation exactly as they would under concrete evaluation) are skipped
+here — the syntactic rules own those.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.analysis.absint import (
+    UNROLL_LIMIT,
+    _index_free_of,
+    _mask,
+    abstract_semantics,
+)
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    DiagnosticSink,
+    Provenance,
+    Severity,
+)
+from repro.hydride_ir.ast import (
+    BvBinOp,
+    BvBroadcastConst,
+    BvCast,
+    BvCmp,
+    BvConcat,
+    BvConst,
+    BvExpr,
+    BvExtract,
+    BvIte,
+    BvUnOp,
+    BvVar,
+    ForConcat,
+    SemanticsFunction,
+)
+from repro.hydride_ir.interp import SemanticsError, resolved_input_widths
+
+_SHIFT_OPS = frozenset({"bvshl", "bvlshr", "bvashr"})
+#: Constant shift operands are already covered by ``hydride/shift-range``.
+_CONST_NODES = (BvConst, BvBroadcastConst)
+#: Node kinds eligible for ``sem/const-subtree`` (BvCmp is excluded: a
+#: constant comparison is ``sem/impossible-compare``'s finding).
+_FOLDABLE = (BvBinOp, BvUnOp, BvCast, BvIte, BvConcat, BvExtract, ForConcat)
+#: Minimum subtree node count for ``sem/const-subtree`` — a lone constant
+#: or a cast of one is not worth a diagnostic.
+_MIN_FOLD_SIZE = 3
+
+
+class _Observer:
+    """Accumulates abstract facts per *syntactic* node.
+
+    A node inside a ``ForConcat`` body is evaluated once per iteration;
+    the rules below only fire on facts that hold across every
+    observation, so each map is keyed by ``id(node)`` and joined over
+    repeat visits.
+    """
+
+    def __init__(self) -> None:
+        self.nodes: dict[int, BvExpr] = {}
+        # BvIte -> set of condition truth values (0, 1 or None=unknown).
+        self.ite_truths: dict[int, set[int | None]] = {}
+        # BvCmp -> set of abstract results (0, 1 or None).
+        self.cmp_results: dict[int, set[int | None]] = {}
+        # Foldable node -> set of constant values (None once any
+        # observation was not a known constant).
+        self.const_values: dict[int, set[int | None]] = {}
+        # Shift node -> largest provable lower bound of the amount.
+        self.shift_overflow: dict[int, int] = {}
+
+    def __call__(self, node: BvExpr, value, children) -> None:
+        nid = id(node)
+        self.nodes[nid] = node
+        if isinstance(node, BvIte):
+            cond = children[0]
+            self.ite_truths.setdefault(nid, set()).add(cond.const_value())
+        if isinstance(node, BvCmp):
+            self.cmp_results.setdefault(nid, set()).add(value.const_value())
+        if (
+            isinstance(node, BvBinOp)
+            and node.op in _SHIFT_OPS
+            and not isinstance(node.right, _CONST_NODES)
+        ):
+            left, right = children
+            if right.umin >= left.width:
+                self.shift_overflow[nid] = max(
+                    self.shift_overflow.get(nid, 0), right.umin
+                )
+        if isinstance(node, _FOLDABLE) and not isinstance(node, BvCmp):
+            self.const_values.setdefault(nid, set()).add(value.const_value())
+
+
+def _subtree_size(node: BvExpr) -> int:
+    return sum(1 for _ in node.walk())
+
+
+def observed_bits(
+    func: SemanticsFunction, params: Mapping[str, int] | None = None
+) -> dict[str, tuple[int, int]]:
+    """Which bits of each register input the body can possibly read.
+
+    Returns ``{name: (read_mask, width)}`` for every non-immediate input
+    with a positive resolved width.  The walk is conservative in the
+    direction that avoids false dead-lane reports: any use it cannot
+    reason about (unevaluable index, out-of-range extract, iterator-
+    dependent loop past the unroll budget) marks the whole input read.
+    """
+    env = dict(params if params is not None else func.params)
+    widths = resolved_input_widths(func, env)
+    seen: dict[str, int] = {
+        inp.name: 0
+        for inp in func.inputs
+        if not inp.is_immediate and widths.get(inp.name, 0) > 0
+    }
+
+    def mark_all(expr: BvExpr) -> None:
+        for node in expr.walk():
+            if isinstance(node, BvVar) and node.name in seen:
+                seen[node.name] = _mask(widths[node.name])
+
+    def visit(expr: BvExpr, env: dict[str, int]) -> None:
+        if isinstance(expr, BvExtract) and isinstance(expr.src, BvVar):
+            name = expr.src.name
+            if name not in seen:
+                return
+            try:
+                low = expr.low.evaluate(env)
+                width = expr.width.evaluate(env)
+            except (KeyError, ZeroDivisionError, ArithmeticError):
+                seen[name] = _mask(widths[name])
+                return
+            if low < 0 or width <= 0 or low + width > widths[name]:
+                seen[name] = _mask(widths[name])
+            else:
+                seen[name] |= _mask(width) << low
+            return
+        if isinstance(expr, BvVar):
+            if expr.name in seen:
+                seen[expr.name] = _mask(widths[expr.name])
+            return
+        if isinstance(expr, ForConcat):
+            try:
+                count = expr.count.evaluate(env)
+            except (KeyError, ZeroDivisionError, ArithmeticError):
+                count = None
+            if count is not None and count > UNROLL_LIMIT:
+                if _index_free_of(expr.body, expr.var):
+                    count = 1
+                else:
+                    count = None
+            if count is None or count <= 0:
+                mark_all(expr.body)
+                return
+            for i in range(count):
+                env_i = dict(env)
+                env_i[expr.var] = i
+                visit(expr.body, env_i)
+            return
+        for child in expr.children():
+            visit(child, env)
+
+    visit(func.body, env)
+    return {name: (seen[name], widths[name]) for name in seen}
+
+
+def check_semantic_rules(
+    func: SemanticsFunction,
+    params: Mapping[str, int] | None = None,
+    *,
+    isa: str = "",
+    stage: str = "",
+    sink: DiagnosticSink | None = None,
+) -> list[Diagnostic]:
+    """Run the ``sem/*`` rules over one semantics function.
+
+    Returns the diagnostics found (also emitted into ``sink`` when one
+    is given).  Malformed specs — anything the abstract interpreter
+    rejects with :class:`SemanticsError` — produce no semantic
+    diagnostics; the syntactic checker reports those shapes.
+    """
+    own_sink = sink or DiagnosticSink()
+    before = len(own_sink.diagnostics)
+    base = Provenance(isa=isa, instruction=func.name, stage=stage)
+
+    def report(rule: str, message: str, node: BvExpr, severity: Severity) -> None:
+        where = Provenance(
+            isa=base.isa,
+            instruction=base.instruction,
+            stage=base.stage,
+            node=type(node).__name__,
+        )
+        own_sink.emit(rule, message, severity, where)
+
+    observer = _Observer()
+    try:
+        abstract_semantics(func, params=params, observe=observer)
+    except SemanticsError:
+        return own_sink.diagnostics[before:]
+
+    for nid, truths in sorted(observer.ite_truths.items()):
+        node = observer.nodes[nid]
+        if truths == {1}:
+            report(
+                "sem/select-const",
+                "select condition is always true; the else branch is dead",
+                node,
+                Severity.WARNING,
+            )
+        elif truths == {0}:
+            report(
+                "sem/select-const",
+                "select condition is always false; the then branch is dead",
+                node,
+                Severity.WARNING,
+            )
+
+    for nid, results in sorted(observer.cmp_results.items()):
+        node = observer.nodes[nid]
+        if results == {1} or results == {0}:
+            verdict = "true" if results == {1} else "false"
+            report(
+                "sem/impossible-compare",
+                f"{node.op} is provably always {verdict}",
+                node,
+                Severity.WARNING,
+            )
+
+    for nid, bound in sorted(observer.shift_overflow.items()):
+        node = observer.nodes[nid]
+        report(
+            "sem/shift-overflow",
+            f"{node.op} amount is provably >= {bound}, at or past the "
+            f"operand width",
+            node,
+            Severity.WARNING,
+        )
+
+    # Constant-foldable subtrees: report maximal ones only — walk the
+    # body top-down and do not descend past a reported node.
+    def fold_walk(node: BvExpr) -> None:
+        values = observer.const_values.get(id(node))
+        if (
+            values is not None
+            and None not in values
+            and len(values) == 1
+            and _subtree_size(node) >= _MIN_FOLD_SIZE
+        ):
+            (value,) = values
+            report(
+                "sem/const-subtree",
+                f"{_subtree_size(node)}-node subtree always evaluates "
+                f"to {value}",
+                node,
+                Severity.NOTE,
+            )
+            return
+        for child in node.children():
+            fold_walk(child)
+
+    fold_walk(func.body)
+
+    try:
+        usage = observed_bits(func, params)
+    except (SemanticsError, KeyError, ZeroDivisionError, ArithmeticError):
+        usage = {}
+    for name in sorted(usage):
+        read_mask, width = usage[name]
+        full = _mask(width)
+        if read_mask == full:
+            continue
+        dead = width - bin(read_mask).count("1")
+        if read_mask == 0:
+            message = f"input {name!r} is never read"
+        else:
+            message = f"input {name!r}: {dead} of {width} bits never read"
+        report("sem/dead-lanes", message, func.body, Severity.NOTE)
+
+    return own_sink.diagnostics[before:]

@@ -28,6 +28,9 @@ PHASES = (
     # hole refinement + deterministic merge, and artifact loading.
     "irgen_parse", "irgen_extract", "irgen_bucket", "irgen_check",
     "irgen_merge", "irgen_load",
+    # Abstract interpretation (repro.analysis.absint): candidate
+    # dead-marking inside CEGIS and cache-entry screening.
+    "absint",
 )
 
 
@@ -59,6 +62,13 @@ class PerfCounters:
     # Hash-consing: term constructions served from the intern table.
     term_intern_hits: int = 0
     term_intern_misses: int = 0
+    # Abstract-interpretation pruning (CegisOptions.absint_prune):
+    # solution-width candidates checked against the spec's per-lane
+    # hulls, candidates proven dead (skipped by matching), and
+    # provably-wrong solutions rejected before their SMT query.
+    absint_checked: int = 0
+    absint_pruned: int = 0
+    absint_gate_rejects: int = 0
     # Fault plane (repro.faults): faults actually fired in this process,
     # and failures — injected or real — absorbed by a hardened recovery
     # path (corrupt entry skipped, stale tmp reaped, dead pipe routed to
@@ -100,6 +110,9 @@ class PerfCounters:
             fresh_queries=self.fresh_queries,
             term_intern_hits=self.term_intern_hits,
             term_intern_misses=self.term_intern_misses,
+            absint_checked=self.absint_checked,
+            absint_pruned=self.absint_pruned,
+            absint_gate_rejects=self.absint_gate_rejects,
             faults_injected=self.faults_injected,
             fault_recoveries=self.fault_recoveries,
         )
@@ -120,6 +133,9 @@ class PerfCounters:
         self.fresh_queries = 0
         self.term_intern_hits = 0
         self.term_intern_misses = 0
+        self.absint_checked = 0
+        self.absint_pruned = 0
+        self.absint_gate_rejects = 0
         self.faults_injected = 0
         self.fault_recoveries = 0
 

@@ -88,6 +88,12 @@ def _parse_args(argv: list[str] | None) -> argparse.Namespace:
     stats = sub.add_parser("stats", help="cache inventory + last-run telemetry")
     common(stats, cache_required=True)
     stats.add_argument("--json", action="store_true")
+    stats.add_argument(
+        "--screen",
+        action="store_true",
+        help="abstractly screen the AutoLLVM dictionary (and report "
+        "per-entry problems) in addition to the cache inventory",
+    )
 
     gc = sub.add_parser("gc", help="drop stale-fingerprint namespaces")
     common(gc, cache_required=True)
@@ -135,6 +141,11 @@ def _print_results(results: list[JobResult], scheduler: Scheduler) -> None:
         f"wall {stats.wall_seconds:.1f}s, "
         f"worker utilization {stats.utilization:.0%}"
     )
+    if stats.cache_screened:
+        print(
+            f"absint screen: {stats.cache_screened} cache hits checked, "
+            f"{stats.cache_screen_failures} evicted"
+        )
     print(_perf_line(stats.perf_metrics(), stats.perf))
 
 
@@ -187,6 +198,13 @@ def _cmd_compile(args: argparse.Namespace) -> int:
 
 def _cmd_stats(args: argparse.Namespace) -> int:
     stats = store_stats(args.cache_dir)
+    if args.screen:
+        from repro.analysis.absint import screen_dictionary
+        from repro.autollvm import build_dictionary
+
+        stats["dictionary_screen"] = screen_dictionary(
+            build_dictionary(("x86", "hvx", "arm"))
+        )
     if args.json:
         print(json.dumps(stats, indent=2, sort_keys=True))
         return 0
@@ -213,6 +231,15 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             else ""
         )
     )
+    screen = stats.get("dictionary_screen")
+    if screen is not None:
+        flagged = screen.get("flagged") or []
+        print(
+            f"dictionary screen: {screen.get('checked', 0)} entries checked, "
+            f"{len(flagged)} flagged"
+        )
+        for item in flagged[:20]:
+            print(f"  {item['instruction']}: {item['problem']}")
     last = stats.get("last_run")
     if last:
         print(
@@ -222,6 +249,11 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             f"wall {last.get('wall_seconds')}s, "
             f"utilization {last.get('utilization', 0.0):.0%}"
         )
+        if last.get("cache_screened"):
+            print(
+                f"last run absint screen: {last.get('cache_screened')} hits "
+                f"checked, {last.get('cache_screen_failures', 0)} evicted"
+            )
         metrics = last.get("perf_metrics") or {}
         if metrics:
             print("last run " + _perf_line(metrics, last.get("perf") or {}))

@@ -89,6 +89,11 @@ class JobTelemetry:
     failure_hits: int = 0
     synth_calls: int = 0  # cache misses that went to CEGIS
     entries_added: int = 0
+    # Abstract screening of persistent-cache hits (PersistentCache.lookup):
+    # hits re-checked, and hits evicted because the stored program
+    # provably cannot equal the spec.
+    cache_screened: int = 0
+    cache_screen_failures: int = 0
     wall_seconds: float = 0.0
     attempts: int = 1
     worker_pid: int = 0
@@ -250,6 +255,14 @@ def execute_job(
         telemetry.entries_added += (
             after["entries"] - before["entries"]
             + after["failures"] - before["failures"]
+        )
+        # Screen counters exist only on PersistentCache; .get keeps the
+        # in-memory MemoCache path working.
+        telemetry.cache_screened += (
+            after.get("screened", 0) - before.get("screened", 0)
+        )
+        telemetry.cache_screen_failures += (
+            after.get("screen_failures", 0) - before.get("screen_failures", 0)
         )
         if result.ok or not timed_out:
             # Deterministic failures don't improve with a smaller budget;

@@ -76,6 +76,10 @@ class ServiceStats:
     failure_hits: int = 0
     synth_calls: int = 0
     entries_added: int = 0
+    # Persistent-cache hits screened abstractly before codegen, and hits
+    # evicted because the stored program provably disagrees with its spec.
+    cache_screened: int = 0
+    cache_screen_failures: int = 0
     fallbacks: int = 0
     deferred: int = 0
     killed: int = 0
@@ -121,6 +125,8 @@ class ServiceStats:
             "failure_hits": self.failure_hits,
             "synth_calls": self.synth_calls,
             "entries_added": self.entries_added,
+            "cache_screened": self.cache_screened,
+            "cache_screen_failures": self.cache_screen_failures,
             "fallbacks": self.fallbacks,
             "deferred": self.deferred,
             "killed": self.killed,
@@ -188,6 +194,10 @@ class Scheduler:
             stats.failure_hits += outcome.telemetry.failure_hits
             stats.synth_calls += outcome.telemetry.synth_calls
             stats.entries_added += outcome.telemetry.entries_added
+            stats.cache_screened += outcome.telemetry.cache_screened
+            stats.cache_screen_failures += (
+                outcome.telemetry.cache_screen_failures
+            )
             stats.fallbacks += 1 if outcome.telemetry.fallback else 0
             stats.busy_seconds += outcome.telemetry.wall_seconds
             for key, value in outcome.telemetry.perf.items():

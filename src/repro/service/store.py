@@ -30,8 +30,10 @@ import time
 from pathlib import Path
 
 from repro import faults
+from repro.analysis.absint import screen_cached_program
 from repro.autollvm.intrinsics import AutoLLVMDictionary
 from repro.halide import ir as hir
+from repro.perf import global_counters
 from repro.synthesis.cache import CacheEntry, MemoCache, canonical_key
 from repro.synthesis.serialize import (
     SERIALIZE_VERSION,
@@ -159,6 +161,9 @@ class PersistentCache(MemoCache):
         self.dir.mkdir(parents=True, exist_ok=True)
         self.load_errors = 0
         self.write_errors = 0
+        # Abstract-interpretation screening of cache hits (see lookup()).
+        self.screened = 0
+        self.screen_failures = 0
         # (size, mtime_ns) of every entry file already parsed — loads and
         # refreshes only touch files whose signature changed.
         self._seen_files: dict[str, tuple[int, int]] = {}
@@ -257,6 +262,55 @@ class PersistentCache(MemoCache):
         perturbs hit/miss accounting.
         """
         return self._load()
+
+    # -- abstract screening of hits --------------------------------------
+
+    def lookup(self, expr: hir.HExpr, isa: str):
+        """A hit is re-checked abstractly before it reaches codegen.
+
+        Persisted entries can rot in ways deserialization cannot see: a
+        bit-flipped immediate, a program saved against different
+        semantics, a hand-edited file.  ``screen_cached_program`` costs
+        microseconds and proves (or fails to refute) that the stored
+        program can still equal the spec, so a semantically-corrupt
+        entry is evicted here — the window re-synthesizes — instead of
+        silently compiling wrong code.
+        """
+        entry = super().lookup(expr, isa)
+        if entry is None:
+            return None
+        perf = global_counters()
+        start = time.monotonic()
+        try:
+            problems = screen_cached_program(expr, entry.program)
+        except Exception:  # screening must never turn a hit into a crash
+            problems = []
+        finally:
+            perf.add_phase("absint", time.monotonic() - start)
+        self.screened += 1
+        if not problems:
+            return entry
+        self.screen_failures += 1
+        faults.recovered()
+        # Undo the hit this lookup just recorded: the caller sees a miss
+        # and the window re-synthesizes (overwriting the bad entry).
+        self.hits -= 1
+        self.misses += 1
+        key = canonical_key(expr, isa)
+        self._entries.pop(key, None)
+        name = f"e-{_key_hash(key)}.json"
+        self._seen_files.pop(name, None)
+        try:
+            (self.dir / name).unlink()
+        except OSError:
+            pass
+        return None
+
+    def counters(self) -> dict[str, int]:
+        out = super().counters()
+        out["screened"] = self.screened
+        out["screen_failures"] = self.screen_failures
+        return out
 
     # -- write-through overrides ---------------------------------------
 

@@ -17,7 +17,7 @@ import time
 from bisect import insort
 from dataclasses import dataclass, field
 
-from repro.analysis import hooks
+from repro.analysis import absint, hooks
 from repro.bitvector.bv import BitVector
 from repro.bitvector.lanes import Vector
 from repro.bitvector.packed import splat as packed_splat
@@ -75,6 +75,14 @@ class CegisOptions:
     # Reuse one SAT context (clause database + learned clauses) across a
     # spec's verification queries instead of a fresh solver per query.
     incremental_smt: bool = True
+    # Abstract-interpretation pruning (repro.analysis.absint): maintain a
+    # known-bits + value-range abstraction of every candidate over the
+    # hull of the counterexample suite, skip solution-width candidates
+    # whose abstraction provably disagrees with the spec's per-lane hulls
+    # (they cannot pass concrete matching), and reject provably-wrong
+    # solutions before their SMT query.  Off by default until the
+    # bench_synthesis A/B determinism gate covers it in CI.
+    absint_prune: bool = False
 
 
 @dataclass
@@ -115,6 +123,14 @@ class _Candidate:
     # the specification (or a register half of one) on every seed input —
     # a proven-useful intermediate, ranked first in argument pools.
     landmark: bool = False
+    # Abstract value over the hull of the counterexample suite (None when
+    # the transfer failed or pruning is off), and the dead flag: a proven
+    # per-lane conflict with the spec means concrete matching can never
+    # succeed, so matching_candidates skips the candidate.  Dead is
+    # forever — suite envs are never removed and failing lanes never
+    # shrink, so the witnessing disagreement persists.
+    absval: object | None = None
+    absint_dead: bool = False
 
 
 class _Enumerator:
@@ -156,6 +172,14 @@ class _Enumerator:
         self.spec_bv_ops, _, _ = _spec_profile(spec)
         # Pre-resolve entry shapes (scaled widths computed lazily).
         self._entry_shapes: list[tuple[GrammarEntry, tuple[int, ...], list[int], int]] = []
+        # Abstract-interpretation pruning state: per-input hulls of the
+        # suite envs, per-lane hulls of the spec's outputs, and the live
+        # failing-lane set (the driver shares its own set object).
+        self.absint_on = options.absint_prune
+        self.failing_lanes: set[int] = {0}
+        self._abs_inputs: dict[str, object] = {}
+        self._spec_abs_lanes: list = []
+        self._dead_checked_lanes: tuple[int, ...] = ()
 
     def _check_deadline(self) -> None:
         # Deadlines are monotonic-clock values: wall-clock adjustments
@@ -221,6 +245,119 @@ class _Enumerator:
             )
         # Landmark flags feed argument-pool ranking.
         self._args_cache.clear()
+        if self.absint_on:
+            self._refresh_abstracts()
+
+    # -- abstract-interpretation pruning ----------------------------------
+
+    def _refresh_abstracts(self) -> None:
+        """Recompute every abstraction after the suite gained an env.
+
+        Hulls only widen when values are added, so existing dead marks
+        stay sound; the recompute is one transfer per candidate in
+        creation (= topological) order, mirroring the concrete ``outs``
+        recomputation above.
+        """
+        start = time.monotonic()
+        self._abs_inputs = {
+            name: absint.from_ints(
+                [env[name].value for env in self.envs], load_type.bits
+            )
+            for name, load_type in sorted(self.spec.loads().items())
+        }
+        elem_width = self.spec.type.elem_width
+        mask = (1 << elem_width) - 1
+        self._spec_abs_lanes = [
+            absint.from_ints(
+                [(out.value >> (lane * elem_width)) & mask for out in self.spec_outs],
+                elem_width,
+            )
+            for lane in range(self.spec.type.lanes)
+        ]
+        for candidate in self.pool:
+            candidate.absval = self._abs_eval(candidate)
+        global_counters().add_phase("absint", time.monotonic() - start)
+
+    def _abs_eval(self, candidate: _Candidate):
+        """The candidate's abstract output over the current input hulls.
+
+        None means "no abstraction available" (a transfer raised) — the
+        candidate is simply never pruned.
+        """
+        node = candidate.node
+        try:
+            if isinstance(node, SInput):
+                return self._abs_inputs.get(node.name)
+            if isinstance(node, SConstant):
+                return absint.abstract_apply(node, [])
+            if candidate.args is not None:
+                values = []
+                for arg in candidate.args:
+                    if arg.absval is None:
+                        return None
+                    values.append(arg.absval)
+                return absint.abstract_apply(node, values)
+            return absint.abstract_program(node, dict(self._abs_inputs))
+        except Exception:
+            return None
+
+    def _prune_lanes(self) -> tuple[int, ...]:
+        """Lanes a solution must match on — what dead-marking checks."""
+        if self.options.lanewise:
+            return tuple(sorted(self.failing_lanes))
+        return tuple(range(self.spec.type.lanes))
+
+    def _dead_at(self, candidate: _Candidate, lanes) -> bool:
+        if candidate.absval is None or not self._spec_abs_lanes:
+            return False
+        elem_width = self.spec.type.elem_width
+        cand_lanes = absint.lane_values(candidate.absval, elem_width)
+        for lane in lanes:
+            if lane >= len(cand_lanes) or lane >= len(self._spec_abs_lanes):
+                continue
+            if absint.provably_disagrees(
+                cand_lanes[lane], self._spec_abs_lanes[lane]
+            ):
+                return True
+        return False
+
+    def _recheck_dead(self) -> None:
+        """Re-mark after the failing-lane set grew (never per-iteration)."""
+        lanes = self._prune_lanes()
+        if lanes == self._dead_checked_lanes:
+            return
+        start = time.monotonic()
+        perf = global_counters()
+        out_bits = self.spec.type.bits
+        for candidate in self.by_width.get(out_bits, []):
+            if candidate.absint_dead or candidate.absval is None:
+                continue
+            perf.absint_checked += 1
+            if self._dead_at(candidate, lanes):
+                candidate.absint_dead = True
+                perf.absint_pruned += 1
+        self._dead_checked_lanes = lanes
+        perf.add_phase("absint", time.monotonic() - start)
+
+    def abstract_conflict(self, candidate: _Candidate) -> bool:
+        """Pre-SMT gate: a proven disagreement on *any* lane of the hull.
+
+        A solution reaching the gate already matches concretely on the
+        failing lanes, so by soundness a conflict can only appear on a
+        lane the suite has not pinned yet — the SMT query it preempts
+        would have returned "not equivalent".
+        """
+        if not self.absint_on or candidate.absval is None:
+            return False
+        start = time.monotonic()
+        try:
+            return self._dead_at(
+                candidate, range(self.spec.type.lanes)
+            )
+        finally:
+            global_counters().add_phase(
+                "absint", time.monotonic() - start
+            )
 
     def _rebuild_landmarks(self) -> None:
         """Values of every specification subexpression (and their register
@@ -373,6 +510,19 @@ class _Enumerator:
             insort(bucket, candidate, key=lambda c: c.cost)
             self._args_cache.clear()
         self.total_candidates += 1
+        if self.absint_on:
+            start = time.monotonic()
+            perf = global_counters()
+            candidate.absval = self._abs_eval(candidate)
+            if (
+                node.bits == self.spec.type.bits
+                and candidate.absval is not None
+            ):
+                perf.absint_checked += 1
+                if self._dead_at(candidate, self._prune_lanes()):
+                    candidate.absint_dead = True
+                    perf.absint_pruned += 1
+            perf.add_phase("absint", time.monotonic() - start)
         # Goal-directed register assembly: a candidate that computes
         # exactly the low or high half of the specification is queued so
         # matching halves concatenate into full-width solutions — how a
@@ -691,8 +841,14 @@ class _Enumerator:
         """Candidates equal to the spec on the asserted lanes (line 7)."""
         out_bits = self.spec.type.bits
         elem_width = self.spec.type.elem_width
+        if self.absint_on:
+            self._recheck_dead()
         matches = []
         for candidate in self.by_width.get(out_bits, []):
+            if candidate.absint_dead:
+                # A proven abstract conflict on an asserted lane: the
+                # concrete comparison below could only reject it too.
+                continue
             ok = True
             for env_index in range(len(self.envs)):
                 spec_out = self.spec_outs[env_index]
@@ -889,10 +1045,13 @@ def _lanewise_synthesis(
     )
     enumerator = _Enumerator(grammar, options, spec_scaled, rng, deadline)
     enumerator.scale_factor = factor
+    failing_lanes: set[int] = {0}  # line 5
+    # The enumerator shares the live set so dead-marking at admission
+    # always sees the lanes currently asserted.
+    enumerator.failing_lanes = failing_lanes
     for _ in range(2):  # line 4: two seed inputs
         enumerator.add_env(enumerator.random_env())
     enumerator.seed_pool()
-    failing_lanes: set[int] = {0}  # line 5
 
     stats = SynthStats(grammar_size=grammar.size(), scale_factor=factor)
     spec_term = hir.to_term(spec_scaled)
@@ -929,6 +1088,15 @@ def _lanewise_synthesis(
             failing_lanes.add(
                 _first_failing_lane(solution.node, spec_scaled, refuting_env)
             )
+            continue
+        # Abstract pre-SMT gate: a solution whose abstraction provably
+        # disagrees with the spec's hull on some (not-yet-asserted) lane
+        # cannot be equivalent — skip the SMT query it would fail.
+        if options.absint_prune and enumerator.abstract_conflict(solution):
+            perf = global_counters()
+            perf.absint_gate_rejects += 1
+            perf.absint_pruned += 1
+            rejected.add(id(solution))
             continue
         # Line 15: verify symbolically over all lanes.  The structural
         # pre-check is far cheaper than building + solving the SMT query,

@@ -28,7 +28,7 @@ from repro.service import (
 from repro.service.scheduler import _kill_limit
 from repro.service.store import atomic_write
 from repro.synthesis import CegisOptions, MemoCache
-from repro.synthesis.program import SInput, SSlice
+from repro.synthesis.program import SConcat, SInput, SSlice
 
 
 @pytest.fixture(scope="module")
@@ -50,7 +50,13 @@ def _window(names=("ld0", "ld1")):
 
 
 def _program():
-    return SSlice(SInput("ld1", 8, 16), high=True)
+    # Spec-consistent shape (declared load widths, 256-bit result): the
+    # abstract screen on PersistentCache.lookup evicts programs whose
+    # input or output widths contradict the window they are served for.
+    return SConcat(
+        SSlice(SInput("ld1", 16, 16), high=True),
+        SSlice(SInput("ld0", 16, 16), high=False),
+    )
 
 
 class TestPlan:

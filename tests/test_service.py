@@ -48,14 +48,20 @@ def _add_window(lanes=16, ew=16, names=("ld0", "ld1")):
 
 
 def _structural_program():
+    # Exercises every structural node kind while staying width-consistent
+    # with _add_window(): PersistentCache.lookup abstractly screens hits
+    # and evicts programs that contradict the window they are served for.
     return SConcat(
         SSwizzle(
             "interleave_full",
-            (SInput("ld0", 4, 8), SConstant(3, 4, 8)),
-            8,
-            64,
+            (
+                SSlice(SSlice(SInput("ld0", 16, 16), high=True), high=True),
+                SConstant(3, 4, 16),
+            ),
+            16,
+            128,
         ),
-        SSlice(SInput("ld1", 8, 16), high=True),
+        SSlice(SInput("ld1", 16, 16), high=True),
     )
 
 
