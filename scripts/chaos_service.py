@@ -20,6 +20,20 @@ same seed always replays the same schedules, which is what makes this a
 regression test.  Usage::
 
     PYTHONPATH=src python scripts/chaos_service.py --seed 0 --jobs 2
+
+With ``--daemon`` the soak targets a live :mod:`repro.daemon` instead:
+each round starts a daemon subprocess under a seeded fault plan (which
+now also draws daemon-side faults — connection drops mid-response,
+enqueue failures), hammers it with two concurrent clients submitting
+the *same* batch (exercising cross-client dedup), and asserts the
+serving invariants:
+
+* every client request gets an answer or a *typed* error — never a
+  hang (clients retry dropped connections up to the wall guard);
+* the daemon stays healthy (``/healthz``) through every round and
+  exits 0 on SIGTERM drain;
+* a fault-free daemon rerun over the surviving cache reproduces the
+  never-faulted reference runtimes bit-for-bit.
 """
 
 from __future__ import annotations
@@ -177,6 +191,256 @@ def _runtimes(report: dict) -> dict[tuple[str, str], float | None]:
     }
 
 
+# ----------------------------------------------------------------------
+# Daemon soak (--daemon): chaos against a live repro.daemon
+# ----------------------------------------------------------------------
+
+
+def _daemon_requests(benchmarks: list[str], isas: list[str]) -> list[dict]:
+    return [
+        {"benchmark": name, "isa": isa, "compiler": "hydride"}
+        for isa in isas
+        for name in benchmarks
+    ]
+
+
+def _daemon_client_batch(
+    addr: str, requests: list[dict], tenant: str, deadline: float
+) -> list[dict] | str:
+    """Submit ``requests``, retrying dropped connections until deadline.
+
+    Returns the response frames, or a violation string.  A typed error
+    frame is an *answer*; only a missing answer (hang / endless drops)
+    is a violation.
+    """
+    from repro.daemon.client import (
+        DaemonClient,
+        DaemonConnectionError,
+        DaemonError,
+    )
+
+    last_error = "no attempt made"
+    while time.monotonic() < deadline:
+        budget = max(1.0, deadline - time.monotonic())
+        try:
+            with DaemonClient.connect(addr, timeout=budget) as client:
+                return client.submit_many(requests, tenant=tenant)
+        except DaemonConnectionError as exc:
+            # An injected drop: typed client-side error.  A real client
+            # retries; resubmitting is idempotent (L1 / dedup absorb it).
+            last_error = f"connection dropped: {exc}"
+            time.sleep(0.2)
+        except DaemonError as exc:
+            return f"client {tenant}: unexpected daemon error: {exc}"
+    return f"client {tenant}: unanswered at wall guard ({last_error})"
+
+
+def _daemon_round(
+    name: str,
+    cache: Path,
+    plan,
+    benchmarks: list[str],
+    isas: list[str],
+    args: argparse.Namespace,
+) -> tuple[list[str], dict[str, list[dict]]]:
+    """One daemon lifetime: start under ``plan``, soak, drain.
+
+    Returns ``(violations, frames_by_client)``.
+    """
+    import threading
+
+    from repro.daemon.client import DaemonConnectionError, http_get
+    from repro.daemon.proc import DaemonProcess, DaemonStartError
+
+    extra = [
+        "--synth-timeout", str(args.synth_timeout),
+        "--kill-seconds", str(args.kill_seconds),
+        "--drain-seconds", "30",
+    ]
+    env = {"REPRO_FAULTS": plan.to_json()} if plan is not None else {}
+    requests = _daemon_requests(benchmarks, isas)
+    violations: list[str] = []
+    frames: dict[str, list[dict]] = {}
+    daemon = DaemonProcess(
+        cache_dir=str(cache), jobs=args.jobs, extra_args=extra, env=env
+    )
+    try:
+        daemon.start()
+    except DaemonStartError as exc:
+        return [f"{name}: daemon failed to start: {exc}"], {}
+    try:
+        deadline = time.monotonic() + args.wall_guard
+
+        # Two clients race the SAME batch: cross-client dedup must
+        # coalesce them, and *both* must be fully answered.
+        def run_client(tag: str) -> None:
+            frames[tag] = _daemon_client_batch(
+                daemon.addr, requests, tag, deadline
+            )
+
+        threads = [
+            threading.Thread(target=run_client, args=(tag,), daemon=True)
+            for tag in ("tenant-a", "tenant-b")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(args.wall_guard + 10.0)
+            if thread.is_alive():
+                violations.append(
+                    f"{name}: a client thread outlived the wall guard — "
+                    "the daemon hung a response"
+                )
+        for tag in ("tenant-a", "tenant-b"):
+            batch = frames.get(tag)
+            if isinstance(batch, str):
+                violations.append(f"{name}: {batch}")
+                frames[tag] = []
+            elif batch is None:
+                frames[tag] = []
+            else:
+                missing = len(requests) - len(batch)
+                if missing:
+                    violations.append(
+                        f"{name}: client {tag} missing {missing} answers"
+                    )
+        try:
+            health = http_get(daemon.addr, "/healthz", timeout=10.0)
+            if not health.get("ok"):
+                violations.append(f"{name}: daemon unhealthy after round")
+        except DaemonConnectionError as exc:
+            violations.append(f"{name}: health probe failed: {exc}")
+    finally:
+        code = daemon.stop(timeout=60.0)
+    if code != 0:
+        violations.append(
+            f"{name}: daemon exited {code} on SIGTERM (want clean drain 0)"
+        )
+    return violations, frames
+
+
+def _frame_runtimes(batch: list[dict]) -> dict[tuple[str, str], float | None]:
+    runtimes: dict[tuple[str, str], float | None] = {}
+    for frame in batch:
+        result = frame.get("result") or {}
+        if frame.get("ok") and result.get("benchmark"):
+            runtimes[(result["benchmark"], result["isa"])] = result.get(
+                "runtime_us"
+            )
+    return runtimes
+
+
+def _daemon_soak(args: argparse.Namespace) -> int:
+    benchmarks = [s for s in args.benchmarks.split(",") if s]
+    isas = [s for s in args.isa.split(",") if s]
+    work = Path(args.cache_dir or tempfile.mkdtemp(prefix="repro-chaos-"))
+    work.mkdir(parents=True, exist_ok=True)
+    chaos_cache = work / "daemon-chaos-cache"
+    reference_cache = work / "daemon-reference-cache"
+    print(
+        f"[chaos --daemon] seed={args.seed} rounds={args.rounds} work={work}"
+    )
+    failures: list[str] = []
+
+    # 1. Fault-free reference daemon over a fresh cache.
+    violations, frames = _daemon_round(
+        "reference", reference_cache, None, benchmarks, isas, args
+    )
+    reference_frames = frames.get("tenant-a", [])
+    bad = [f for f in reference_frames if not f.get("ok")]
+    if violations or bad or not reference_frames:
+        print(
+            f"[chaos --daemon] FATAL: reference round degraded: "
+            f"{violations or [e.get('error') for e in bad] or 'no frames'}"
+        )
+        return 2
+    print(
+        f"[chaos --daemon] reference: "
+        f"{len(reference_frames)} answers per client"
+    )
+
+    # 2. Seeded chaos rounds, one daemon lifetime each, shared cache.
+    subseeds = random.Random(f"chaos:{args.seed}").sample(
+        range(1 << 30), args.rounds
+    )
+    plan_options = RandomPlanOptions(hang_seconds=args.kill_seconds + 8.0)
+    for round_index, subseed in enumerate(subseeds):
+        plan = random_plan(subseed, plan_options)
+        schedule = ", ".join(
+            f"{s.site}:{s.kind}@{s.at}" for s in plan.specs
+        )
+        violations, frames = _daemon_round(
+            f"round{round_index}", chaos_cache, plan, benchmarks, isas, args
+        )
+        answered = {
+            tag: len(batch) for tag, batch in frames.items()
+        }
+        typed = sum(
+            1
+            for batch in frames.values()
+            for frame in batch
+            if not frame.get("ok")
+        )
+        print(
+            f"[chaos --daemon] round {round_index}: "
+            f"{'ok' if not violations else 'VIOLATED'} "
+            f"(schedule [{schedule}], answers {answered}, "
+            f"{typed} typed errors)"
+        )
+        failures.extend(violations)
+
+    # 3. Fault-free rerun daemon over the surviving cache must
+    #    reproduce the reference bit-for-bit, with no fallbacks.
+    violations, frames = _daemon_round(
+        "rerun", chaos_cache, None, benchmarks, isas, args
+    )
+    failures.extend(violations)
+    rerun_frames = frames.get("tenant-a", [])
+    for frame in rerun_frames:
+        if not frame.get("ok"):
+            failures.append(
+                f"rerun: typed error from a fault-free daemon: "
+                f"{frame.get('error')}"
+            )
+        elif (frame.get("telemetry") or {}).get("fallback"):
+            failures.append(
+                "rerun: fallback in a fault-free daemon — surviving "
+                "cache is poisoned or the hydride path broke"
+            )
+    want = _frame_runtimes(reference_frames)
+    have = _frame_runtimes(rerun_frames)
+    for key, runtime in want.items():
+        got = have.get(key, "missing")
+        if got != runtime:
+            failures.append(
+                f"rerun diverged from reference: "
+                f"{key[0]}/{key[1]}: {got} != {runtime}"
+            )
+    litter = [str(p) for p in chaos_cache.glob("**/.tmp-*")]
+    if litter:
+        failures.append(f".tmp litter survived the soak: {litter}")
+
+    summary = {
+        "mode": "daemon",
+        "seed": args.seed,
+        "rounds": args.rounds,
+        "failures": failures,
+        "ok": not failures,
+    }
+    if args.report:
+        Path(args.report).write_text(json.dumps(summary, indent=2))
+    if failures:
+        print("[chaos --daemon] FAIL")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(
+        f"[chaos --daemon] PASS: {args.rounds} faulted daemon lifetimes, "
+        "every client answered, rerun identical to reference"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
     parser.add_argument("--seed", type=int, default=0)
@@ -199,7 +463,14 @@ def main(argv: list[str] | None = None) -> int:
         help="work directory (default: a fresh temp dir)",
     )
     parser.add_argument("--report", default=None, help="summary JSON path")
+    parser.add_argument(
+        "--daemon", action="store_true",
+        help="soak a live repro.daemon (spawned per round) instead of "
+        "the in-process batch scheduler",
+    )
     args = parser.parse_args(argv)
+    if args.daemon:
+        return _daemon_soak(args)
 
     benchmarks = [s for s in args.benchmarks.split(",") if s]
     isas = [s for s in args.isa.split(",") if s]

@@ -1,0 +1,211 @@
+#!/usr/bin/env python
+"""End-to-end daemon proof for CI (the ``daemon-smoke`` job).
+
+Drives a real ``repro.daemon`` subprocess through the serving story the
+design promises, asserting at each step:
+
+1. **cross-client dedup** — two concurrent clients submit the *same*
+   batch; the daemon must run exactly one synthesis per unique job
+   (``runs.jobs`` == unique jobs) and answer both clients (followers
+   coalesce in-flight or hit L1 after the fact);
+2. **L1** — a second pass over the same daemon is served entirely from
+   the in-memory tier with zero synthesis;
+3. **cache packs** — ``pack export`` from the warm cache, then a
+   *fresh* daemon with ``--warm-pack`` serves the same batch with zero
+   synthesis calls (the fleet warm-up story);
+4. **drain** — both daemons exit 0 on SIGTERM.
+
+Scrapes ``/stats`` after each phase and writes them as a JSON artifact.
+
+Usage::
+
+    PYTHONPATH=src python scripts/daemon_smoke.py --out reports/daemon-stats.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.daemon.client import DaemonClient, http_get  # noqa: E402
+from repro.daemon.proc import DaemonProcess  # noqa: E402
+
+
+def _requests(benchmarks: list[str], isa: str) -> list[dict]:
+    return [{"benchmark": name, "isa": isa} for name in benchmarks]
+
+
+def _submit_batch(
+    addr: str, requests: list[dict], tenant: str, out: dict
+) -> None:
+    with DaemonClient.connect(addr, timeout=600.0) as client:
+        out[tenant] = client.submit_many(requests, tenant=tenant)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument("--benchmarks", default="add,mul")
+    parser.add_argument("--isa", default="x86")
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument("--synth-timeout", type=float, default=15.0)
+    parser.add_argument("--out", default=None, help="stats artifact path")
+    args = parser.parse_args(argv)
+
+    benchmarks = [s for s in args.benchmarks.split(",") if s]
+    requests = _requests(benchmarks, args.isa)
+    work = Path(tempfile.mkdtemp(prefix="repro-daemon-smoke-"))
+    warm_cache = work / "cache-a"
+    fresh_cache = work / "cache-b"
+    pack_path = work / "warm.pack"
+    extra = ["--synth-timeout", str(args.synth_timeout)]
+    failures: list[str] = []
+    artifact: dict = {"benchmarks": benchmarks, "isa": args.isa}
+
+    # ------------------------------------------------------------------
+    # Phase 1+2: cold daemon; concurrent duplicate clients; L1 repass.
+    # ------------------------------------------------------------------
+    with DaemonProcess(
+        cache_dir=str(warm_cache), jobs=args.jobs, extra_args=extra
+    ) as daemon:
+        print(f"[smoke] cold daemon at {daemon.addr}")
+        batches: dict = {}
+        start = time.monotonic()
+        threads = [
+            threading.Thread(
+                target=_submit_batch,
+                args=(daemon.addr, requests, tenant, batches),
+            )
+            for tenant in ("tenant-a", "tenant-b")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.monotonic() - start
+        for tenant in ("tenant-a", "tenant-b"):
+            frames = batches.get(tenant, [])
+            bad = [f for f in frames if not f.get("ok")]
+            if len(frames) != len(requests) or bad:
+                failures.append(
+                    f"{tenant}: {len(frames)}/{len(requests)} answers, "
+                    f"errors {[f.get('error') for f in bad]}"
+                )
+        stats = http_get(daemon.addr, "/stats")
+        artifact["cold"] = stats
+        daemon_counters = stats["daemon"]
+        unique = len(requests)
+        if stats["runs"]["jobs"] != unique:
+            failures.append(
+                f"dedup: {stats['runs']['jobs']} syntheses for "
+                f"{unique} unique jobs across 2 clients (want exactly "
+                f"{unique})"
+            )
+        duplicates = daemon_counters["coalesced"] + daemon_counters["l1_hits"]
+        if duplicates < unique:
+            failures.append(
+                f"dedup: only {duplicates} duplicate submits absorbed "
+                f"(coalesced {daemon_counters['coalesced']} + l1 "
+                f"{daemon_counters['l1_hits']}), want >= {unique}"
+            )
+        print(
+            f"[smoke] cold pass: {unique} unique jobs, "
+            f"{daemon_counters['coalesced']} coalesced, "
+            f"{daemon_counters['l1_hits']} L1 hits, "
+            f"{stats['runs']['synth_calls']} synth calls in {wall:.1f}s"
+        )
+
+        # Second pass: same daemon, everything from L1, zero synthesis.
+        with DaemonClient.connect(daemon.addr, timeout=120.0) as client:
+            repass = client.submit_many(requests, tenant="tenant-a")
+        synth = sum(
+            (f.get("telemetry") or {}).get("synth_calls", 0) for f in repass
+        )
+        not_l1 = [f for f in repass if f.get("served_by") != "l1"]
+        if synth or not_l1:
+            failures.append(
+                f"L1 repass: {synth} synth calls, "
+                f"{len(not_l1)} responses not served by l1"
+            )
+        stats = http_get(daemon.addr, "/stats")
+        artifact["warm"] = stats
+        l1 = stats["tiers"]["l1"]
+        print(
+            f"[smoke] L1 repass: hit rate {l1['hit_rate']:.2f} "
+            f"({l1['hits']}/{l1['lookups']})"
+        )
+
+    # ------------------------------------------------------------------
+    # Phase 3: pack export -> fresh daemon import -> zero synthesis.
+    # ------------------------------------------------------------------
+    env_path = str(Path(__file__).resolve().parent.parent / "src")
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "repro.daemon", "pack", "export",
+            "--cache-dir", str(warm_cache), "--output", str(pack_path),
+        ],
+        env={**os.environ, "PYTHONPATH": env_path},
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    print(f"[smoke] {proc.stdout.strip()}")
+    if proc.returncode != 0:
+        failures.append(f"pack export failed: {proc.stderr.strip()}")
+    else:
+        with DaemonProcess(
+            cache_dir=str(fresh_cache),
+            jobs=args.jobs,
+            extra_args=extra + ["--warm-pack", str(pack_path)],
+        ) as daemon:
+            print(f"[smoke] pack-warmed fresh daemon at {daemon.addr}")
+            with DaemonClient.connect(daemon.addr, timeout=600.0) as client:
+                frames = client.submit_many(requests, tenant="fleet")
+            bad = [f for f in frames if not f.get("ok")]
+            if bad:
+                failures.append(
+                    f"pack-warmed daemon errors: "
+                    f"{[f.get('error') for f in bad]}"
+                )
+            stats = http_get(daemon.addr, "/stats")
+            artifact["pack_warmed"] = stats
+            synth = stats["runs"]["synth_calls"]
+            imported = stats["daemon"]["pack_imported_entries"]
+            if synth:
+                failures.append(
+                    f"pack-warmed fresh daemon synthesized {synth} times "
+                    "(want zero — the pack must carry the warm cache)"
+                )
+            if not imported:
+                failures.append("pack import reported zero entries")
+            print(
+                f"[smoke] pack-warmed pass: {imported} entries imported, "
+                f"{synth} synth calls, L2 hit rate "
+                f"{stats['tiers']['l2']['hit_rate']}"
+            )
+
+    if args.out:
+        out_path = Path(args.out)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(json.dumps(artifact, indent=2, sort_keys=True))
+        print(f"[smoke] stats artifact -> {out_path}")
+
+    if failures:
+        print("[smoke] FAIL")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("[smoke] PASS: dedup, L1, and pack warm-up all proven")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,11 @@ def main() -> int:
         help="persistent synthesis cache directory (survives restarts)",
     )
     parser.add_argument(
+        "--daemon", default=None, metavar="ADDR",
+        help="submit suite compilations to a running repro.daemon at "
+        "host:port instead of spawning local workers",
+    )
+    parser.add_argument(
         "--irgen-cache", default=None,
         help="offline IR-generation artifact store: equivalence classes "
         "and the AutoLLVM dictionary load from disk instead of being "
@@ -81,6 +86,7 @@ def main() -> int:
         CegisOptions(timeout_seconds=20.0, scale_factor=8),
         cache_dir=args.cache_dir,
         jobs=args.jobs,
+        daemon_addr=args.daemon,
     )
 
     def emit(name: str, text: str, seconds: float) -> None:

@@ -1,0 +1,55 @@
+"""repro.daemon — long-lived multi-tenant compilation service.
+
+A single daemon process owns one warm worker pool and one tiered cache
+and serves any number of concurrent clients over newline-delimited JSON
+frames (plus a minimal HTTP ``/stats`` / ``/healthz`` on the same
+port).  Identical jobs from different clients coalesce onto one
+synthesis; cache packs snapshot a warm cache for fleet-wide reuse.
+"""
+
+from repro.daemon.admission import (
+    AdmissionController,
+    AdmissionLimits,
+    Rejection,
+    TokenBucket,
+)
+from repro.daemon.client import (
+    DaemonClient,
+    DaemonConnectionError,
+    DaemonError,
+    DaemonRejected,
+    http_get,
+    parse_addr,
+)
+from repro.daemon.proc import DaemonProcess, DaemonStartError
+from repro.daemon.protocol import (
+    ERROR_TYPES,
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+)
+from repro.daemon.server import DaemonOptions, DaemonServer, serve
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionLimits",
+    "Rejection",
+    "TokenBucket",
+    "DaemonClient",
+    "DaemonConnectionError",
+    "DaemonError",
+    "DaemonRejected",
+    "http_get",
+    "parse_addr",
+    "DaemonProcess",
+    "DaemonStartError",
+    "ERROR_TYPES",
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "decode_frame",
+    "encode_frame",
+    "DaemonOptions",
+    "DaemonServer",
+    "serve",
+]

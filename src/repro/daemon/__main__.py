@@ -1,0 +1,8 @@
+"""``python -m repro.daemon`` entry point."""
+
+import sys
+
+from repro.daemon.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

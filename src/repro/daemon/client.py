@@ -1,0 +1,252 @@
+"""Synchronous, stdlib-only client for the compilation daemon.
+
+Small on purpose — sockets + ``json`` and nothing else — so scripts,
+experiment runners, and chaos harnesses can talk to a daemon without
+importing any of the compiler stack.  One :class:`DaemonClient` holds
+one connection and can pipeline any number of requests on it; responses
+are matched back to callers by request id, so completion order on the
+wire never confuses a pipelined batch.
+
+Typed failures:
+
+* :class:`DaemonRejected` — the daemon answered with a typed error
+  frame (``quota_exceeded``, ``queue_full``, ``draining`` ...); carries
+  ``error_type`` and ``retry_after``.
+* :class:`DaemonConnectionError` — the connection died or timed out
+  before a response arrived (e.g. an injected mid-response drop).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+
+class DaemonError(Exception):
+    """Base class for daemon client failures."""
+
+
+class DaemonConnectionError(DaemonError):
+    """The daemon hung up (or never answered) before responding."""
+
+
+class DaemonRejected(DaemonError):
+    """The daemon answered with a typed error frame."""
+
+    def __init__(self, error: dict) -> None:
+        self.error_type = str(error.get("type", "internal"))
+        self.message = str(error.get("message", ""))
+        retry_after = error.get("retry_after")
+        self.retry_after = float(retry_after) if retry_after is not None else None
+        super().__init__(f"{self.error_type}: {self.message}")
+
+
+def parse_addr(addr: str) -> tuple[str, int]:
+    """``host:port`` (or bare ``:port`` / ``port``) → (host, port)."""
+    addr = addr.strip()
+    if ":" in addr:
+        host, _, port = addr.rpartition(":")
+        host = host or "127.0.0.1"
+    else:
+        host, port = "127.0.0.1", addr
+    try:
+        return host, int(port)
+    except ValueError as exc:
+        raise DaemonError(f"bad daemon address {addr!r}") from exc
+
+
+class DaemonClient:
+    """One connection to a daemon; safe for single-threaded use."""
+
+    def __init__(
+        self, host: str, port: int, timeout: float | None = 120.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._file = None
+        self._next_id = 0
+        # Responses read ahead of the one the caller is waiting for.
+        self._readahead: dict[str, dict] = {}
+
+    @classmethod
+    def connect(
+        cls, addr: str, timeout: float | None = 120.0
+    ) -> "DaemonClient":
+        host, port = parse_addr(addr)
+        return cls(host, port, timeout=timeout)
+
+    # -- connection ----------------------------------------------------
+
+    def _ensure(self) -> None:
+        if self._sock is not None:
+            return
+        try:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        except OSError as exc:
+            raise DaemonConnectionError(
+                f"cannot connect to {self.host}:{self.port}: {exc}"
+            ) from exc
+        self._file = self._sock.makefile("rwb")
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "DaemonClient":
+        self._ensure()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- framing -------------------------------------------------------
+
+    def _send_frame(self, frame: dict) -> None:
+        self._ensure()
+        try:
+            self._file.write((json.dumps(frame) + "\n").encode("utf-8"))
+            self._file.flush()
+        except OSError as exc:
+            self.close()
+            raise DaemonConnectionError(f"send failed: {exc}") from exc
+
+    def _read_frame(self) -> dict:
+        try:
+            line = self._file.readline()
+        except (OSError, socket.timeout) as exc:
+            self.close()
+            raise DaemonConnectionError(f"recv failed: {exc}") from exc
+        if not line:
+            self.close()
+            raise DaemonConnectionError(
+                "connection closed before a response arrived"
+            )
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            self.close()
+            raise DaemonConnectionError(f"garbled response: {exc}") from exc
+        if not isinstance(obj, dict):
+            self.close()
+            raise DaemonConnectionError("non-object response frame")
+        return obj
+
+    def _request_id(self) -> str:
+        self._next_id += 1
+        return f"c{self._next_id}"
+
+    def _await_response(self, request_id: str) -> dict:
+        if request_id in self._readahead:
+            return self._readahead.pop(request_id)
+        while True:
+            frame = self._read_frame()
+            if str(frame.get("id", "")) == request_id:
+                return frame
+            self._readahead[str(frame.get("id", ""))] = frame
+
+    @staticmethod
+    def _unwrap(frame: dict) -> dict:
+        if frame.get("ok"):
+            return frame
+        raise DaemonRejected(frame.get("error") or {})
+
+    # -- operations ----------------------------------------------------
+
+    def ping(self) -> bool:
+        request_id = self._request_id()
+        self._send_frame({"id": request_id, "op": "ping"})
+        return bool(self._unwrap(self._await_response(request_id)).get("pong"))
+
+    def stats(self) -> dict:
+        request_id = self._request_id()
+        self._send_frame({"id": request_id, "op": "stats"})
+        return self._unwrap(self._await_response(request_id))["stats"]
+
+    def submit(
+        self,
+        benchmark: str,
+        isa: str,
+        compiler: str = "hydride",
+        tenant: str = "default",
+        timeout_seconds: float | None = None,
+        retries: int = 1,
+    ) -> dict:
+        """Submit one job and block until its response frame.
+
+        Returns the response frame (``result``/``telemetry``/
+        ``served_by``); raises :class:`DaemonRejected` on typed errors.
+        """
+        return self.submit_many(
+            [
+                {
+                    "benchmark": benchmark,
+                    "isa": isa,
+                    "compiler": compiler,
+                    "timeout_seconds": timeout_seconds,
+                    "retries": retries,
+                }
+            ],
+            tenant=tenant,
+        )[0]
+
+    def submit_many(
+        self, requests: list[dict], tenant: str = "default"
+    ) -> list[dict]:
+        """Pipeline a batch of submits on this connection.
+
+        All frames go out before any response is read, so the daemon
+        can overlap and dedup them.  Returns one frame per request in
+        the *input* order; per-request rejections come back as frames
+        with ``ok: false`` (not exceptions — a batch where one request
+        tripped a quota still yields the other results).
+        """
+        ids = []
+        for request in requests:
+            request_id = self._request_id()
+            frame = {"id": request_id, "op": "submit", "tenant": tenant}
+            frame.update(request)
+            self._send_frame(frame)
+            ids.append(request_id)
+        return [self._await_response(request_id) for request_id in ids]
+
+
+def http_get(addr: str, path: str, timeout: float = 10.0) -> dict:
+    """One-shot HTTP GET against the daemon port (``/stats``,
+    ``/healthz``); returns the parsed JSON body."""
+    host, port = parse_addr(addr)
+    try:
+        with socket.create_connection((host, port), timeout=timeout) as sock:
+            sock.sendall(
+                f"GET {path} HTTP/1.1\r\nHost: {host}\r\n"
+                "Connection: close\r\n\r\n".encode("ascii")
+            )
+            chunks = []
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+    except OSError as exc:
+        raise DaemonConnectionError(
+            f"GET {path} from {host}:{port} failed: {exc}"
+        ) from exc
+    blob = b"".join(chunks)
+    _, _, body = blob.partition(b"\r\n\r\n")
+    try:
+        return json.loads(body)
+    except json.JSONDecodeError as exc:
+        raise DaemonConnectionError(f"garbled HTTP body: {exc}") from exc

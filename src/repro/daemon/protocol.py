@@ -1,0 +1,192 @@
+"""Wire protocol for the compilation daemon.
+
+Newline-delimited JSON over one TCP connection, with explicit request
+ids so responses can complete out of submission order (the daemon
+answers in *completion* order — a cache hit overtakes a cold synthesis
+submitted earlier on the same connection).
+
+Request frames (client → daemon)::
+
+    {"id": "r1", "op": "submit", "benchmark": "add", "isa": "x86",
+     "compiler": "hydride", "tenant": "teamA",
+     "timeout_seconds": null, "retries": 1}
+    {"id": "r2", "op": "stats"}
+    {"id": "r3", "op": "ping"}
+
+Response frames (daemon → client)::
+
+    {"id": "r1", "ok": true, "result": {...}, "telemetry": {...},
+     "served_by": "synthesis" | "l1" | "coalesced"}
+    {"id": "r2", "ok": true, "stats": {...}}
+    {"id": "r1", "ok": false,
+     "error": {"type": "quota_exceeded", "message": "...",
+               "retry_after": 0.25}}
+
+Every rejection is *typed* (:data:`ERROR_TYPES`); ``retry_after`` is
+present on the retryable ones (``quota_exceeded``, ``queue_full``) so a
+well-behaved client can back off precisely instead of hammering.
+
+The same port also answers plain HTTP ``GET /stats`` and ``GET
+/healthz`` (the first bytes disambiguate), so fleet probes need no
+custom client.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.service.jobs import CompileJob, JobResult
+
+PROTOCOL_VERSION = 1
+
+# Frame-size ceiling: a line longer than this is a protocol violation
+# (no legitimate frame is near it) and is rejected instead of buffered.
+MAX_FRAME_BYTES = 1 << 20
+
+#: type -> retryable.  ``retry_after`` only accompanies retryable types.
+ERROR_TYPES = {
+    "bad_request": False,      # malformed frame / unknown op or benchmark
+    "quota_exceeded": True,    # per-tenant rate or in-flight cap hit
+    "queue_full": True,        # global admission queue at capacity
+    "draining": False,         # daemon is shutting down, submit elsewhere
+    "shutdown": False,         # in-flight job abandoned at drain deadline
+    "internal": False,         # unexpected daemon-side failure
+}
+
+
+class ProtocolError(ValueError):
+    """A frame that cannot be parsed into a request."""
+
+
+def encode_frame(obj: dict) -> bytes:
+    """One NDJSON frame, newline-terminated."""
+    return (json.dumps(obj, sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode_frame(line: bytes | str) -> dict:
+    if isinstance(line, bytes):
+        if len(line) > MAX_FRAME_BYTES:
+            raise ProtocolError(f"frame exceeds {MAX_FRAME_BYTES} bytes")
+        line = line.decode("utf-8", errors="replace")
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"bad JSON frame: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            f"frame must be an object, got {type(obj).__name__}"
+        )
+    return obj
+
+
+# ----------------------------------------------------------------------
+# Requests
+# ----------------------------------------------------------------------
+
+
+def job_from_request(frame: dict) -> CompileJob:
+    """Build a :class:`CompileJob` from a ``submit`` frame.
+
+    Validates types but not benchmark existence — the daemon checks the
+    registry itself so the error carries the known-names hint.
+    """
+    try:
+        benchmark = str(frame["benchmark"])
+        isa = str(frame["isa"])
+    except KeyError as exc:
+        raise ProtocolError(f"submit frame missing {exc.args[0]!r}") from exc
+    compiler = str(frame.get("compiler", "hydride"))
+    timeout = frame.get("timeout_seconds")
+    if timeout is not None:
+        try:
+            timeout = float(timeout)
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError("timeout_seconds must be a number") from exc
+    try:
+        retries = int(frame.get("retries", 1))
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError("retries must be an integer") from exc
+    return CompileJob(
+        benchmark,
+        isa,
+        compiler,
+        timeout_seconds=timeout,
+        retries=max(0, retries),
+        fallback=str(frame.get("fallback", "llvm")),
+        tenant=str(frame.get("tenant", "default")) or "default",
+        request_id=str(frame.get("id", "")),
+    )
+
+
+# ----------------------------------------------------------------------
+# Responses
+# ----------------------------------------------------------------------
+
+
+def result_to_obj(outcome: JobResult) -> dict:
+    """JSON-ready payload for a completed job."""
+    result, telemetry = outcome.result, outcome.telemetry
+    return {
+        "result": {
+            "benchmark": result.benchmark,
+            "isa": result.target,
+            "compiler": result.compiler,
+            "runtime_us": result.runtime_us,
+            "compile_seconds": round(result.compile_seconds, 6),
+            "expression_count": result.expression_count,
+            "error": result.error,
+        },
+        "telemetry": {
+            "cache_hits": telemetry.cache_hits,
+            "failure_hits": telemetry.failure_hits,
+            "synth_calls": telemetry.synth_calls,
+            "entries_added": telemetry.entries_added,
+            "wall_seconds": round(telemetry.wall_seconds, 6),
+            "attempts": telemetry.attempts,
+            "fallback": telemetry.fallback,
+        },
+    }
+
+
+def ok_response(request_id: str, payload: dict) -> dict:
+    frame = {"id": request_id, "ok": True}
+    frame.update(payload)
+    return frame
+
+
+def error_response(
+    request_id: str,
+    error_type: str,
+    message: str,
+    retry_after: float | None = None,
+) -> dict:
+    assert error_type in ERROR_TYPES, error_type
+    error: dict = {"type": error_type, "message": message}
+    if retry_after is not None:
+        error["retry_after"] = round(max(0.0, retry_after), 3)
+    return {"id": request_id, "ok": False, "error": error}
+
+
+# ----------------------------------------------------------------------
+# Minimal HTTP (stats / health probes share the daemon port)
+# ----------------------------------------------------------------------
+
+HTTP_VERBS = (b"GET ", b"HEAD ", b"POST ")
+
+
+def looks_like_http(first_line: bytes) -> bool:
+    return first_line.startswith(HTTP_VERBS)
+
+
+def http_response(status: int, body: dict) -> bytes:
+    payload = json.dumps(body, sort_keys=True, indent=2).encode("utf-8")
+    reason = {200: "OK", 404: "Not Found", 503: "Service Unavailable"}.get(
+        status, "OK"
+    )
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        "Connection: close\r\n\r\n"
+    ).encode("ascii")
+    return head + payload

@@ -1,0 +1,657 @@
+"""The long-lived multi-tenant compilation daemon.
+
+One asyncio front-end owns one warm :class:`~repro.service.scheduler.
+WorkerPool` and serves any number of concurrent clients:
+
+* **multiplexing** — newline-delimited JSON frames with request ids;
+  responses stream back in completion order, so one connection can
+  pipeline many submits and a cache hit overtakes a cold synthesis;
+* **cross-client dedup** — requests with the same job signature
+  coalesce onto one in-flight synthesis regardless of tenant, and jobs
+  whose *windows* overlap a running job's are deferred until the owner
+  has published its entries (the parent-side ``canonical_key`` dedup
+  from the batch scheduler, lifted to daemon scope);
+* **admission control** — per-tenant token buckets and in-flight caps
+  plus a global queue bound (:mod:`repro.daemon.admission`); overload
+  is answered with typed ``retry_after`` rejections, never buffered;
+* **tiered cache** — L1 bounded in-memory LRU of whole job results →
+  L2 the persistent on-disk window cache the workers share → L3
+  importable/exportable cache packs for fleet warm-up;
+* **graceful drain** — SIGTERM stops admission, finishes (or, past the
+  drain budget, fails with a typed error) in-flight work, flushes
+  telemetry and the optional drain pack, then exits.
+
+The same port answers ``GET /healthz`` and ``GET /stats`` over plain
+HTTP for fleet probes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+
+from repro import faults
+from repro.daemon import protocol
+from repro.daemon.admission import (
+    AdmissionController,
+    AdmissionLimits,
+    Rejection,
+)
+from repro.perf import snapshot as perf_snapshot
+from repro.perf import snapshot_delta as perf_snapshot_delta
+from repro.service.jobs import CompileJob, JobResult
+from repro.service.scheduler import (
+    DEFAULT_KILL_SECONDS,
+    ServiceOptions,
+    ServiceStats,
+    WorkerPool,
+    default_cegis_options,
+    window_keys,
+)
+from repro.service.telemetry import fold_outcome
+
+KNOWN_COMPILERS = ("hydride", "halide", "llvm", "rake")
+KNOWN_ISAS = ("x86", "hvx", "arm")
+
+
+@dataclass
+class DaemonOptions:
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; the bound port is reported on start
+    jobs: int = 2
+    cache_dir: str | None = None
+    cegis: object = field(default_factory=default_cegis_options)
+    kill_seconds: float = DEFAULT_KILL_SECONDS
+    limits: AdmissionLimits = field(default_factory=AdmissionLimits)
+    # L1 (in-memory result LRU) capacity, in whole job results.
+    l1_capacity: int = 512
+    # Seconds the drain waits for in-flight work before abandoning it.
+    drain_seconds: float = 60.0
+    # Export a cache pack to this path on drain (fleet warm-up handoff).
+    drain_pack: str | None = None
+    # Import this cache pack into cache_dir before serving.
+    warm_pack: str | None = None
+    pump_interval: float = 0.02
+
+
+class _Connection:
+    """One client connection's write side (single-writer via the loop)."""
+
+    _next_id = 0
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        _Connection._next_id += 1
+        self.id = _Connection._next_id
+        self.writer = writer
+        self.alive = True
+
+
+@dataclass
+class _Request:
+    """One submit frame awaiting a response."""
+
+    conn: _Connection
+    frame_id: str
+    tenant: str
+
+
+@dataclass
+class _Entry:
+    """One unit of synthesis work (owner job + coalesced followers)."""
+
+    job: CompileJob
+    keys: frozenset
+    requests: list[_Request]
+    token: int
+    launched: bool = False
+    deferral_counted: bool = False
+
+
+class DaemonServer:
+    def __init__(self, options: DaemonOptions | None = None) -> None:
+        self.options = options or DaemonOptions()
+        self.admission = AdmissionController(self.options.limits)
+        self.run_stats = ServiceStats(workers=max(1, self.options.jobs))
+        self.counters = {
+            "connections_total": 0,
+            "connections_open": 0,
+            "frames": 0,
+            "bad_frames": 0,
+            "submits": 0,
+            "responses": 0,
+            "l1_hits": 0,
+            "l1_lookups": 0,
+            "l1_evictions": 0,
+            "coalesced": 0,
+            "window_deferrals": 0,
+            "conn_drops": 0,
+            "internal_errors": 0,
+            "drain_abandoned": 0,
+            "http_requests": 0,
+            "pack_imported_entries": 0,
+            "pack_exported_entries": 0,
+        }
+        # L1: job signature -> response payload (result + telemetry).
+        self._l1: OrderedDict[tuple, dict] = OrderedDict()
+        self._pending: deque[_Entry] = deque()
+        self._by_signature: dict[tuple, _Entry] = {}
+        self._launched: dict[int, _Entry] = {}
+        self._running_keys: set[str] = set()
+        self._next_token = 0
+        self._pool: WorkerPool | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._pump_task: asyncio.Task | None = None
+        self._draining = False
+        self._drained = asyncio.Event()
+        self._started_at = time.monotonic()
+        self._perf_baseline: dict = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        if self.options.warm_pack and self.options.cache_dir:
+            from repro.service.store import import_pack
+
+            merged = import_pack(self.options.cache_dir, self.options.warm_pack)
+            self.counters["pack_imported_entries"] += merged["imported"]
+        # Building the dictionary blocks the loop once, at startup, so
+        # every forked worker inherits it warm.
+        self._pool = WorkerPool(
+            ServiceOptions(
+                jobs=self.options.jobs,
+                cache_dir=self.options.cache_dir,
+                cegis=self.options.cegis,
+                kill_seconds=self.options.kill_seconds,
+            )
+        )
+        self._perf_baseline = perf_snapshot()
+        self._started_at = time.monotonic()
+        self._server = await asyncio.start_server(
+            self._handle_conn, self.options.host, self.options.port
+        )
+        self._pump_task = asyncio.create_task(self._pump())
+
+    @property
+    def bound_port(self) -> int:
+        assert self._server is not None and self._server.sockets
+        return self._server.sockets[0].getsockname()[1]
+
+    async def wait_drained(self) -> None:
+        await self._drained.wait()
+
+    def request_drain(self) -> None:
+        """Signal-safe entry: stop admitting; the pump finishes the rest."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+
+    async def drain(self) -> None:
+        """Stop admission, settle in-flight work, flush, and stop."""
+        self.request_drain()
+        await self._drained.wait()
+
+    # ------------------------------------------------------------------
+    # Connections
+    # ------------------------------------------------------------------
+
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _Connection(writer)
+        self.counters["connections_total"] += 1
+        self.counters["connections_open"] += 1
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # Frame longer than the stream limit: protocol abuse;
+                    # answer once and hang up rather than buffering.
+                    self.counters["bad_frames"] += 1
+                    await self._send(
+                        conn,
+                        protocol.error_response(
+                            "", "bad_request", "frame too long"
+                        ),
+                    )
+                    break
+                except (ConnectionError, OSError):
+                    break
+                if not line:
+                    break
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                if protocol.looks_like_http(line):
+                    await self._handle_http(line, reader, writer)
+                    break
+                self.counters["frames"] += 1
+                await self._handle_frame(conn, stripped)
+        finally:
+            conn.alive = False
+            self.counters["connections_open"] -= 1
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def _send(self, conn: _Connection, frame: dict) -> None:
+        """Write one response frame, honoring injected connection drops."""
+        if not conn.alive:
+            return
+        spec = faults.check(
+            "daemon.conn.drop", detail=str(frame.get("id", ""))
+        )
+        if spec is not None:
+            if spec.kind == "slow":
+                await asyncio.sleep(spec.delay or 0.05)
+            else:
+                # Drop: close the transport without the response frame.
+                # The client sees clean EOF — a typed client-side error,
+                # never a hang.
+                self.counters["conn_drops"] += 1
+                conn.alive = False
+                try:
+                    conn.writer.close()
+                except Exception:
+                    pass
+                return
+        try:
+            conn.writer.write(protocol.encode_frame(frame))
+            # A client that stopped reading must not wedge the pump via
+            # TCP backpressure: bound the flush and abandon the laggard.
+            await asyncio.wait_for(conn.writer.drain(), timeout=10.0)
+            self.counters["responses"] += 1
+        except (asyncio.TimeoutError, ConnectionError, OSError):
+            conn.alive = False
+
+    # ------------------------------------------------------------------
+    # Frame dispatch
+    # ------------------------------------------------------------------
+
+    async def _handle_frame(self, conn: _Connection, line: bytes) -> None:
+        try:
+            frame = protocol.decode_frame(line)
+        except protocol.ProtocolError as exc:
+            self.counters["bad_frames"] += 1
+            await self._send(
+                conn, protocol.error_response("", "bad_request", str(exc))
+            )
+            return
+        frame_id = str(frame.get("id", ""))
+        op = frame.get("op", "submit")
+        if op == "ping":
+            await self._send(
+                conn, protocol.ok_response(frame_id, {"pong": True})
+            )
+            return
+        if op == "stats":
+            await self._send(
+                conn,
+                protocol.ok_response(frame_id, {"stats": self.stats_payload()}),
+            )
+            return
+        if op != "submit":
+            self.counters["bad_frames"] += 1
+            await self._send(
+                conn,
+                protocol.error_response(
+                    frame_id, "bad_request", f"unknown op {op!r}"
+                ),
+            )
+            return
+        await self._handle_submit(conn, frame_id, frame)
+
+    async def _handle_submit(
+        self, conn: _Connection, frame_id: str, frame: dict
+    ) -> None:
+        self.counters["submits"] += 1
+        if self._draining:
+            await self._send(
+                conn,
+                protocol.error_response(
+                    frame_id, "draining", "daemon is draining; not admitting"
+                ),
+            )
+            return
+        try:
+            job = protocol.job_from_request(frame)
+        except protocol.ProtocolError as exc:
+            self.counters["bad_frames"] += 1
+            await self._send(
+                conn, protocol.error_response(frame_id, "bad_request", str(exc))
+            )
+            return
+        problem = self._validate(job)
+        if problem:
+            await self._send(
+                conn, protocol.error_response(frame_id, "bad_request", problem)
+            )
+            return
+
+        try:
+            self.admission.admit(job.tenant, queue_depth=len(self._pending))
+        except Rejection as exc:
+            await self._send(
+                conn,
+                protocol.error_response(
+                    frame_id, exc.error_type, exc.message,
+                    retry_after=exc.retry_after,
+                ),
+            )
+            return
+
+        request = _Request(conn, frame_id, job.tenant)
+        try:
+            # Models a daemon crash (or bug) between accepting the frame
+            # and enqueuing the job: "raise" becomes a typed internal
+            # error, "exit" kills the process mid-window.
+            faults.trip("daemon.enqueue", detail=job.benchmark)
+
+            # L1: a whole identical job already served from this daemon.
+            signature = job.signature()
+            self.counters["l1_lookups"] += 1
+            payload = self._l1.get(signature)
+            if payload is not None:
+                self._l1.move_to_end(signature)
+                self.counters["l1_hits"] += 1
+                self.admission.release(job.tenant)
+                served = dict(payload)
+                # An L1 hit does no work; its telemetry must say so (the
+                # original job's synth/lookup counts belong to that job).
+                served["telemetry"] = {
+                    "cache_hits": 0,
+                    "failure_hits": 0,
+                    "synth_calls": 0,
+                    "entries_added": 0,
+                    "wall_seconds": 0.0,
+                    "attempts": 0,
+                    "fallback": False,
+                }
+                response = protocol.ok_response(frame_id, served)
+                response["served_by"] = "l1"
+                await self._send(conn, response)
+                return
+
+            # Cross-client dedup: identical job already in flight.
+            entry = self._by_signature.get(signature)
+            if entry is not None:
+                entry.requests.append(request)
+                self.counters["coalesced"] += 1
+                return
+
+            entry = _Entry(
+                job=job,
+                keys=window_keys(job)
+                if self.options.cache_dir is not None
+                else frozenset(),
+                requests=[request],
+                token=self._next_token,
+            )
+            self._next_token += 1
+            self._by_signature[signature] = entry
+            self._pending.append(entry)
+        except faults.InjectedFault as exc:
+            self.counters["internal_errors"] += 1
+            self.admission.release(job.tenant, completed=False)
+            await self._send(
+                conn,
+                protocol.error_response(
+                    frame_id, "internal", f"enqueue failed: {exc}"
+                ),
+            )
+
+    def _validate(self, job: CompileJob) -> str:
+        if job.compiler not in KNOWN_COMPILERS:
+            return (
+                f"unknown compiler {job.compiler!r} "
+                f"(known: {', '.join(KNOWN_COMPILERS)})"
+            )
+        if job.isa not in KNOWN_ISAS:
+            return f"unknown isa {job.isa!r} (known: {', '.join(KNOWN_ISAS)})"
+        try:
+            from repro.workloads.registry import benchmark_named
+
+            benchmark_named(job.benchmark)
+        except Exception:
+            return f"unknown benchmark {job.benchmark!r}"
+        return ""
+
+    # ------------------------------------------------------------------
+    # The pump: the externally-driven event loop around the worker pool
+    # ------------------------------------------------------------------
+
+    async def _pump(self) -> None:
+        assert self._pool is not None
+        drain_deadline: float | None = None
+        while True:
+            try:
+                for event in self._pool.poll():
+                    await self._complete(event.token, event.outcome)
+                self._launch_eligible()
+            except Exception:  # noqa: BLE001 - the pump must never die
+                self.counters["internal_errors"] += 1
+            if self._draining:
+                if drain_deadline is None:
+                    drain_deadline = (
+                        time.monotonic() + self.options.drain_seconds
+                    )
+                settled = not self._pending and not self._launched
+                if settled or time.monotonic() > drain_deadline:
+                    await self._finish_drain()
+                    return
+            await asyncio.sleep(self.options.pump_interval)
+
+    def _launch_eligible(self) -> None:
+        assert self._pool is not None
+        launched_any = True
+        while launched_any:
+            launched_any = False
+            for entry in list(self._pending):
+                if not self._pool.has_capacity():
+                    return
+                if entry.keys & self._running_keys:
+                    # A running job owns one of this entry's windows;
+                    # once it publishes to the shared store this entry
+                    # replays the window from disk instead of
+                    # re-synthesizing it.
+                    if not entry.deferral_counted:
+                        entry.deferral_counted = True
+                        self.counters["window_deferrals"] += 1
+                        self.run_stats.deferred += 1
+                    continue
+                self._pending.remove(entry)
+                self._pool.launch(entry.token, entry.job)
+                entry.launched = True
+                self._launched[entry.token] = entry
+                self._running_keys.update(entry.keys)
+                launched_any = True
+
+    async def _complete(self, token: int, outcome: JobResult) -> None:
+        entry = self._launched.pop(token, None)
+        if entry is None:
+            return
+        self._by_signature.pop(entry.job.signature(), None)
+        self._running_keys.difference_update(entry.keys)
+        for other in self._launched.values():
+            self._running_keys.update(other.keys)
+
+        self.run_stats.jobs += 1
+        fold_outcome(self.run_stats, outcome)
+        assert self._pool is not None
+        self.run_stats.killed = self._pool.killed
+        self.run_stats.worker_eofs = self._pool.worker_eofs
+
+        payload = protocol.result_to_obj(outcome)
+        if outcome.ok and not outcome.telemetry.fallback:
+            self._l1[entry.job.signature()] = payload
+            while len(self._l1) > max(1, self.options.l1_capacity):
+                self._l1.popitem(last=False)
+                self.counters["l1_evictions"] += 1
+        for index, request in enumerate(entry.requests):
+            self.admission.release(request.tenant)
+            response = protocol.ok_response(request.frame_id, dict(payload))
+            response["served_by"] = "synthesis" if index == 0 else "coalesced"
+            await self._send(request.conn, response)
+
+    async def _finish_drain(self) -> None:
+        """Fail whatever is left with a typed error, flush, and stop."""
+        assert self._pool is not None
+        leftovers = list(self._pending) + list(self._launched.values())
+        self._pending.clear()
+        self._launched.clear()
+        self._running_keys.clear()
+        self._by_signature.clear()
+        self._pool.shutdown()
+        for entry in leftovers:
+            for request in entry.requests:
+                self.admission.release(request.tenant, completed=False)
+                self.counters["drain_abandoned"] += 1
+                await self._send(
+                    request.conn,
+                    protocol.error_response(
+                        request.frame_id,
+                        "shutdown",
+                        "daemon drained before this job finished",
+                    ),
+                )
+        if self.options.cache_dir is not None:
+            from repro.service.store import record_run_telemetry
+
+            record_run_telemetry(
+                self.options.cache_dir, self.stats_payload()["runs"]
+            )
+            if self.options.drain_pack:
+                from repro.service.store import export_pack
+
+                summary = export_pack(
+                    self.options.cache_dir, self.options.drain_pack
+                )
+                self.counters["pack_exported_entries"] += summary["entries"]
+        if self._server is not None:
+            self._server.close()
+        self._drained.set()
+
+    # ------------------------------------------------------------------
+    # Stats / HTTP
+    # ------------------------------------------------------------------
+
+    def stats_payload(self) -> dict:
+        stats = self.run_stats
+        stats.wall_seconds = time.monotonic() - self._started_at
+        runs = stats.to_dict()
+        # Parent-side hot-path counters (fallback compiles, recoveries)
+        # merged on the fly so run perf totals match the batch CLI's.
+        for key, value in perf_snapshot_delta(self._perf_baseline).items():
+            if value:
+                runs["perf"][key] = round(
+                    runs["perf"].get(key, 0) + value, 6
+                )
+        l1_lookups = self.counters["l1_lookups"]
+        lookups = stats.lookups
+        return {
+            "daemon": {
+                "uptime_seconds": round(
+                    time.monotonic() - self._started_at, 3
+                ),
+                "draining": self._draining,
+                "workers": self.options.jobs,
+                "workers_active": self._pool.active if self._pool else 0,
+                "queue_depth": len(self._pending),
+                "inflight": len(self._launched),
+                **self.counters,
+            },
+            "admission": self.admission.to_dict(),
+            "tiers": {
+                "l1": {
+                    "hits": self.counters["l1_hits"],
+                    "lookups": l1_lookups,
+                    "hit_rate": (
+                        self.counters["l1_hits"] / l1_lookups
+                        if l1_lookups
+                        else 0.0
+                    ),
+                    "size": len(self._l1),
+                    "capacity": self.options.l1_capacity,
+                    "evictions": self.counters["l1_evictions"],
+                },
+                "l2": {
+                    "cache_hits": stats.cache_hits,
+                    "failure_hits": stats.failure_hits,
+                    "synth_calls": stats.synth_calls,
+                    "hit_rate": round(stats.hit_rate, 4) if lookups else 0.0,
+                },
+                "pack": {
+                    "imported_entries": self.counters["pack_imported_entries"],
+                    "exported_entries": self.counters["pack_exported_entries"],
+                },
+            },
+            "runs": runs,
+        }
+
+    def health_payload(self) -> dict:
+        return {
+            "ok": not self._draining,
+            "draining": self._draining,
+            "uptime_seconds": round(time.monotonic() - self._started_at, 3),
+            "workers_active": self._pool.active if self._pool else 0,
+        }
+
+    async def _handle_http(
+        self,
+        first_line: bytes,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self.counters["http_requests"] += 1
+        try:
+            while True:  # swallow headers up to the blank line
+                header = await asyncio.wait_for(reader.readline(), timeout=5.0)
+                if header in (b"\r\n", b"\n", b""):
+                    break
+        except (asyncio.TimeoutError, ConnectionError, OSError):
+            return
+        parts = first_line.decode("ascii", errors="replace").split()
+        path = parts[1] if len(parts) > 1 else "/"
+        if path.startswith("/healthz"):
+            health = self.health_payload()
+            body = protocol.http_response(
+                200 if health["ok"] else 503, health
+            )
+        elif path.startswith("/stats"):
+            body = protocol.http_response(200, self.stats_payload())
+        else:
+            body = protocol.http_response(
+                404, {"error": f"unknown path {path}"}
+            )
+        try:
+            writer.write(body)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def serve(
+    options: DaemonOptions,
+    ready_callback=None,
+    install_signal_handlers: bool = True,
+) -> None:
+    """Run a daemon until drained (the ``serve`` CLI entry point)."""
+    import signal
+
+    server = DaemonServer(options)
+    await server.start()
+    if install_signal_handlers:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, server.request_drain)
+            except (NotImplementedError, RuntimeError):
+                pass
+    if ready_callback is not None:
+        ready_callback(server)
+    await server.wait_drained()

@@ -76,7 +76,10 @@ class ExperimentRunner:
     caches are persistent (:class:`repro.service.store.PersistentCache`),
     so the warm-cache scenario survives process restarts; with ``jobs``
     > 1, ``run_suite`` fans compilations out through the service
-    scheduler instead of the in-process serial loop.
+    scheduler instead of the in-process serial loop.  With
+    ``daemon_addr`` set, ``run_suite`` submits to a running
+    :mod:`repro.daemon` instead — sharing that daemon's warm pool and
+    tiered cache with every other client of the fleet.
     """
 
     def __init__(
@@ -84,11 +87,13 @@ class ExperimentRunner:
         cegis: CegisOptions | None = None,
         cache_dir: str | None = None,
         jobs: int = 1,
+        daemon_addr: str | None = None,
     ) -> None:
         self.dictionary = build_dictionary(("x86", "hvx", "arm"))
         self.cegis = cegis or fast_hydride_options()
         self.cache_dir = cache_dir
         self.jobs = max(1, jobs)
+        self.daemon_addr = daemon_addr
         self.last_service_stats = None
         self.caches: dict[str, MemoCache] = {}
         self.hydride: dict[str, HydrideCompiler] = {}
@@ -161,6 +166,8 @@ class ExperimentRunner:
     ) -> SuiteResult:
         jobs = self.jobs if jobs is None else max(1, jobs)
         benchmarks = benchmarks or all_benchmarks()
+        if self.daemon_addr:
+            return self._run_suite_daemon(isa, compilers, benchmarks)
         if jobs > 1:
             return self._run_suite_service(isa, compilers, benchmarks, jobs)
         suite = SuiteResult(isa)
@@ -193,6 +200,51 @@ class ExperimentRunner:
             result = outcome.result
             suite.results[(result.benchmark, result.compiler)] = result
         self.last_service_stats = scheduler.last_stats
+        return suite
+
+    def _run_suite_daemon(
+        self,
+        isa: str,
+        compilers: tuple[str, ...],
+        benchmarks: list[Benchmark],
+    ) -> SuiteResult:
+        """Fan the suite out to a running compilation daemon."""
+        from repro.daemon.client import DaemonClient
+
+        pairs = [
+            (benchmark.name, compiler_name)
+            for benchmark in benchmarks
+            for compiler_name in compilers
+        ]
+        requests = [
+            {"benchmark": name, "isa": isa, "compiler": compiler_name}
+            for name, compiler_name in pairs
+        ]
+        with DaemonClient.connect(self.daemon_addr, timeout=None) as client:
+            frames = client.submit_many(requests)
+            self.last_service_stats = client.stats()
+        suite = SuiteResult(isa)
+        for (name, compiler_name), frame in zip(pairs, frames):
+            if frame.get("ok"):
+                result = frame.get("result") or {}
+                suite.results[(name, compiler_name)] = BenchmarkResult(
+                    name,
+                    isa,
+                    compiler_name,
+                    result.get("runtime_us"),
+                    compile_seconds=result.get("compile_seconds", 0.0),
+                    expression_count=result.get("expression_count", 0),
+                    error=result.get("error", ""),
+                )
+            else:
+                error = frame.get("error") or {}
+                suite.results[(name, compiler_name)] = BenchmarkResult(
+                    name, isa, compiler_name, None,
+                    error=(
+                        f"daemon {error.get('type', 'error')}: "
+                        f"{error.get('message', '')}"
+                    ),
+                )
         return suite
 
 

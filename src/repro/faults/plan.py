@@ -54,6 +54,15 @@ SITES: dict[str, tuple[str, ...]] = {
     "irgen.load": ("raise", "slow"),
     "irgen.save": ("raise", "slow"),
     "irgen.build": ("slow", "raise"),
+    # Daemon front-end (repro.daemon): "eof" drops the client connection
+    # right before the response frame is written (the client sees a
+    # half-closed stream, never a hang); "slow" delays the write.
+    "daemon.conn.drop": ("eof", "slow"),
+    # Fired between accepting a submit frame and enqueuing the job:
+    # "raise" surfaces as a typed internal-error response, "exit" models
+    # the daemon crashing in the accept→enqueue window (clients must see
+    # a closed connection, and a restarted daemon must warm from cache).
+    "daemon.enqueue": ("raise", "exit"),
 }
 
 
@@ -167,6 +176,10 @@ _RANDOM_KINDS: dict[str, tuple[str, ...]] = {
     "scheduler.worker.send": ("exit",),
     "scheduler.recv": ("eof",),
     "jobs.attempt": ("timeout", "raise", "slow"),
+    # Daemon sites: never draw "exit" randomly — a chaos round asserts
+    # every client gets an answer, which a daemon suicide would void.
+    "daemon.conn.drop": ("eof", "slow"),
+    "daemon.enqueue": ("raise",),
 }
 
 

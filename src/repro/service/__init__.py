@@ -17,33 +17,46 @@ system built for the paper's Table 4 warm-cache scenario at scale:
 
 from repro.service.jobs import CompileJob, JobResult, JobTelemetry, execute_job
 from repro.service.scheduler import (
+    PoolEvent,
     Scheduler,
     ServiceOptions,
     ServiceStats,
+    WorkerPool,
     default_cegis_options,
 )
 from repro.service.store import (
+    PackError,
     PersistentCache,
+    export_pack,
     gc_store,
+    import_pack,
     reap_tmp,
     read_run_telemetry,
     record_run_telemetry,
     store_stats,
 )
+from repro.service.telemetry import fold_outcome, format_run_summary
 
 __all__ = [
     "CompileJob",
     "JobResult",
     "JobTelemetry",
     "execute_job",
+    "PoolEvent",
     "Scheduler",
     "ServiceOptions",
     "ServiceStats",
+    "WorkerPool",
     "default_cegis_options",
+    "PackError",
     "PersistentCache",
+    "export_pack",
     "gc_store",
+    "import_pack",
     "reap_tmp",
     "read_run_telemetry",
     "record_run_telemetry",
     "store_stats",
+    "fold_outcome",
+    "format_run_summary",
 ]

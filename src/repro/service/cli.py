@@ -23,6 +23,7 @@ from repro.service.scheduler import (
     default_cegis_options,
 )
 from repro.service.store import gc_store, store_stats
+from repro.service.telemetry import format_run_summary, perf_line
 
 DEFAULT_SUITE = (
     "dilate3x3", "average_pool", "max_pool", "sobel3x3",
@@ -146,26 +147,7 @@ def _print_results(results: list[JobResult], scheduler: Scheduler) -> None:
             f"absint screen: {stats.cache_screened} cache hits checked, "
             f"{stats.cache_screen_failures} evicted"
         )
-    print(_perf_line(stats.perf_metrics(), stats.perf))
-
-
-def _perf_line(metrics: dict, raw: dict) -> str:
-    """One-line synthesis hot-path summary (perf counters)."""
-    line = (
-        f"synthesis: {raw.get('candidates_evaluated', 0):.0f} candidates "
-        f"({metrics.get('candidates_per_sec', 0.0):,.0f}/s) | "
-        f"blast cache {metrics.get('blast_cache_hit_rate', 0.0):.1%} | "
-        f"{raw.get('learned_clauses_retained', 0):.0f} learned clauses "
-        f"retained over {raw.get('incremental_queries', 0):.0f} "
-        f"incremental queries"
-    )
-    injected = raw.get("faults_injected", 0)
-    recovered = raw.get("fault_recoveries", 0)
-    if injected or recovered:
-        line += (
-            f" | faults: {injected:.0f} injected, {recovered:.0f} recovered"
-        )
-    return line
+    print(perf_line(stats.perf_metrics(), stats.perf))
 
 
 def _cmd_warm(args: argparse.Namespace) -> int:
@@ -242,21 +224,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             print(f"  {item['instruction']}: {item['problem']}")
     last = stats.get("last_run")
     if last:
-        print(
-            f"last run: {last.get('jobs')} jobs, "
-            f"hit rate {last.get('hit_rate', 0.0):.1%}, "
-            f"{last.get('synth_calls')} synthesized, "
-            f"wall {last.get('wall_seconds')}s, "
-            f"utilization {last.get('utilization', 0.0):.0%}"
-        )
-        if last.get("cache_screened"):
-            print(
-                f"last run absint screen: {last.get('cache_screened')} hits "
-                f"checked, {last.get('cache_screen_failures', 0)} evicted"
-            )
-        metrics = last.get("perf_metrics") or {}
-        if metrics:
-            print("last run " + _perf_line(metrics, last.get("perf") or {}))
+        for line in format_run_summary(last, label="last run"):
+            print(line)
     return 0
 
 

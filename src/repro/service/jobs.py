@@ -79,6 +79,19 @@ class CompileJob:
     retries: int = 1
     # Baseline backend used when every attempt fails ("" disables).
     fallback: str = "llvm"
+    # Daemon provenance: the submitting tenant and its request id.  Both
+    # ride along for accounting (per-tenant quotas, response routing)
+    # and are inert on the batch/CLI paths, which leave the defaults.
+    tenant: str = "default"
+    request_id: str = ""
+
+    def signature(self) -> tuple:
+        """What makes two requests "the same work" for dedup purposes.
+
+        Tenant and request id are deliberately excluded: identical
+        windows from different tenants must coalesce onto one synthesis.
+        """
+        return (self.benchmark, self.isa, self.compiler)
 
 
 @dataclass

@@ -165,6 +165,184 @@ def window_keys(job: CompileJob) -> frozenset[str]:
         return frozenset()
 
 
+@dataclass
+class PoolEvent:
+    """One completed worker, as observed by :meth:`WorkerPool.poll`.
+
+    ``kind`` records how the result was obtained: ``"result"`` (worker
+    reported normally), ``"eof"`` (pipe closed without a payload),
+    ``"died"`` (process exited without reporting), ``"killed"`` (parent
+    enforced the wall backstop), or ``"corrupt"`` (worker sent something
+    other than a JobResult).  Everything but ``"result"`` carries a
+    parent-side baseline fallback result.
+    """
+
+    token: int
+    job: CompileJob
+    outcome: JobResult
+    kind: str = "result"
+
+
+class WorkerPool:
+    """A fork-per-job worker pool with no event loop of its own.
+
+    The pool only knows how to ``launch`` a job into a fresh forked
+    worker and, on each ``poll``, harvest whatever finished since the
+    last call — receiving results, recovering EOF'd pipes and silent
+    deaths via the baseline fallback, and hard-killing workers past
+    their wall backstop.  *When* to poll is the caller's business: the
+    batch :class:`Scheduler` spins a blocking loop around it, while the
+    daemon (:mod:`repro.daemon`) drives the same pool from an asyncio
+    timer without ever blocking its connections.
+    """
+
+    def __init__(
+        self, options: ServiceOptions, prewarm_dictionary: bool = True
+    ) -> None:
+        self.options = options
+        if prewarm_dictionary:
+            # Warm the dictionary cache before forking so children
+            # inherit it instead of each rebuilding it.
+            from repro.autollvm import build_dictionary
+
+            build_dictionary(("x86", "hvx", "arm"))
+        methods = multiprocessing.get_all_start_methods()
+        self._ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        # token -> (process, parent_conn, started_at, job)
+        self._running: dict[int, tuple] = {}
+        # Recovery accounting, folded into run stats by the caller.
+        self.killed = 0
+        self.worker_eofs = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return max(1, self.options.jobs)
+
+    @property
+    def active(self) -> int:
+        return len(self._running)
+
+    def has_capacity(self) -> bool:
+        return self.active < self.capacity
+
+    def launch(self, token: int, job: CompileJob) -> None:
+        """Fork a worker for ``job``; ``token`` names it in poll events."""
+        if token in self._running:
+            raise ValueError(f"token {token} already running")
+        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, job, self.options.cache_dir, self.options.cegis),
+        )
+        proc.start()
+        child_conn.close()
+        self._running[token] = (proc, parent_conn, time.monotonic(), job)
+
+    def _reap(self, token: int) -> None:
+        proc, conn, _started, _job = self._running.pop(token)
+        try:
+            conn.close()
+        except OSError:
+            pass
+        proc.join(timeout=_JOIN_GRACE_SECONDS)
+        if proc.is_alive():
+            proc.kill()
+            proc.join()
+
+    def poll(self) -> list[PoolEvent]:
+        """Harvest every worker that finished since the last poll.
+
+        Non-blocking; returns in arbitrary completion order.  Workers
+        that crashed, went mute, or overran their wall backstop come
+        back as fallback results rather than exceptions — a pool user
+        always gets exactly one event per launched token.
+        """
+        events: list[PoolEvent] = []
+        for token in list(self._running):
+            proc, conn, started_at, job = self._running[token]
+            if conn.poll(0):
+                try:
+                    faults.trip("scheduler.recv", detail=job.benchmark)
+                    outcome = conn.recv()
+                except (EOFError, OSError) as exc:
+                    # The pipe closed without a payload: the worker
+                    # crashed mid-send, or closed its end and hung.
+                    # poll(0) stays True forever after EOF, so the
+                    # "died without reporting" guard below can never
+                    # fire — mark the connection dead *now*, reap the
+                    # process, and route the job to the fallback.
+                    self.worker_eofs += 1
+                    global_counters().fault_recoveries += 1
+                    if proc.is_alive():
+                        proc.terminate()
+                    self._reap(token)
+                    events.append(PoolEvent(
+                        token, job,
+                        fallback_job_result(
+                            job,
+                            self.options.cegis,
+                            "worker pipe closed without a result "
+                            f"({type(exc).__name__})",
+                        ),
+                        kind="eof",
+                    ))
+                    continue
+                kind = "result"
+                if not isinstance(outcome, JobResult):
+                    # A worker must only ever send a JobResult;
+                    # anything else is a corrupted payload.
+                    kind = "corrupt"
+                    outcome = fallback_job_result(
+                        job,
+                        self.options.cegis,
+                        "worker sent "
+                        f"{type(outcome).__name__} instead of a JobResult",
+                    )
+                self._reap(token)
+                events.append(PoolEvent(token, job, outcome, kind=kind))
+                continue
+            if not proc.is_alive() and not conn.poll(0):
+                # Worker died without reporting (crash/OOM).
+                exitcode = proc.exitcode
+                self._reap(token)
+                events.append(PoolEvent(
+                    token, job,
+                    fallback_job_result(
+                        job,
+                        self.options.cegis,
+                        f"worker exited with code {exitcode}",
+                    ),
+                    kind="died",
+                ))
+                continue
+            limit = _kill_limit(job, self.options.kill_seconds)
+            if time.monotonic() - started_at > limit:
+                proc.terminate()
+                self.killed += 1
+                global_counters().fault_recoveries += 1
+                self._reap(token)
+                events.append(PoolEvent(
+                    token, job,
+                    fallback_job_result(
+                        job, self.options.cegis, "worker killed after timeout"
+                    ),
+                    kind="killed",
+                ))
+        return events
+
+    def shutdown(self) -> None:
+        """Terminate every still-running worker (drain abandonment)."""
+        for token in list(self._running):
+            proc, _conn, _started, _job = self._running[token]
+            if proc.is_alive():
+                proc.terminate()
+            self._reap(token)
+
+
 class Scheduler:
     """Runs a batch of compile jobs, serially or across worker processes."""
 
@@ -188,20 +366,10 @@ class Scheduler:
         else:
             results = self._run_parallel(jobs, stats)
         stats.wall_seconds = time.monotonic() - started
+        from repro.service.telemetry import fold_outcome
+
         for outcome in results:
-            stats.ok += 1 if outcome.ok else 0
-            stats.cache_hits += outcome.telemetry.cache_hits
-            stats.failure_hits += outcome.telemetry.failure_hits
-            stats.synth_calls += outcome.telemetry.synth_calls
-            stats.entries_added += outcome.telemetry.entries_added
-            stats.cache_screened += outcome.telemetry.cache_screened
-            stats.cache_screen_failures += (
-                outcome.telemetry.cache_screen_failures
-            )
-            stats.fallbacks += 1 if outcome.telemetry.fallback else 0
-            stats.busy_seconds += outcome.telemetry.wall_seconds
-            for key, value in outcome.telemetry.perf.items():
-                stats.perf[key] = stats.perf.get(key, 0) + value
+            fold_outcome(stats, outcome)
         self.last_stats = stats
         if self.options.cache_dir is not None:
             from repro.service.store import record_run_telemetry
@@ -214,67 +382,32 @@ class Scheduler:
     def _run_parallel(
         self, jobs: list[CompileJob], stats: ServiceStats
     ) -> list[JobResult]:
-        # Warm the dictionary cache before forking so children inherit it.
-        from repro.autollvm import build_dictionary
-
-        build_dictionary(("x86", "hvx", "arm"))
         # Parent-side counters (fallback compiles, EOF/kill recoveries)
         # are folded into the run aggregate at the end; workers are
         # separate processes, so there is no double counting.
         parent_before = perf_snapshot()
+        pool = WorkerPool(self.options)
 
-        methods = multiprocessing.get_all_start_methods()
-        ctx = multiprocessing.get_context(
-            "fork" if "fork" in methods else None
-        )
         # In-flight dedup only pays off when workers share a disk cache.
         dedup = self.options.cache_dir is not None
         keys = [window_keys(job) if dedup else frozenset() for job in jobs]
 
         pending: list[int] = list(range(len(jobs)))
         results: dict[int, JobResult] = {}
-        # index -> (process, parent_conn, started_at)
-        running: dict[int, tuple] = {}
         running_keys: set[str] = set()
+        running_indices: set[int] = set()
         deferred_seen: set[int] = set()
 
         def launch(index: int) -> None:
-            parent_conn, child_conn = ctx.Pipe(duplex=False)
-            proc = ctx.Process(
-                target=_worker_main,
-                args=(
-                    child_conn,
-                    jobs[index],
-                    self.options.cache_dir,
-                    self.options.cegis,
-                ),
-            )
-            proc.start()
-            child_conn.close()
-            running[index] = (proc, parent_conn, time.monotonic())
+            pool.launch(index, jobs[index])
+            running_indices.add(index)
             running_keys.update(keys[index])
 
-        def finish(index: int, outcome: JobResult) -> None:
-            results[index] = outcome
-            proc, conn, _started = running.pop(index)
-            try:
-                conn.close()
-            except OSError:
-                pass
-            proc.join(timeout=_JOIN_GRACE_SECONDS)
-            if proc.is_alive():
-                proc.kill()
-                proc.join()
-            running_keys.difference_update(keys[index])
-            # Keys owned by still-running jobs stay blocked.
-            for other in running:
-                running_keys.update(keys[other])
-
-        while pending or running:
+        while pending or running_indices:
             # Launch every eligible job while worker slots are free.
             launched = False
             for index in list(pending):
-                if len(running) >= self.options.jobs:
+                if not pool.has_capacity():
                     break
                 if keys[index] & running_keys:
                     if index not in deferred_seen:
@@ -286,77 +419,24 @@ class Scheduler:
                 launched = True
             if launched:
                 continue
-            if not running:
+            if not running_indices:
                 # Everything pending conflicts but nothing runs: cannot
                 # happen (conflicts are only with running jobs), guard
                 # against it anyway rather than spinning forever.
-                index = pending.pop(0)
-                launch(index)
+                launch(pending.pop(0))
                 continue
 
             time.sleep(_POLL_SECONDS)
-            for index in list(running):
-                proc, conn, started_at = running[index]
-                job = jobs[index]
-                if conn.poll(0):
-                    try:
-                        faults.trip("scheduler.recv", detail=job.benchmark)
-                        outcome = conn.recv()
-                    except (EOFError, OSError) as exc:
-                        # The pipe closed without a payload: the worker
-                        # crashed mid-send, or closed its end and hung.
-                        # poll(0) stays True forever after EOF, so the
-                        # "died without reporting" guard below can never
-                        # fire — mark the connection dead *now*, reap the
-                        # process, and route the job to the fallback.
-                        stats.worker_eofs += 1
-                        global_counters().fault_recoveries += 1
-                        if proc.is_alive():
-                            proc.terminate()
-                        finish(
-                            index,
-                            fallback_job_result(
-                                job,
-                                self.options.cegis,
-                                "worker pipe closed without a result "
-                                f"({type(exc).__name__})",
-                            ),
-                        )
-                        continue
-                    if not isinstance(outcome, JobResult):
-                        # A worker must only ever send a JobResult;
-                        # anything else is a corrupted payload.
-                        outcome = fallback_job_result(
-                            job,
-                            self.options.cegis,
-                            "worker sent "
-                            f"{type(outcome).__name__} instead of a JobResult",
-                        )
-                    finish(index, outcome)
-                    continue
-                if not proc.is_alive() and not conn.poll(0):
-                    # Worker died without reporting (crash/OOM).
-                    finish(
-                        index,
-                        fallback_job_result(
-                            job,
-                            self.options.cegis,
-                            f"worker exited with code {proc.exitcode}",
-                        ),
-                    )
-                    continue
-                limit = _kill_limit(job, self.options.kill_seconds)
-                if time.monotonic() - started_at > limit:
-                    proc.terminate()
-                    stats.killed += 1
-                    global_counters().fault_recoveries += 1
-                    finish(
-                        index,
-                        fallback_job_result(
-                            job, self.options.cegis, "worker killed after timeout"
-                        ),
-                    )
+            for event in pool.poll():
+                results[event.token] = event.outcome
+                running_indices.discard(event.token)
+                running_keys.difference_update(keys[event.token])
+                # Keys owned by still-running jobs stay blocked.
+                for other in running_indices:
+                    running_keys.update(keys[other])
 
+        stats.killed += pool.killed
+        stats.worker_eofs += pool.worker_eofs
         for key, value in perf_snapshot_delta(parent_before).items():
             if value:
                 stats.perf[key] = stats.perf.get(key, 0) + value

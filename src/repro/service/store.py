@@ -352,6 +352,116 @@ class PersistentCache(MemoCache):
 
 
 # ----------------------------------------------------------------------
+# Cache packs: portable snapshots for fleet warm-up
+# ----------------------------------------------------------------------
+
+PACK_VERSION = 1
+
+
+class PackError(ValueError):
+    """A cache pack file is structurally unusable."""
+
+
+def export_pack(root: str | Path, output: str | Path) -> dict:
+    """Snapshot every entry under a cache root into one portable file.
+
+    The pack is a single JSON document carrying each namespace's
+    ``meta.json`` plus the raw (already-validated-on-write) entry
+    objects, so a fleet can warm a fresh machine with one file copy
+    instead of rsyncing thousands of small files — the Table 4 warm
+    methodology applied across machines.  ``.tmp-*`` litter is never
+    packed.  Returns a summary dict (namespaces/entries/failures/bytes).
+    """
+    root = Path(root)
+    namespaces = []
+    entries = failures = 0
+    if root.is_dir():
+        for isa_dir in sorted(p for p in root.iterdir() if p.is_dir()):
+            for fp_dir in sorted(p for p in isa_dir.iterdir() if p.is_dir()):
+                files: dict[str, dict] = {}
+                meta = None
+                for path in sorted(fp_dir.glob("*.json")):
+                    if path.name.startswith(".tmp-"):
+                        continue
+                    try:
+                        obj = json.loads(path.read_text())
+                    except (json.JSONDecodeError, OSError):
+                        continue  # corrupt entries re-synthesize; don't ship
+                    if path.name == "meta.json":
+                        meta = obj
+                    elif path.name.startswith(("e-", "f-")):
+                        files[path.name] = obj
+                        if path.name.startswith("e-"):
+                            entries += 1
+                        else:
+                            failures += 1
+                if files:
+                    namespaces.append({
+                        "isa": isa_dir.name,
+                        "dir": fp_dir.name,
+                        "meta": meta,
+                        "files": files,
+                    })
+    pack = {"version": PACK_VERSION, "namespaces": namespaces}
+    output = Path(output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    text = json.dumps(pack, sort_keys=True)
+    atomic_write(output, text)
+    return {
+        "namespaces": len(namespaces),
+        "entries": entries,
+        "failures": failures,
+        "bytes": len(text),
+    }
+
+
+def import_pack(root: str | Path, source: str | Path) -> dict:
+    """Merge a pack into a cache root (atomic, idempotent writes).
+
+    Files already present keep their local content (the pack never
+    clobbers fresher local entries); new files land via the same
+    crash-consistent write path the cache itself uses.  Fingerprint
+    namespacing is preserved verbatim: a pack made against a stale
+    dictionary merges into a stale namespace that a later ``gc`` sweeps,
+    so importing can never replay entries against the wrong semantics.
+    """
+    root = Path(root)
+    try:
+        pack = json.loads(Path(source).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise PackError(f"unreadable pack {source}: {exc}") from exc
+    if not isinstance(pack, dict) or "namespaces" not in pack:
+        raise PackError(f"{source} is not a cache pack")
+    if pack.get("version") != PACK_VERSION:
+        raise PackError(
+            f"pack version {pack.get('version')!r} unsupported "
+            f"(want {PACK_VERSION})"
+        )
+    imported = skipped = 0
+    for namespace in pack["namespaces"]:
+        try:
+            target = root / str(namespace["isa"]) / str(namespace["dir"])
+            files = dict(namespace["files"])
+        except (KeyError, TypeError) as exc:
+            raise PackError(f"malformed namespace in {source}: {exc}") from exc
+        target.mkdir(parents=True, exist_ok=True)
+        meta = namespace.get("meta")
+        if meta is not None and not (target / "meta.json").exists():
+            atomic_write(target / "meta.json", json.dumps(meta, sort_keys=True))
+        for name, obj in sorted(files.items()):
+            name = os.path.basename(str(name))
+            if not name.startswith(("e-", "f-")) or not name.endswith(".json"):
+                continue  # never let a pack write outside the entry schema
+            path = target / name
+            if path.exists():
+                skipped += 1
+                continue
+            atomic_write(path, json.dumps(obj, sort_keys=True))
+            imported += 1
+    return {"imported": imported, "skipped": skipped}
+
+
+# ----------------------------------------------------------------------
 # Store-level maintenance (CLI `stats` / `gc`)
 # ----------------------------------------------------------------------
 

@@ -78,9 +78,20 @@ class MemoCache:
     dominate warm-cache compile times; ours is a Python dict, so the
     per-invocation Racket overhead column of Table 4 is modelled
     separately by the experiment harness.
+
+    With ``max_entries`` set the positive-entry table becomes a bounded
+    LRU (insertion order refreshed on every hit, least-recently-used
+    entry evicted on overflow) — the mode the daemon's in-memory tier
+    runs in so a long-lived process cannot grow without bound.  The
+    default stays unbounded: in-process compiles and the persistent
+    cache want every entry resident.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_entries: int | None = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be None or >= 1")
+        self.max_entries = max_entries
+        self.evictions = 0
         self._entries: dict[str, CacheEntry] = {}
         self._failures: set[str] = set()
         # CEGIS budget (seconds) each failure was recorded under; None
@@ -107,6 +118,7 @@ class MemoCache:
             "failure_hits": self.failure_hits,
             "entries": len(self._entries),
             "failures": len(self._failures),
+            "evictions": self.evictions,
         }
 
     def set_budget(self, seconds: float | None) -> None:
@@ -160,6 +172,10 @@ class MemoCache:
             self.misses += 1
             return None
         self.hits += 1
+        if self.max_entries is not None:
+            # Refresh recency: dict insertion order is the LRU order.
+            self._entries.pop(key)
+            self._entries[key] = entry
         # Equal keys mean the windows are identical up to load naming by
         # first appearance; rename the cached program's inputs positionally.
         new_order = _appearance_order(expr)
@@ -170,9 +186,14 @@ class MemoCache:
 
     def store(self, expr: hir.HExpr, isa: str, program: SNode, cost: float) -> None:
         key = canonical_key(expr, isa)
+        self._entries.pop(key, None)  # re-store refreshes recency
         self._entries[key] = CacheEntry(
             program, cost, _appearance_order(expr)
         )
+        if self.max_entries is not None:
+            while len(self._entries) > self.max_entries:
+                self._entries.pop(next(iter(self._entries)))
+                self.evictions += 1
         # A success supersedes any failure recorded under a smaller budget.
         self._failures.discard(key)
         self._failure_budgets.pop(key, None)
@@ -184,6 +205,7 @@ class MemoCache:
         self.hits = 0
         self.misses = 0
         self.failure_hits = 0
+        self.evictions = 0
 
 
 def _rename(program: SNode, mapping: dict[str, str]) -> SNode:

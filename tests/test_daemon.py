@@ -1,0 +1,444 @@
+"""Tests for repro.daemon: protocol, admission, packs, and the live
+daemon (dedup, L1, quotas, drain) via a real subprocess."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.daemon.admission import (
+    AdmissionController,
+    AdmissionLimits,
+    Rejection,
+    TokenBucket,
+)
+from repro.daemon.client import DaemonClient, DaemonError, http_get, parse_addr
+from repro.daemon.proc import DaemonProcess
+from repro.daemon import protocol
+from repro.halide import ir as hir
+from repro.service.store import PackError, export_pack, import_pack
+from repro.synthesis.cache import MemoCache
+from repro.synthesis.program import SInput, SSlice
+
+
+# ----------------------------------------------------------------------
+# Protocol
+# ----------------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_frame_round_trip(self):
+        frame = {"id": "r1", "op": "submit", "benchmark": "add"}
+        assert protocol.decode_frame(protocol.encode_frame(frame)) == frame
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_frame(b"not json")
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_frame(b"[1, 2, 3]")
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_frame(b"x" * (protocol.MAX_FRAME_BYTES + 1))
+
+    def test_job_from_request_defaults(self):
+        job = protocol.job_from_request(
+            {"id": "r9", "benchmark": "add", "isa": "x86"}
+        )
+        assert job.benchmark == "add"
+        assert job.isa == "x86"
+        assert job.compiler == "hydride"
+        assert job.tenant == "default"
+        assert job.request_id == "r9"
+        assert job.retries == 1
+        assert job.fallback == "llvm"
+
+    def test_job_from_request_validates(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.job_from_request({"id": "r1", "isa": "x86"})
+        with pytest.raises(protocol.ProtocolError):
+            protocol.job_from_request(
+                {"benchmark": "add", "isa": "x86", "timeout_seconds": "soon"}
+            )
+        with pytest.raises(protocol.ProtocolError):
+            protocol.job_from_request(
+                {"benchmark": "add", "isa": "x86", "retries": "many"}
+            )
+
+    def test_signature_excludes_tenant(self):
+        a = protocol.job_from_request(
+            {"id": "1", "benchmark": "add", "isa": "x86", "tenant": "a"}
+        )
+        b = protocol.job_from_request(
+            {"id": "2", "benchmark": "add", "isa": "x86", "tenant": "b"}
+        )
+        assert a.signature() == b.signature()
+
+    def test_error_response_typed(self):
+        frame = protocol.error_response(
+            "r1", "quota_exceeded", "slow down", retry_after=0.12345
+        )
+        assert frame["ok"] is False
+        assert frame["error"]["type"] == "quota_exceeded"
+        assert frame["error"]["retry_after"] == 0.123
+        assert protocol.ERROR_TYPES["quota_exceeded"] is True
+        plain = protocol.error_response("r2", "bad_request", "nope")
+        assert "retry_after" not in plain["error"]
+
+    def test_http_sniffing_and_response(self):
+        assert protocol.looks_like_http(b"GET /stats HTTP/1.1\r\n")
+        assert not protocol.looks_like_http(b'{"op": "ping"}\n')
+        blob = protocol.http_response(200, {"ok": True})
+        head, _, body = blob.partition(b"\r\n\r\n")
+        assert b"200 OK" in head
+        assert json.loads(body) == {"ok": True}
+        assert f"Content-Length: {len(body)}".encode() in head
+
+    def test_parse_addr(self):
+        assert parse_addr("1.2.3.4:99") == ("1.2.3.4", 99)
+        assert parse_addr(":99") == ("127.0.0.1", 99)
+        assert parse_addr("99") == ("127.0.0.1", 99)
+        with pytest.raises(DaemonError):
+            parse_addr("nope")
+
+
+# ----------------------------------------------------------------------
+# Admission
+# ----------------------------------------------------------------------
+
+
+class TestAdmission:
+    def test_token_bucket_burst_then_rate(self):
+        bucket = TokenBucket(rate=2.0, burst=3)
+        now = 100.0
+        assert bucket.take(now) is None
+        assert bucket.take(now) is None
+        assert bucket.take(now) is None
+        wait = bucket.take(now)
+        assert wait == pytest.approx(0.5)
+        # Half a second later one token has accrued.
+        assert bucket.take(now + 0.5) is None
+
+    def test_inflight_cap_rejects_with_retry_after(self):
+        controller = AdmissionController(
+            AdmissionLimits(tenant_rate=1000.0, tenant_burst=1000,
+                            tenant_max_inflight=2)
+        )
+        controller.admit("t", queue_depth=0)
+        controller.admit("t", queue_depth=0)
+        with pytest.raises(Rejection) as exc_info:
+            controller.admit("t", queue_depth=0)
+        assert exc_info.value.error_type == "quota_exceeded"
+        assert exc_info.value.retry_after is not None
+        controller.release("t")
+        controller.admit("t", queue_depth=0)  # slot freed
+
+    def test_queue_bound_rejects_globally(self):
+        controller = AdmissionController(
+            AdmissionLimits(tenant_rate=1000.0, tenant_burst=1000,
+                            max_queue=1)
+        )
+        with pytest.raises(Rejection) as exc_info:
+            controller.admit("t", queue_depth=1)
+        assert exc_info.value.error_type == "queue_full"
+        assert controller.rejected_queue == 1
+
+    def test_tenants_accounted_separately(self):
+        controller = AdmissionController(
+            AdmissionLimits(tenant_rate=1000.0, tenant_burst=1000,
+                            tenant_max_inflight=1)
+        )
+        controller.admit("a", queue_depth=0)
+        controller.admit("b", queue_depth=0)  # b has its own cap
+        snapshot = controller.to_dict()
+        assert snapshot["tenants"]["a"]["inflight"] == 1
+        assert snapshot["tenants"]["b"]["inflight"] == 1
+
+
+# ----------------------------------------------------------------------
+# MemoCache LRU bound (satellite)
+# ----------------------------------------------------------------------
+
+
+def _window(op: str, lanes=16, ew=16):
+    return hir.HBin(
+        op, hir.HLoad("ld0", lanes, ew), hir.HLoad("ld1", lanes, ew)
+    )
+
+
+def _program():
+    return SSlice(SInput("ld0", 16, 16), high=True)
+
+
+class TestMemoCacheLRU:
+    def test_unbounded_by_default(self):
+        cache = MemoCache()
+        for op in ("add", "sub", "mul", "and", "or"):
+            cache.store(_window(op), "x86", _program(), 1.0)
+        assert len(cache) == 5
+        assert cache.counters()["evictions"] == 0
+
+    def test_bounded_evicts_least_recently_used(self):
+        cache = MemoCache(max_entries=2)
+        cache.store(_window("add"), "x86", _program(), 1.0)
+        cache.store(_window("sub"), "x86", _program(), 1.0)
+        # Touch "add" so "sub" is now the LRU entry.
+        assert cache.lookup(_window("add"), "x86") is not None
+        cache.store(_window("mul"), "x86", _program(), 1.0)
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert cache.counters()["evictions"] == 1
+        assert cache.lookup(_window("sub"), "x86") is None  # evicted
+        assert cache.lookup(_window("add"), "x86") is not None
+        assert cache.lookup(_window("mul"), "x86") is not None
+
+    def test_restore_refreshes_recency(self):
+        cache = MemoCache(max_entries=2)
+        cache.store(_window("add"), "x86", _program(), 1.0)
+        cache.store(_window("sub"), "x86", _program(), 1.0)
+        cache.store(_window("add"), "x86", _program(), 2.0)  # re-store
+        cache.store(_window("mul"), "x86", _program(), 1.0)
+        assert cache.lookup(_window("sub"), "x86") is None  # was LRU
+        assert cache.lookup(_window("add"), "x86") is not None
+
+    def test_clear_resets_evictions(self):
+        cache = MemoCache(max_entries=1)
+        cache.store(_window("add"), "x86", _program(), 1.0)
+        cache.store(_window("sub"), "x86", _program(), 1.0)
+        assert cache.evictions == 1
+        cache.clear()
+        assert cache.evictions == 0
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError):
+            MemoCache(max_entries=0)
+
+
+# ----------------------------------------------------------------------
+# Cache packs on plain files (no compiler stack involved)
+# ----------------------------------------------------------------------
+
+
+def _fake_namespace(root, isa="x86", fingerprint="fp00", entries=2):
+    namespace = root / isa / fingerprint
+    namespace.mkdir(parents=True)
+    (namespace / "meta.json").write_text(
+        json.dumps({"fingerprint": fingerprint})
+    )
+    for index in range(entries):
+        (namespace / f"e-{index:04d}.json").write_text(
+            json.dumps({"program": index})
+        )
+    (namespace / "f-0000.json").write_text(json.dumps({"failed": True}))
+    return namespace
+
+
+class TestCachePacks:
+    def test_export_import_round_trip(self, tmp_path):
+        source = tmp_path / "src-cache"
+        source.mkdir()
+        _fake_namespace(source)
+        pack = tmp_path / "warm.pack"
+        summary = export_pack(source, pack)
+        assert summary["namespaces"] == 1
+        assert summary["entries"] == 2
+        assert summary["failures"] == 1
+
+        target = tmp_path / "dst-cache"
+        result = import_pack(target, pack)
+        assert result["imported"] == 3
+        namespace = target / "x86" / "fp00"
+        assert json.loads((namespace / "meta.json").read_text()) == {
+            "fingerprint": "fp00"
+        }
+        assert json.loads((namespace / "e-0001.json").read_text()) == {
+            "program": 1
+        }
+
+    def test_import_is_idempotent(self, tmp_path):
+        source = tmp_path / "src-cache"
+        source.mkdir()
+        _fake_namespace(source)
+        pack = tmp_path / "warm.pack"
+        export_pack(source, pack)
+        import_pack(tmp_path / "dst", pack)
+        again = import_pack(tmp_path / "dst", pack)
+        assert again["imported"] == 0
+        assert again["skipped"] == 3
+
+    def test_export_skips_tmp_litter(self, tmp_path):
+        source = tmp_path / "src-cache"
+        source.mkdir()
+        namespace = _fake_namespace(source)
+        (namespace / ".tmp-torn.json").write_text("garbage")
+        summary = export_pack(source, tmp_path / "warm.pack")
+        assert summary["entries"] == 2
+
+    def test_import_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "bad.pack"
+        bad.write_text("not json")
+        with pytest.raises(PackError):
+            import_pack(tmp_path / "dst", bad)
+        bad.write_text(json.dumps({"version": 99, "namespaces": []}))
+        with pytest.raises(PackError):
+            import_pack(tmp_path / "dst", bad)
+        with pytest.raises(PackError):
+            import_pack(tmp_path / "dst", tmp_path / "missing.pack")
+
+
+# ----------------------------------------------------------------------
+# Live daemon (subprocess) — the serving acceptance scenario
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.daemon_smoke
+class TestDaemonSmoke:
+    """Dedup, tiers, quotas, and drain against a real daemon process."""
+
+    BENCHMARKS = ("add", "mul")
+    EXTRA = ["--synth-timeout", "6"]
+
+    @pytest.fixture(scope="class")
+    def work(self, tmp_path_factory):
+        return tmp_path_factory.mktemp("daemon-smoke")
+
+    @pytest.fixture(scope="class")
+    def cold(self, work):
+        """One daemon lifetime: concurrent duplicate clients, an L1
+        repass, a stats scrape, then SIGTERM drain and pack export."""
+        requests = [
+            {"benchmark": name, "isa": "x86"} for name in self.BENCHMARKS
+        ]
+        batches: dict = {}
+
+        def submit(tenant: str) -> None:
+            with DaemonClient.connect(daemon.addr, timeout=600.0) as client:
+                batches[tenant] = client.submit_many(requests, tenant=tenant)
+
+        with DaemonProcess(
+            cache_dir=str(work / "cache"), jobs=2, extra_args=self.EXTRA
+        ) as daemon:
+            threads = [
+                threading.Thread(target=submit, args=(tenant,))
+                for tenant in ("tenant-a", "tenant-b")
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            with DaemonClient.connect(daemon.addr, timeout=120.0) as client:
+                repass = client.submit_many(requests, tenant="tenant-a")
+            stats = http_get(daemon.addr, "/stats")
+            health = http_get(daemon.addr, "/healthz")
+            daemon.send_sigterm()
+            exit_code = daemon.wait(timeout=60.0)
+        pack = work / "warm.pack"
+        export_pack(work / "cache", pack)
+        return {
+            "batches": batches,
+            "repass": repass,
+            "stats": stats,
+            "health": health,
+            "exit_code": exit_code,
+            "pack": pack,
+        }
+
+    def test_every_client_answered_ok(self, cold):
+        for tenant in ("tenant-a", "tenant-b"):
+            frames = cold["batches"][tenant]
+            assert len(frames) == len(self.BENCHMARKS)
+            assert all(frame.get("ok") for frame in frames)
+            assert all(
+                (frame.get("result") or {}).get("runtime_us") is not None
+                for frame in frames
+            )
+
+    def test_identical_submits_synthesize_exactly_once(self, cold):
+        stats = cold["stats"]
+        # 2 clients x 2 benchmarks = 4 submits + 2 repass = 6, but only
+        # one synthesis per unique job ever ran.
+        assert stats["runs"]["jobs"] == len(self.BENCHMARKS)
+        daemon = stats["daemon"]
+        absorbed = daemon["coalesced"] + daemon["l1_hits"]
+        assert absorbed >= len(self.BENCHMARKS)
+
+    def test_l1_repass_runs_zero_synthesis(self, cold):
+        assert all(f["served_by"] == "l1" for f in cold["repass"])
+        assert (
+            sum(f["telemetry"]["synth_calls"] for f in cold["repass"]) == 0
+        )
+        tiers = cold["stats"]["tiers"]
+        assert tiers["l1"]["hits"] >= len(self.BENCHMARKS)
+        assert tiers["l1"]["capacity"] > 0
+
+    def test_healthy_and_clean_drain(self, cold):
+        assert cold["health"]["ok"] is True
+        assert cold["exit_code"] == 0
+
+    def test_pack_warmed_fresh_daemon_zero_synthesis(self, cold, work):
+        requests = [
+            {"benchmark": name, "isa": "x86"} for name in self.BENCHMARKS
+        ]
+        with DaemonProcess(
+            cache_dir=str(work / "cache-fresh"),
+            jobs=2,
+            extra_args=self.EXTRA + ["--warm-pack", str(cold["pack"])],
+        ) as daemon:
+            with DaemonClient.connect(daemon.addr, timeout=600.0) as client:
+                frames = client.submit_many(requests, tenant="fleet")
+            stats = http_get(daemon.addr, "/stats")
+        assert all(frame.get("ok") for frame in frames)
+        assert stats["runs"]["synth_calls"] == 0
+        assert stats["daemon"]["pack_imported_entries"] > 0
+
+    def test_quota_rejections_carry_retry_after(self, cold, work):
+        # Tight quotas + duplicate submits: the first is admitted, the
+        # rest must bounce with typed, retryable rejections.
+        with DaemonProcess(
+            cache_dir=str(work / "cache-quota"),
+            jobs=1,
+            extra_args=self.EXTRA + [
+                "--warm-pack", str(cold["pack"]),
+                "--tenant-rate", "0.001",
+                "--tenant-burst", "2",
+                "--tenant-max-inflight", "1",
+            ],
+        ) as daemon:
+            with DaemonClient.connect(daemon.addr, timeout=600.0) as client:
+                frames = client.submit_many(
+                    [{"benchmark": "add", "isa": "x86"}] * 4,
+                    tenant="greedy",
+                )
+        assert frames[0].get("ok")
+        rejected = [frame for frame in frames if not frame.get("ok")]
+        assert rejected, "tight quotas produced no rejections"
+        for frame in rejected:
+            error = frame["error"]
+            assert error["type"] in ("quota_exceeded", "queue_full")
+            assert error.get("retry_after") is not None
+
+    def test_sigterm_drain_completes_inflight_work(self, work):
+        # SIGTERM lands while a cold synthesis is in flight; the drain
+        # must still deliver that client its real result, then exit 0.
+        result: dict = {}
+
+        def submit() -> None:
+            with DaemonClient.connect(daemon.addr, timeout=600.0) as client:
+                result["frame"] = client.submit("add", "x86")
+
+        with DaemonProcess(
+            cache_dir=str(work / "cache-drain"), jobs=1,
+            extra_args=self.EXTRA,
+        ) as daemon:
+            thread = threading.Thread(target=submit)
+            thread.start()
+            time.sleep(1.0)  # let the job launch
+            daemon.send_sigterm()
+            thread.join(timeout=120.0)
+            assert not thread.is_alive(), "client hung through the drain"
+            exit_code = daemon.wait(timeout=120.0)
+        frame = result["frame"]
+        assert frame.get("ok"), frame
+        assert frame["result"]["runtime_us"] is not None
+        assert exit_code == 0

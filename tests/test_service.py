@@ -153,7 +153,7 @@ class TestMemoCacheAccounting:
         snap = cache.counters()
         assert snap == {
             "hits": 0, "misses": 1, "failure_hits": 0,
-            "entries": 0, "failures": 0,
+            "entries": 0, "failures": 0, "evictions": 0,
         }
 
 
