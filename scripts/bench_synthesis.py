@@ -1,22 +1,44 @@
 #!/usr/bin/env python
 """Benchmark the synthesis hot path and audit its determinism.
 
-Runs each suite benchmark through the Hydride compiler twice — once on
-the optimised path (packed batched evaluation, cached argument pools,
-incremental SAT) and once with ``CegisOptions.legacy_eval=True``, which
-restores the pre-optimisation enumeration loop as the baseline — then
-writes ``BENCH_synthesis.json`` with both wall times, the speedup, the
-per-phase timer breakdown (enumeration / dedup / blast / sat / verify)
-and the hot-path counter deltas for each arm.
+Runs each suite benchmark through the Hydride compiler on up to four
+arms — the optimised path (packed batched evaluation, cached argument
+pools, incremental SAT), the ``legacy_eval`` baseline (the
+pre-optimisation enumeration loop), the ``absint_prune`` arm, and
+(with ``--arms N``) the portfolio racer — then writes
+``BENCH_synthesis.json`` with per-arm wall times, speedups, per-phase
+timer breakdowns and hot-path counter deltas.
 
-The two arms must synthesize *identical* programs for the fixed CEGIS
-seed; a mismatch is a determinism bug and fails the run.  Slow results
-do not fail the run — CI uses this in a "crash only" smoke job.
+All arms must synthesize *identical* programs for the fixed CEGIS seed;
+a mismatch is a determinism bug and fails the run.  The portfolio arm
+additionally must finish within ``--max-portfolio-slowdown`` of the
+inline optimised arm (on boxes without spare cores the racer falls back
+inline, which trivially passes).
+
+Counter hygiene: the smoke suite is verified by structural and
+probabilistic checks alone, so its runs issue *zero* SAT queries.  For
+such arms the sat-family counters (``sat_conflicts``,
+``learned_clauses_retained``, ``incremental_queries``, ...) are omitted
+from the report and replaced with an explanatory ``"sat": "n/a"`` note
+instead of being recorded as misleading zeros.
+
+Two additional phases cover what the compile suite cannot:
+
+* a CDCL solver microbench (random 3-SAT) compares the modern core
+  (VSIDS decay, Luby restarts, LBD clause-DB reduction) against
+  ``SolverConfig.legacy()`` on SAT-heavy instances — recorded, not
+  gated;
+* a repeated-family reuse phase compiles the suite twice against one
+  shared cross-window :class:`ReuseStore` (fresh result caches each
+  run) and fails unless the warm run shows nonzero counterexample-suite
+  hits.
 
 Usage:
-    python scripts/bench_synthesis.py [--smoke] [--isa x86]
-        [--suite name,name,...] [--timeout 30] [--output PATH]
-        [--skip-baseline]
+    python scripts/bench_synthesis.py [--smoke | --quick] [--isa x86]
+        [--suite name,name,...] [--timeout 120] [--output PATH]
+        [--arms N] [--max-portfolio-slowdown 1.1]
+        [--skip-baseline] [--skip-absint] [--skip-solver-bench]
+        [--skip-reuse]
 """
 
 from __future__ import annotations
@@ -24,6 +46,7 @@ from __future__ import annotations
 import argparse
 import json
 import pathlib
+import random
 import sys
 import time
 
@@ -34,7 +57,12 @@ if _SRC.is_dir() and str(_SRC) not in sys.path:
 from repro.autollvm import build_dictionary  # noqa: E402
 from repro.backend.hydride import HydrideCompiler  # noqa: E402
 from repro.perf import derived_metrics, snapshot, snapshot_delta  # noqa: E402
-from repro.synthesis import CegisOptions, MemoCache  # noqa: E402
+from repro.smt.sat import (  # noqa: E402
+    CdclSolver,
+    SolverBudgetExceeded,
+    SolverConfig,
+)
+from repro.synthesis import CegisOptions, MemoCache, ReuseStore  # noqa: E402
 from repro.workloads.registry import benchmark_named  # noqa: E402
 
 # Fast benchmarks exercising swizzles, saturating arithmetic and widening
@@ -42,23 +70,56 @@ from repro.workloads.registry import benchmark_named  # noqa: E402
 SMOKE_SUITE = ("dilate3x3", "average_pool")
 FULL_SUITE = ("dilate3x3", "average_pool", "max_pool", "add", "mul")
 
+# Sat-family counters: meaningless (identically zero) on runs whose
+# verification ladder never reached the SMT tier.
+_SAT_COUNTERS = (
+    "sat_queries", "sat_conflicts", "sat_restarts", "sat_clauses_deleted",
+    "learned_clauses_retained", "incremental_queries", "fresh_queries",
+)
+_SAT_DERIVED = ("learned_clauses_retained", "incremental_share")
+SAT_COUNTER_NOTE = (
+    "arms with counters['sat'] == 'n/a ...' issued zero SAT queries "
+    "(every window was verified structurally/probabilistically); their "
+    "sat-family counters are omitted rather than reported as zeros"
+)
+
+# Solver microbench: random 3-SAT near the phase transition, where the
+# modern heuristics (restarts + decay) separate from the legacy core.
+SOLVER_BENCH_FULL = {"n_vars": 180, "ratio": 4.2, "seeds": tuple(range(1, 9)),
+                     "max_conflicts": 300_000}
+SOLVER_BENCH_QUICK = {"n_vars": 150, "ratio": 4.2, "seeds": (1, 2, 3),
+                      "max_conflicts": 60_000}
+
+
+def _scrub_sat_counters(counters: dict, derived: dict) -> tuple[dict, dict]:
+    """Drop sat-family counters from enumeration-only runs (see module doc)."""
+    if counters.get("sat_queries", 0):
+        return counters, derived
+    counters = {k: v for k, v in counters.items() if k not in _SAT_COUNTERS}
+    counters["sat"] = "n/a (enumeration-only run: zero SAT queries issued)"
+    derived = {k: v for k, v in derived.items() if k not in _SAT_DERIVED}
+    return counters, derived
+
 
 def run_case(
     name: str,
     isa: str,
     dictionary,
     timeout: float,
-    legacy: bool,
+    legacy: bool = False,
     absint: bool = False,
+    arms: int = 0,
+    reuse: ReuseStore | None = None,
 ) -> dict:
     """Compile one benchmark end-to-end; returns timings + programs."""
     benchmark = benchmark_named(name)
     kernels = benchmark.lower(isa)
     options = CegisOptions(
-        timeout_seconds=timeout, legacy_eval=legacy, absint_prune=absint
+        timeout_seconds=timeout, legacy_eval=legacy, absint_prune=absint,
+        portfolio_arms=arms,
     )
     compiler = HydrideCompiler(
-        dictionary=dictionary, cache=MemoCache(), cegis=options
+        dictionary=dictionary, cache=MemoCache(), cegis=options, reuse=reuse,
     )
     before = snapshot()
     start = time.monotonic()
@@ -68,27 +129,204 @@ def run_case(
         programs.extend(p.describe() for p in compiled.programs)
     seconds = time.monotonic() - start
     counters = snapshot_delta(before)
+    derived = {
+        key: round(value, 4)
+        for key, value in derived_metrics(counters).items()
+    }
+    counters, derived = _scrub_sat_counters(counters, derived)
     return {
         "seconds": round(seconds, 3),
         "programs": programs,
         "counters": counters,
-        "derived": {
-            key: round(value, 4)
-            for key, value in derived_metrics(counters).items()
-        },
+        "derived": derived,
     }
+
+
+# ----------------------------------------------------------------------
+# CDCL solver microbench (modern core vs SolverConfig.legacy())
+# ----------------------------------------------------------------------
+
+
+def _random_3sat(seed: int, n_vars: int, n_clauses: int) -> list[tuple[int, ...]]:
+    rng = random.Random(seed)
+    clauses = []
+    for _ in range(n_clauses):
+        chosen = rng.sample(range(1, n_vars + 1), 3)
+        clauses.append(
+            tuple(v if rng.random() < 0.5 else -v for v in chosen)
+        )
+    return clauses
+
+
+def _solve_timed(n_vars, clauses, config, max_conflicts) -> dict:
+    solver = CdclSolver(n_vars, clauses, config=config)
+    start = time.monotonic()
+    try:
+        result = solver.solve(max_conflicts=max_conflicts)
+        verdict = "sat" if result.satisfiable else "unsat"
+        conflicts = result.conflicts
+        if result.satisfiable:
+            for clause in clauses:
+                assert any(
+                    result.model[abs(lit)] == (lit > 0) for lit in clause
+                ), "model does not satisfy the formula"
+    except SolverBudgetExceeded as exc:
+        verdict = "budget"
+        conflicts = exc.conflicts
+    return {
+        "seconds": round(time.monotonic() - start, 3),
+        "verdict": verdict,
+        "conflicts": conflicts,
+        "restarts": solver.restarts,
+        "clauses_deleted": solver.clauses_deleted,
+    }
+
+
+def run_solver_bench(params: dict) -> tuple[dict, list[str]]:
+    """Random 3-SAT A/B: modern CDCL config vs the legacy core."""
+    n_vars = params["n_vars"]
+    n_clauses = int(n_vars * params["ratio"])
+    report = {
+        "n_vars": n_vars,
+        "clause_ratio": params["ratio"],
+        "max_conflicts": params["max_conflicts"],
+        "instances": [],
+    }
+    failures: list[str] = []
+    total_modern = 0.0
+    total_legacy = 0.0
+    for seed in params["seeds"]:
+        clauses = _random_3sat(seed, n_vars, n_clauses)
+        modern = _solve_timed(
+            n_vars, clauses, SolverConfig(), params["max_conflicts"]
+        )
+        legacy = _solve_timed(
+            n_vars, clauses, SolverConfig.legacy(), params["max_conflicts"]
+        )
+        total_modern += modern["seconds"]
+        total_legacy += legacy["seconds"]
+        if (
+            "budget" not in (modern["verdict"], legacy["verdict"])
+            and modern["verdict"] != legacy["verdict"]
+        ):
+            failures.append(
+                f"solver seed {seed}: modern says {modern['verdict']}, "
+                f"legacy says {legacy['verdict']}"
+            )
+        report["instances"].append(
+            {"seed": seed, "modern": modern, "legacy": legacy}
+        )
+        print(
+            f"[bench] solver seed {seed}: modern={modern['seconds']:.2f}s "
+            f"({modern['verdict']}) legacy={legacy['seconds']:.2f}s "
+            f"({legacy['verdict']})",
+            flush=True,
+        )
+    report["total_seconds_modern"] = round(total_modern, 3)
+    report["total_seconds_legacy"] = round(total_legacy, 3)
+    report["speedup"] = round(total_legacy / max(total_modern, 1e-9), 2)
+    print(
+        f"[bench] solver total: modern={total_modern:.2f}s "
+        f"legacy={total_legacy:.2f}s speedup={report['speedup']:.2f}x",
+        flush=True,
+    )
+    return report, failures
+
+
+# ----------------------------------------------------------------------
+# Cross-window reuse phase (repeated family, shared ReuseStore)
+# ----------------------------------------------------------------------
+
+
+def run_reuse_phase(
+    suite: tuple[str, ...], isa: str, dictionary, timeout: float
+) -> tuple[dict, list[str]]:
+    """Compile the suite twice against one shared cross-window store.
+
+    Each pass uses a fresh result cache, so every window re-synthesizes;
+    only the counterexample/clause reuse store persists between them.
+    The warm pass must show nonzero counterexample-suite hits.
+    """
+    reuse = ReuseStore()
+    report: dict = {"suite": list(suite), "runs": {}}
+    failures: list[str] = []
+    programs: dict[str, list[str]] = {}
+    for label in ("cold", "warm"):
+        before = snapshot()
+        start = time.monotonic()
+        run_programs: list[str] = []
+        for name in suite:
+            case = run_case(name, isa, dictionary, timeout, reuse=reuse)
+            run_programs.extend(case["programs"])
+        seconds = time.monotonic() - start
+        delta = snapshot_delta(before)
+        programs[label] = run_programs
+        report["runs"][label] = {
+            "seconds": round(seconds, 3),
+            "reuse_cex_hits": delta.get("reuse_cex_hits", 0),
+            "reuse_cex_misses": delta.get("reuse_cex_misses", 0),
+            "reuse_cex_preloaded": delta.get("reuse_cex_preloaded", 0),
+            "reuse_clause_hits": delta.get("reuse_clause_hits", 0),
+            "reuse_clauses_preloaded": delta.get(
+                "reuse_clauses_preloaded", 0
+            ),
+        }
+        print(
+            f"[bench] reuse {label}: {seconds:.2f}s, "
+            f"cex hits={report['runs'][label]['reuse_cex_hits']:.0f} "
+            f"(refuters={report['runs'][label]['reuse_cex_preloaded']:.0f})",
+            flush=True,
+        )
+    cold = report["runs"]["cold"]
+    warm = report["runs"]["warm"]
+    report["warm_vs_cold"] = round(
+        cold["seconds"] / max(warm["seconds"], 1e-9), 2
+    )
+    # Informational: stored refuters can reorder counterexample discovery,
+    # so warm programs are correct but not guaranteed bit-identical.
+    report["programs_identical"] = programs["cold"] == programs["warm"]
+    if warm["reuse_cex_hits"] <= 0:
+        failures.append(
+            "reuse phase: warm run scored zero counterexample-suite hits"
+        )
+    return report, failures
+
+
+# ----------------------------------------------------------------------
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true", help="small fast suite")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke subset: implies --smoke and shrinks the solver "
+        "microbench (fewer seeds, smaller instances, tighter budget)",
+    )
     parser.add_argument("--isa", default="x86")
     parser.add_argument("--suite", default="", help="comma-separated benchmark names")
-    # Generous per-window budget: if the wall-clock limit binds, the two
+    # Generous per-window budget: if the wall-clock limit binds, the
     # arms truncate their searches at different points and the
     # determinism audit reports a spurious mismatch.
     parser.add_argument("--timeout", type=float, default=120.0)
     parser.add_argument("--output", default="BENCH_synthesis.json")
+    parser.add_argument(
+        "--arms",
+        "--portfolio",
+        dest="arms",
+        type=int,
+        default=0,
+        help="record a portfolio arm racing this many CEGIS arms per "
+        "window (0 = no portfolio arm)",
+    )
+    parser.add_argument(
+        "--max-portfolio-slowdown",
+        type=float,
+        default=1.1,
+        help="fail if the portfolio arm's total wall time exceeds this "
+        "multiple of the inline optimised arm",
+    )
     parser.add_argument(
         "--skip-baseline",
         action="store_true",
@@ -99,28 +337,42 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip the absint_prune determinism arm",
     )
+    parser.add_argument(
+        "--skip-solver-bench",
+        action="store_true",
+        help="skip the CDCL solver microbench",
+    )
+    parser.add_argument(
+        "--skip-reuse",
+        action="store_true",
+        help="skip the repeated-family cross-window reuse phase",
+    )
     args = parser.parse_args(argv)
 
     if args.suite:
         suite = tuple(args.suite.split(","))
     else:
-        suite = SMOKE_SUITE if args.smoke else FULL_SUITE
+        suite = SMOKE_SUITE if (args.smoke or args.quick) else FULL_SUITE
 
     dictionary = build_dictionary(("x86", "hvx", "arm"))
     report: dict = {
         "suite": list(suite),
         "isa": args.isa,
         "timeout_seconds": args.timeout,
+        "sat_counter_note": SAT_COUNTER_NOTE,
         "cases": [],
     }
     total_new = 0.0
     total_baseline = 0.0
+    total_portfolio = 0.0
     total_absint_pruned = 0
+    portfolio_counters: dict[str, float] = {}
     mismatches: list[str] = []
+    failures: list[str] = []
 
     for name in suite:
         print(f"[bench] {name} ({args.isa}) optimised ...", flush=True)
-        new = run_case(name, args.isa, dictionary, args.timeout, legacy=False)
+        new = run_case(name, args.isa, dictionary, args.timeout)
         case = {
             "benchmark": name,
             "seconds_optimised": new["seconds"],
@@ -151,12 +403,11 @@ def main(argv: list[str] | None = None) -> int:
         else:
             print(f"[bench] {name}: optimised={new['seconds']:.2f}s", flush=True)
         if not args.skip_absint:
-            # Third arm: abstract-interpretation pruning must change
-            # nothing about the synthesized programs — only skip work.
+            # Abstract-interpretation pruning must change nothing about
+            # the synthesized programs — only skip work.
             print(f"[bench] {name} ({args.isa}) absint ...", flush=True)
             pruned = run_case(
-                name, args.isa, dictionary, args.timeout, legacy=False,
-                absint=True,
+                name, args.isa, dictionary, args.timeout, absint=True
             )
             identical = pruned["programs"] == new["programs"]
             if not identical:
@@ -171,6 +422,44 @@ def main(argv: list[str] | None = None) -> int:
             print(
                 f"[bench] {name}: absint={pruned['seconds']:.2f}s "
                 f"pruned={case['absint_pruned']} identical={identical}",
+                flush=True,
+            )
+        if args.arms >= 2:
+            # Portfolio arm: the racer must return exactly the programs
+            # the inline paths agreed on, first winner cancelling the
+            # rest.  On boxes without spare cores it falls back inline.
+            print(
+                f"[bench] {name} ({args.isa}) portfolio x{args.arms} ...",
+                flush=True,
+            )
+            raced = run_case(
+                name, args.isa, dictionary, args.timeout, arms=args.arms
+            )
+            identical = raced["programs"] == new["programs"]
+            if not identical:
+                mismatches.append(f"{name} (portfolio)")
+            case.update(
+                seconds_portfolio=raced["seconds"],
+                counters_portfolio=raced["counters"],
+                portfolio_identical_programs=identical,
+            )
+            total_portfolio += raced["seconds"]
+            for key in (
+                "portfolio_windows", "portfolio_arms_launched",
+                "portfolio_cancels", "portfolio_cex_broadcast",
+                "portfolio_inline_fallbacks",
+            ):
+                portfolio_counters[key] = (
+                    portfolio_counters.get(key, 0)
+                    + raced["counters"].get(key, 0)
+                )
+            print(
+                f"[bench] {name}: portfolio={raced['seconds']:.2f}s "
+                f"identical={identical} "
+                f"(windows="
+                f"{raced['counters'].get('portfolio_windows', 0):.0f}, "
+                f"inline_fallbacks="
+                f"{raced['counters'].get('portfolio_inline_fallbacks', 0):.0f})",
                 flush=True,
             )
         report["cases"].append(case)
@@ -188,25 +477,53 @@ def main(argv: list[str] | None = None) -> int:
     if not args.skip_absint:
         report["absint_pruned_total"] = total_absint_pruned
 
+    if args.arms >= 2:
+        slowdown = round(total_portfolio / max(total_new, 1e-9), 2)
+        report["portfolio"] = {
+            "arms": args.arms,
+            "total_seconds": round(total_portfolio, 3),
+            "slowdown_vs_optimised": slowdown,
+            "counters": portfolio_counters,
+        }
+        print(
+            f"[bench] portfolio total: {total_portfolio:.2f}s "
+            f"({slowdown:.2f}x optimised)"
+        )
+        if slowdown > args.max_portfolio_slowdown:
+            failures.append(
+                f"portfolio arm {slowdown:.2f}x slower than the optimised "
+                f"arm (gate: {args.max_portfolio_slowdown:.2f}x)"
+            )
+
+    if not args.skip_solver_bench:
+        params = SOLVER_BENCH_QUICK if args.quick else SOLVER_BENCH_FULL
+        solver_report, solver_failures = run_solver_bench(params)
+        report["solver_bench"] = solver_report
+        failures.extend(solver_failures)
+
+    if not args.skip_reuse:
+        reuse_report, reuse_failures = run_reuse_phase(
+            suite, args.isa, dictionary, args.timeout
+        )
+        report["reuse"] = reuse_report
+        failures.extend(reuse_failures)
+
     out = pathlib.Path(args.output)
     out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"[bench] wrote {out}")
 
     if not args.skip_absint and total_absint_pruned == 0:
-        print(
-            "[bench] ABSINT FAILURE: absint_prune arm pruned nothing — "
-            "the abstraction lost all precision",
-            file=sys.stderr,
+        failures.append(
+            "absint_prune arm pruned nothing — the abstraction lost all "
+            "precision"
         )
-        return 1
     if mismatches:
-        print(
-            f"[bench] DETERMINISM FAILURE: baseline and optimised paths "
-            f"disagree on {', '.join(mismatches)}",
-            file=sys.stderr,
+        failures.append(
+            f"determinism: arms disagree on {', '.join(mismatches)}"
         )
-        return 1
-    return 0
+    for failure in failures:
+        print(f"[bench] FAILURE: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

@@ -100,6 +100,8 @@ class HydrideCompiler:
         # Windows with more operations than synthesis could compress into
         # a max-depth program are split without attempting synthesis.
         max_window_ops: int = 6,
+        # Cross-window counterexample/clause reuse store (optional).
+        reuse=None,
     ) -> None:
         self.dictionary = dictionary or build_dictionary(("x86", "hvx", "arm"))
         self.cache = cache if cache is not None else MemoCache()
@@ -107,6 +109,7 @@ class HydrideCompiler:
         self.grammar_options = grammar_options or GrammarOptions()
         self.max_window_size = max_window_size
         self.max_window_ops = max_window_ops
+        self.reuse = reuse
 
     # ------------------------------------------------------------------
 
@@ -152,6 +155,8 @@ class HydrideCompiler:
                     build_grammar(window, isa, self.dictionary, self.grammar_options),
                     self.cegis,
                     self.cache,
+                    reuse=self.reuse,
+                    dictionary=self.dictionary,
                 )
                 accounting.synth_seconds += result.stats.seconds
                 accounting.cache_hits += self.cache.hits - hits_before

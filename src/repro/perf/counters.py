@@ -53,6 +53,10 @@ class PerfCounters:
     # SAT solving.
     sat_queries: int = 0
     sat_conflicts: int = 0
+    # Modern-CDCL events: restarts fired and learned clauses deleted by
+    # LBD database reduction.
+    sat_restarts: int = 0
+    sat_clauses_deleted: int = 0
     # Learned clauses alive in persistent solver contexts.
     learned_clauses_retained: int = 0
     # Queries answered by a reused (incremental) solver context vs a
@@ -69,6 +73,23 @@ class PerfCounters:
     absint_checked: int = 0
     absint_pruned: int = 0
     absint_gate_rejects: int = 0
+    # Portfolio CEGIS (repro.synthesis.portfolio): windows raced, arm
+    # processes forked, losers cancelled after a win, counterexamples
+    # relayed between arms, and windows that fell back to the inline
+    # (single-arm) path because fork was unavailable.
+    portfolio_windows: int = 0
+    portfolio_arms_launched: int = 0
+    portfolio_cancels: int = 0
+    portfolio_cex_broadcast: int = 0
+    portfolio_inline_fallbacks: int = 0
+    # Cross-window reuse (repro.synthesis.reuse): counterexample-suite
+    # and learned-clause store traffic keyed by spec fingerprint.
+    reuse_cex_hits: int = 0
+    reuse_cex_misses: int = 0
+    reuse_cex_preloaded: int = 0
+    reuse_clause_hits: int = 0
+    reuse_clause_misses: int = 0
+    reuse_clauses_preloaded: int = 0
     # Fault plane (repro.faults): faults actually fired in this process,
     # and failures — injected or real — absorbed by a hardened recovery
     # path (corrupt entry skipped, stale tmp reaped, dead pipe routed to
@@ -105,6 +126,8 @@ class PerfCounters:
             blast_cache_misses=self.blast_cache_misses,
             sat_queries=self.sat_queries,
             sat_conflicts=self.sat_conflicts,
+            sat_restarts=self.sat_restarts,
+            sat_clauses_deleted=self.sat_clauses_deleted,
             learned_clauses_retained=self.learned_clauses_retained,
             incremental_queries=self.incremental_queries,
             fresh_queries=self.fresh_queries,
@@ -113,6 +136,17 @@ class PerfCounters:
             absint_checked=self.absint_checked,
             absint_pruned=self.absint_pruned,
             absint_gate_rejects=self.absint_gate_rejects,
+            portfolio_windows=self.portfolio_windows,
+            portfolio_arms_launched=self.portfolio_arms_launched,
+            portfolio_cancels=self.portfolio_cancels,
+            portfolio_cex_broadcast=self.portfolio_cex_broadcast,
+            portfolio_inline_fallbacks=self.portfolio_inline_fallbacks,
+            reuse_cex_hits=self.reuse_cex_hits,
+            reuse_cex_misses=self.reuse_cex_misses,
+            reuse_cex_preloaded=self.reuse_cex_preloaded,
+            reuse_clause_hits=self.reuse_clause_hits,
+            reuse_clause_misses=self.reuse_clause_misses,
+            reuse_clauses_preloaded=self.reuse_clauses_preloaded,
             faults_injected=self.faults_injected,
             fault_recoveries=self.fault_recoveries,
         )
@@ -128,6 +162,8 @@ class PerfCounters:
         self.blast_cache_misses = 0
         self.sat_queries = 0
         self.sat_conflicts = 0
+        self.sat_restarts = 0
+        self.sat_clauses_deleted = 0
         self.learned_clauses_retained = 0
         self.incremental_queries = 0
         self.fresh_queries = 0
@@ -136,6 +172,17 @@ class PerfCounters:
         self.absint_checked = 0
         self.absint_pruned = 0
         self.absint_gate_rejects = 0
+        self.portfolio_windows = 0
+        self.portfolio_arms_launched = 0
+        self.portfolio_cancels = 0
+        self.portfolio_cex_broadcast = 0
+        self.portfolio_inline_fallbacks = 0
+        self.reuse_cex_hits = 0
+        self.reuse_cex_misses = 0
+        self.reuse_cex_preloaded = 0
+        self.reuse_clause_hits = 0
+        self.reuse_clause_misses = 0
+        self.reuse_clauses_preloaded = 0
         self.faults_injected = 0
         self.fault_recoveries = 0
 

@@ -147,9 +147,13 @@ class JobResult:
         return self.result.ok
 
 
-def make_compiler(name: str, dictionary, cache: MemoCache, cegis: CegisOptions):
+def make_compiler(
+    name: str, dictionary, cache: MemoCache, cegis: CegisOptions, reuse=None
+):
     if name == "hydride":
-        return HydrideCompiler(dictionary=dictionary, cache=cache, cegis=cegis)
+        return HydrideCompiler(
+            dictionary=dictionary, cache=cache, cegis=cegis, reuse=reuse
+        )
     if name == "halide":
         return HalideNativeCompiler()
     if name == "llvm":
@@ -167,6 +171,24 @@ def _open_cache(job: CompileJob, cache_dir, dictionary) -> MemoCache:
     return PersistentCache(cache_dir, job.isa, dictionary)
 
 
+def _open_reuse(job: CompileJob, cache_dir):
+    """The cross-window reuse store for one job.
+
+    Always created for hydride jobs — even without a cache directory the
+    in-memory store carries counterexample suites between a job's own
+    windows; with one, suites and learned clauses persist alongside the
+    synthesis cache (``<cache_dir>/reuse``, keys already embed the ISA).
+    """
+    if job.compiler != "hydride":
+        return None
+    from pathlib import Path
+
+    from repro.synthesis.reuse import ReuseStore
+
+    root = Path(cache_dir) / "reuse" if cache_dir is not None else None
+    return ReuseStore(root)
+
+
 def _compile_once(
     job: CompileJob,
     compiler_name: str,
@@ -174,9 +196,10 @@ def _compile_once(
     cache: MemoCache,
     cegis: CegisOptions,
     deadline: float | None,
+    reuse=None,
 ) -> BenchmarkResult:
     benchmark = benchmark_named(job.benchmark)
-    compiler = make_compiler(compiler_name, dictionary, cache, cegis)
+    compiler = make_compiler(compiler_name, dictionary, cache, cegis, reuse=reuse)
     start = time.monotonic()
     try:
         kernels = benchmark.lower(job.isa)
@@ -234,6 +257,7 @@ def execute_job(
     # reaped litter, absorbed faults) are attributed to this job too.
     perf_before = perf_snapshot()
     cache = _open_cache(job, cache_dir, dictionary)
+    reuse = _open_reuse(job, cache_dir)
     telemetry = JobTelemetry(worker_pid=os.getpid())
 
     result: BenchmarkResult | None = None
@@ -247,7 +271,8 @@ def execute_job(
         try:
             _attempt_fault(job, attempt)
             result = _compile_once(
-                job, job.compiler, dictionary, cache, budget, deadline
+                job, job.compiler, dictionary, cache, budget, deadline,
+                reuse=reuse,
             )
         except JobTimeout as exc:
             timed_out = True
@@ -295,6 +320,8 @@ def execute_job(
                 error=f"fallback={job.fallback}: {original_error}",
             )
 
+    if reuse is not None:
+        reuse.flush()
     telemetry.wall_seconds = time.monotonic() - started
     telemetry.perf = {
         key: value

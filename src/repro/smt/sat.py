@@ -1,10 +1,12 @@
 """A CDCL SAT solver with two-watched-literal propagation.
 
 This is the decision procedure under every symbolic query in the
-reproduction: first-UIP clause learning, VSIDS-style activity decay,
-geometric restarts, and non-chronological backjumping.  It is deliberately
-compact — the paper's tractability tricks (lane scaling) keep our CNF
-instances small enough that a clean Python CDCL suffices.
+reproduction: first-UIP clause learning, VSIDS-style activity with
+configurable decay, Luby-sequence (or legacy geometric) restarts,
+LBD-based learned-clause database reduction, and non-chronological
+backjumping.  It is deliberately compact — the paper's tractability
+tricks (lane scaling) keep our CNF instances small enough that a clean
+Python CDCL suffices.
 
 The solver is *incremental*: clauses and variables may be added between
 ``solve()`` calls, and ``solve(assumptions=...)`` decides satisfiability
@@ -14,12 +16,86 @@ are consequences of the clause database alone, so they stay valid no
 matter which assumptions the next query carries), which is what makes
 repeated CEGIS verification queries against one specification cheap: the
 solver re-learns nothing about the shared circuit.
+
+Heuristic behaviour is captured by :class:`SolverConfig` so the
+portfolio layer can race differently-configured solvers over one
+problem; :meth:`SolverConfig.legacy` reproduces the exact pre-upgrade
+behaviour (geometric restarts on the total-conflict count, no clause
+deletion, the old implicit 1.05 activity ramp) for A/B audits.
 """
 
 from __future__ import annotations
 
+import random
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
+
+
+def luby(i: int) -> int:
+    """The ``i``-th element (1-indexed) of the Luby restart sequence:
+    1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, ...
+
+    The sequence is self-similar: after each power-of-two block the next
+    element doubles the block's maximum, which gives restarts the
+    log-optimal worst case for Las Vegas algorithms (Luby et al. 1993).
+    """
+    if i < 1:
+        raise ValueError("luby sequence is 1-indexed")
+    while True:
+        # Smallest complete block (size 2^k - 1) containing i.
+        k = 1
+        while (1 << k) - 1 < i:
+            k += 1
+        if (1 << k) - 1 == i:
+            return 1 << (k - 1)
+        # Interior of the block: self-similar prefix of size 2^(k-1) - 1.
+        i -= (1 << (k - 1)) - 1
+
+
+@dataclass(frozen=True)
+class SolverConfig:
+    """Heuristic knobs for one :class:`CdclSolver` instance.
+
+    The defaults are the modern core (Luby restarts, VSIDS decay, LBD
+    clause-database reduction); :meth:`legacy` pins every knob to the
+    pre-upgrade solver so the two can be raced and diffed.
+    """
+
+    # Per-conflict VSIDS decay: the activity increment grows by
+    # ``1 / var_decay`` after every conflict, so recently-bumped
+    # variables dominate older ones.
+    var_decay: float = 0.95
+    # Restart policy: "luby" (unit-scaled Luby sequence on the
+    # conflicts-since-restart count), "geometric" (legacy: total-conflict
+    # thresholds growing by ``restart_growth``), or "none".
+    restart: str = "luby"
+    luby_unit: int = 100
+    restart_base: int = 100
+    restart_growth: float = 1.5
+    # LBD-based learned-clause DB reduction: when the live learned set
+    # exceeds a growing threshold (``reduce_interval`` more clauses per
+    # reduction), the worst ``reduce_fraction`` of deletable clauses is
+    # unlinked.  Glue clauses (LBD <= reduce_keep_lbd) and clauses locked
+    # as the reason of a current assignment are never deleted.
+    reduce_db: bool = True
+    reduce_interval: int = 2_000
+    reduce_keep_lbd: int = 2
+    reduce_fraction: float = 0.5
+    # Portfolio diversification: a seeded RNG occasionally (with
+    # ``random_branch_freq`` probability) overrides the VSIDS pick with a
+    # random unassigned variable.  None disables the perturbation.
+    branch_seed: int | None = None
+    random_branch_freq: float = 0.02
+
+    @classmethod
+    def legacy(cls) -> "SolverConfig":
+        """The exact pre-upgrade heuristics (PR 3 solver)."""
+        return cls(
+            var_decay=1.0 / 1.05,
+            restart="geometric",
+            reduce_db=False,
+            branch_seed=None,
+        )
 
 
 @dataclass
@@ -40,8 +116,12 @@ class CdclSolver:
     """
 
     def __init__(
-        self, num_vars: int = 0, clauses: Iterable[Sequence[int]] = ()
+        self,
+        num_vars: int = 0,
+        clauses: Iterable[Sequence[int]] = (),
+        config: SolverConfig | None = None,
     ) -> None:
+        self.config = config or SolverConfig()
         self.num_vars = 0
         # assignment[v]: None unassigned, else bool.
         self.assignment: list[bool | None] = [None]
@@ -50,16 +130,32 @@ class CdclSolver:
         self.activity: list[float] = [0.0]
         self.trail: list[int] = []
         self.activity_inc = 1.0
+        # Problem clauses (incl. incremental additions): never deleted.
         self.clauses: list[list[int]] = []
+        # Learned clauses: redundant consequences, deletable at will.
+        self.learned: list[list[int]] = []
+        # Learned-clause metadata keyed by clause identity.
+        self._lbd: dict[int, int] = {}
+        self._birth: dict[int, int] = {}
         self.watches: dict[int, list[list[int]]] = {}
         self._empty_clause = False
         self._units: list[int] = []
+        self._learned_units: list[int] = []
         self._prop_head = 0
         # Permanently unsatisfiable (conflict at level 0, no assumptions).
         self._unsat = False
         # Cumulative accounting across all solve() calls.
         self.learned_count = 0
         self.total_conflicts = 0
+        self.restarts = 0
+        self.db_reductions = 0
+        self.clauses_deleted = 0
+        self._reduce_limit = self.config.reduce_interval
+        self._rng = (
+            random.Random(self.config.branch_seed)
+            if self.config.branch_seed is not None
+            else None
+        )
         self.ensure_vars(num_vars)
         for clause in clauses:
             self.add_clause(clause)
@@ -105,6 +201,21 @@ class CdclSolver:
 
     def _watch(self, lit: int, clause: list[int]) -> None:
         self.watches.setdefault(lit, []).append(clause)
+
+    def learned_clauses(self) -> list[tuple[tuple[int, ...], int]]:
+        """Live learned clauses as ``(literals, lbd)`` pairs, plus the
+        learned level-0 units as singleton clauses (LBD 0).
+
+        Every returned clause is an assumption-free consequence of the
+        database — safe to feed to any solver over a superset of the same
+        variable meanings (the cross-window reuse contract).
+        """
+        out = [((lit,), 0) for lit in self._learned_units]
+        out.extend(
+            (tuple(clause), self._lbd.get(id(clause), len(clause)))
+            for clause in self.learned
+        )
+        return out
 
     # ------------------------------------------------------------------
     # Assignment machinery
@@ -179,6 +290,10 @@ class CdclSolver:
                 self.activity[v] *= 1e-100
             self.activity_inc *= 1e-100
 
+    def _decay_activity(self) -> None:
+        """One conflict's worth of VSIDS decay (increment growth)."""
+        self.activity_inc /= self.config.var_decay
+
     def _analyze(self, conflict: list[int], level: int) -> tuple[list[int], int]:
         learned: list[int] = []
         seen = [False] * (self.num_vars + 1)
@@ -213,6 +328,12 @@ class CdclSolver:
         backjump = max(self.level[abs(l)] for l in learned[1:])
         return learned, backjump
 
+    def _clause_lbd(self, clause: list[int]) -> int:
+        """Literal block distance: distinct decision levels in the clause."""
+        return len(
+            {self.level[abs(lit)] for lit in clause if self.level[abs(lit)] > 0}
+        )
+
     def _backtrack(self, target_level: int) -> None:
         while self.trail and self.level[abs(self.trail[-1])] > target_level:
             lit = self.trail.pop()
@@ -222,6 +343,13 @@ class CdclSolver:
         self._prop_head = len(self.trail)
 
     def _pick_branch(self) -> int:
+        if self._rng is not None and self._rng.random() < self.config.random_branch_freq:
+            unassigned = [
+                v for v in range(1, self.num_vars + 1)
+                if self.assignment[v] is None
+            ]
+            if unassigned:
+                return self._rng.choice(unassigned)
         best_var = 0
         best_activity = -1.0
         for variable in range(1, self.num_vars + 1):
@@ -229,6 +357,58 @@ class CdclSolver:
                 best_activity = self.activity[variable]
                 best_var = variable
         return best_var
+
+    # ------------------------------------------------------------------
+    # Learned-clause database reduction
+    # ------------------------------------------------------------------
+
+    def _maybe_reduce_db(self) -> None:
+        """Reduce when the live learned set outgrows its (growing) cap.
+
+        Only ever called with the solver at decision level 0, so the
+        locked set is exactly the reasons of retained level-0
+        implications.
+        """
+        if not self.config.reduce_db:
+            return
+        if len(self.learned) < self._reduce_limit:
+            return
+        self._reduce_db()
+        self._reduce_limit += self.config.reduce_interval
+
+    def _reduce_db(self) -> None:
+        keep_lbd = self.config.reduce_keep_lbd
+        locked = {id(r) for r in self.reason if r is not None}
+        deletable = [
+            clause
+            for clause in self.learned
+            if id(clause) not in locked
+            and self._lbd.get(id(clause), len(clause)) > keep_lbd
+        ]
+        # Best first: low LBD, then recent.  The tail is dropped.
+        deletable.sort(
+            key=lambda c: (
+                self._lbd.get(id(c), len(c)),
+                -self._birth.get(id(c), 0),
+            )
+        )
+        drop_count = int(len(deletable) * self.config.reduce_fraction)
+        if drop_count == 0:
+            self.db_reductions += 1
+            return
+        dropped = {id(c) for c in deletable[len(deletable) - drop_count:]}
+        self.learned = [c for c in self.learned if id(c) not in dropped]
+        for lit in list(self.watches):
+            watch_list = self.watches[lit]
+            if any(id(c) in dropped for c in watch_list):
+                self.watches[lit] = [
+                    c for c in watch_list if id(c) not in dropped
+                ]
+        for cid in dropped:
+            self._lbd.pop(cid, None)
+            self._birth.pop(cid, None)
+        self.clauses_deleted += drop_count
+        self.db_reductions += 1
 
     # ------------------------------------------------------------------
     # Main loop
@@ -252,6 +432,7 @@ class CdclSolver:
             self.ensure_vars(max(abs(lit) for lit in assumptions))
         # Retract everything above level 0; level-0 implications persist.
         self._backtrack(0)
+        self._maybe_reduce_db()
         # Re-run propagation over the whole level-0 trail so that clauses
         # added since the last call see the retained assignments.
         self._prop_head = 0
@@ -266,9 +447,17 @@ class CdclSolver:
             self._unsat = True
             return SatResult(False)
 
+        config = self.config
         level = 0
         conflicts = 0
-        restart_limit = 100
+        since_restart = 0
+        restart_count = 0
+        if config.restart == "geometric":
+            restart_limit: int | None = config.restart_base
+        elif config.restart == "luby":
+            restart_limit = luby(restart_count + 1) * config.luby_unit
+        else:
+            restart_limit = None
         while True:
             # Decide the next assumption first; branch freely only once
             # every assumption is satisfied by the current assignment.
@@ -302,6 +491,7 @@ class CdclSolver:
                 if conflict is None:
                     break
                 conflicts += 1
+                since_restart += 1
                 if max_conflicts is not None and conflicts > max_conflicts:
                     self.total_conflicts += conflicts
                     # Leave the solver reusable after a budget blowout.
@@ -314,10 +504,11 @@ class CdclSolver:
                 learned, backjump = self._analyze(conflict, level)
                 self._backtrack(backjump)
                 level = backjump
-                self.activity_inc *= 1.05
+                self._decay_activity()
                 self.learned_count += 1
                 if len(learned) == 1:
                     self._units.append(learned[0])
+                    self._learned_units.append(learned[0])
                     if self._lit_value(learned[0]) is False:
                         # Contradicts a retained level-0 implication only
                         # when the database itself is unsatisfiable.
@@ -330,14 +521,34 @@ class CdclSolver:
                     if self._lit_value(learned[0]) is None:
                         self._enqueue(learned[0], None, 0)
                 else:
-                    self.clauses.append(learned)
+                    self.learned.append(learned)
+                    self._lbd[id(learned)] = self._clause_lbd(learned)
+                    self._birth[id(learned)] = self.learned_count
                     self._watch(learned[0], learned)
                     self._watch(learned[1], learned)
                     self._enqueue(learned[0], learned, level)
-                if conflicts >= restart_limit and level > 0:
-                    restart_limit = int(restart_limit * 1.5)
+                restart_now = False
+                if restart_limit is not None and level > 0:
+                    if config.restart == "geometric":
+                        # Legacy semantics: thresholds on the query's total
+                        # conflict count, growing geometrically.
+                        if conflicts >= restart_limit:
+                            restart_limit = int(
+                                restart_limit * config.restart_growth
+                            )
+                            restart_now = True
+                    elif since_restart >= restart_limit:
+                        restart_count += 1
+                        restart_limit = (
+                            luby(restart_count + 1) * config.luby_unit
+                        )
+                        restart_now = True
+                if restart_now:
+                    self.restarts += 1
+                    since_restart = 0
                     self._backtrack(0)
                     level = 0
+                    self._maybe_reduce_db()
                     break
 
 
@@ -350,7 +561,10 @@ class SolverBudgetExceeded(Exception):
 
 
 def solve_cnf(
-    num_vars: int, clauses: list[tuple[int, ...]], max_conflicts: int | None = None
+    num_vars: int,
+    clauses: list[tuple[int, ...]],
+    max_conflicts: int | None = None,
+    config: SolverConfig | None = None,
 ) -> SatResult:
     """Convenience one-shot entry point."""
-    return CdclSolver(num_vars, clauses).solve(max_conflicts)
+    return CdclSolver(num_vars, clauses, config=config).solve(max_conflicts)

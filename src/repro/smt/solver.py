@@ -22,7 +22,7 @@ from repro.bitvector.bv import BitVector
 from repro.perf import global_counters, phase_timer
 from repro.smt.bitblast import BitBlaster, NotBitblastable
 from repro.smt.eval import evaluate
-from repro.smt.sat import CdclSolver, SatResult, SolverBudgetExceeded
+from repro.smt.sat import CdclSolver, SatResult, SolverBudgetExceeded, SolverConfig
 from repro.smt.simplify import simplify
 from repro.smt.terms import App, Term, apply_op
 
@@ -89,13 +89,23 @@ class IncrementalSatContext:
     retired with a unit clause so it can never constrain later queries.
     """
 
-    def __init__(self, max_vars: int = 400_000) -> None:
+    def __init__(
+        self,
+        max_vars: int = 400_000,
+        config: SolverConfig | None = None,
+    ) -> None:
         self.blaster = BitBlaster()
-        self.solver = CdclSolver()
+        self.solver = CdclSolver(config=config)
         self.max_vars = max_vars
         self.queries = 0
         # How many of the builder's clauses have been fed to the solver.
         self._fed = 0
+        # Variable-count boundary of the primed specification's blast
+        # cone (0 = never primed).  Clauses whose variables all lie in
+        # the cone are consequences of the spec circuit alone and can be
+        # transferred to any context primed with the same term.
+        self.spec_cone_vars = 0
+        self._imported = 0
 
     def oversized(self) -> bool:
         """True once retired queries have bloated the database enough that
@@ -108,6 +118,60 @@ class IncrementalSatContext:
         for clause in cnf.clauses[self._fed :]:
             self.solver.add_clause(clause)
         self._fed = len(cnf.clauses)
+
+    # -- cross-window clause reuse --------------------------------------
+
+    def prime(self, spec: Term) -> int:
+        """Blast ``spec`` before anything else touches the builder.
+
+        Priming pins the spec's Tseitin variables to the prefix
+        ``1..spec_cone_vars`` of the variable space (blasting is
+        deterministic over a fresh blaster), which makes learned clauses
+        over that prefix portable between contexts primed with the same
+        term.  Returns the cone boundary.
+        """
+        if self.queries or self._fed:
+            raise RuntimeError("prime() must precede all queries")
+        with phase_timer("blast"):
+            self.blaster.blast(spec)
+            self._sync()
+        self.spec_cone_vars = self.blaster.cnf.num_vars
+        return self.spec_cone_vars
+
+    def export_learned(self, limit: int = 256) -> list[tuple[int, ...]]:
+        """Learned clauses confined to the primed spec's blast cone.
+
+        Candidate circuits are plain Tseitin definitions and every
+        per-candidate assertion is guarded by an activation literal, so
+        any model of the spec-cone clauses extends to the full database;
+        a learned clause over cone variables is therefore entailed by the
+        spec circuit alone and sound to preload into a sibling context.
+        Best clauses first (low LBD, then short).
+        """
+        if not self.spec_cone_vars:
+            return []
+        cone = self.spec_cone_vars
+        eligible = [
+            (lbd, clause)
+            for clause, lbd in self.solver.learned_clauses()
+            if all(abs(lit) <= cone for lit in clause)
+        ]
+        eligible.sort(key=lambda item: (item[0], len(item[1])))
+        return [clause for _, clause in eligible[:limit]]
+
+    def import_clauses(self, clauses: list[tuple[int, ...]]) -> int:
+        """Preload clauses previously exported from a same-spec context."""
+        if not self.spec_cone_vars:
+            raise RuntimeError("import_clauses() requires a primed context")
+        cone = self.spec_cone_vars
+        added = 0
+        for clause in clauses:
+            if not clause or any(abs(lit) > cone for lit in clause):
+                continue  # stale entry from a different blast layout
+            self.solver.add_clause(list(clause))
+            added += 1
+        self._imported += added
+        return added
 
     def check_not_equal(
         self, a: Term, b: Term, max_conflicts: int | None = None
@@ -131,6 +195,8 @@ class IncrementalSatContext:
         perf.incremental_queries += 1
         perf.sat_queries += 1
         learned_before = self.solver.learned_count
+        restarts_before = self.solver.restarts
+        deleted_before = self.solver.clauses_deleted
         try:
             with phase_timer("sat"):
                 result = self.solver.solve(
@@ -142,6 +208,10 @@ class IncrementalSatContext:
             self.solver.add_clause([-activation])
             perf.learned_clauses_retained += (
                 self.solver.learned_count - learned_before
+            )
+            perf.sat_restarts += self.solver.restarts - restarts_before
+            perf.sat_clauses_deleted += (
+                self.solver.clauses_deleted - deleted_before
             )
         perf.sat_conflicts += result.conflicts
         return result
@@ -158,6 +228,7 @@ class EquivalenceChecker:
         sat_node_limit: int = 6_000,
         probabilistic_samples: int = PROBABILISTIC_SAMPLES,
         incremental: bool = False,
+        solver_config: SolverConfig | None = None,
     ) -> None:
         self.rng = random.Random(seed)
         self.max_conflicts = max_conflicts
@@ -168,8 +239,62 @@ class EquivalenceChecker:
         self.sat_node_limit = sat_node_limit
         # Share one solver context across this checker's SAT queries.
         self.incremental = incremental
+        self.solver_config = solver_config
         self._context: IncrementalSatContext | None = None
+        # Cross-window reuse: the spec term to prime new contexts with
+        # and the clause suite to preload into them (re-applied whenever
+        # an oversized context is replaced).
+        self._prime_term: Term | None = None
+        self._preload: list[tuple[int, ...]] = []
+        self._preload_cone = 0
+        self.clauses_preloaded = 0
         self.stats = {"structural": 0, "fuzz": 0, "exhaustive": 0, "sat": 0, "probabilistic": 0}
+
+    # ------------------------------------------------------------------
+
+    def prime(
+        self,
+        spec: Term,
+        clauses: list[tuple[int, ...]] | None = None,
+        cone_vars: int = 0,
+    ) -> None:
+        """Declare the spec every SAT query will verify against.
+
+        Incremental contexts created from now on blast ``spec`` first —
+        pinning its Tseitin variables to a deterministic prefix — and
+        preload ``clauses`` previously exported from a same-spec run.
+        ``cone_vars`` is the blast-cone boundary the clauses were
+        exported under; if the fresh blast produces a different boundary
+        the stored layout is stale and the whole suite is dropped.
+        No-op for non-incremental checkers.
+        """
+        if not self.incremental:
+            return
+        self._prime_term = simplify(spec)
+        self._preload = list(clauses or [])
+        self._preload_cone = cone_vars
+        self._context = None  # rebuilt (and re-primed) lazily
+
+    def export_learned(self, limit: int = 256) -> list[tuple[int, ...]]:
+        """Spec-cone learned clauses from the live context (see
+        :meth:`IncrementalSatContext.export_learned`)."""
+        if self._context is None:
+            return []
+        return self._context.export_learned(limit)
+
+    def cone_vars(self) -> int:
+        """The live context's spec blast-cone boundary (0 = none)."""
+        if self._context is None:
+            return 0
+        return self._context.spec_cone_vars
+
+    def _new_context(self) -> IncrementalSatContext:
+        context = IncrementalSatContext(config=self.solver_config)
+        if self._prime_term is not None:
+            cone = context.prime(self._prime_term)
+            if self._preload and self._preload_cone in (0, cone):
+                self.clauses_preloaded += context.import_clauses(self._preload)
+        return context
 
     # ------------------------------------------------------------------
 
@@ -235,7 +360,7 @@ class EquivalenceChecker:
     ) -> CheckResult:
         if self.incremental:
             if self._context is None or self._context.oversized():
-                self._context = IncrementalSatContext()
+                self._context = self._new_context()
             try:
                 result = self._context.check_not_equal(a, b, self.max_conflicts)
             except SolverBudgetExceeded as exc:
@@ -253,7 +378,10 @@ class EquivalenceChecker:
             # Assert that some output bit differs.
             diff_lits = [blaster.cnf.gate_xor(x, y) for x, y in zip(bits_a, bits_b)]
             blaster.cnf.assert_lit(blaster.cnf.gate_big_or(diff_lits))
-        solver = CdclSolver(blaster.cnf.num_vars, blaster.cnf.clauses)
+        solver = CdclSolver(
+            blaster.cnf.num_vars, blaster.cnf.clauses,
+            config=self.solver_config,
+        )
         perf.fresh_queries += 1
         perf.sat_queries += 1
         try:

@@ -19,7 +19,11 @@ AutoLLVM operations using counterexample-guided inductive synthesis:
 * :mod:`repro.synthesis.translate` — the Rosette-to-LLVM analogue:
   synthesized programs to AutoLLVM IR calls;
 * :mod:`repro.synthesis.serialize` — SNode round-tripping and dictionary
-  fingerprinting for the persistent cache (:mod:`repro.service`).
+  fingerprinting for the persistent cache (:mod:`repro.service`);
+* :mod:`repro.synthesis.portfolio` — portfolio CEGIS: race diverse arms
+  per window across processes, relay counterexamples, first winner;
+* :mod:`repro.synthesis.reuse` — cross-window reuse of counterexample
+  suites and learned clauses keyed by spec fingerprint.
 """
 
 from repro.synthesis.cegis import (
@@ -29,6 +33,7 @@ from repro.synthesis.cegis import (
     synthesize,
 )
 from repro.synthesis.cache import MemoCache
+from repro.synthesis.reuse import ReuseStore
 from repro.synthesis.grammar import Grammar, GrammarOptions, build_grammar
 from repro.synthesis.serialize import (
     SerializeError,
@@ -44,6 +49,7 @@ __all__ = [
     "SynthesisResult",
     "synthesize",
     "MemoCache",
+    "ReuseStore",
     "Grammar",
     "GrammarOptions",
     "build_grammar",

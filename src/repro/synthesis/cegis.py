@@ -23,6 +23,7 @@ from repro.bitvector.lanes import Vector
 from repro.bitvector.packed import splat as packed_splat
 from repro.halide import ir as hir
 from repro.perf import global_counters, phase_timer
+from repro.smt.sat import SolverConfig
 from repro.smt.solver import EquivalenceChecker, SolverTimeout
 from repro.synthesis.cache import MemoCache
 from repro.synthesis.grammar import Grammar, GrammarEntry
@@ -83,6 +84,20 @@ class CegisOptions:
     # solutions before their SMT query.  Off by default until the
     # bench_synthesis A/B determinism gate covers it in CI.
     absint_prune: bool = False
+    # CDCL configuration for verification queries.  None uses the modern
+    # defaults (VSIDS decay, Luby restarts, LBD clause-DB reduction);
+    # ``SolverConfig.legacy()`` restores the pre-upgrade heuristics for
+    # A/B audits.
+    solver: SolverConfig | None = None
+    # Portfolio racing (repro.synthesis.portfolio): fork this many diverse
+    # arms per window and keep the first verified program.  0/1 keeps the
+    # single-arm inline path.  ``portfolio_diverse`` adds
+    # trajectory-diverse arms (perturbed solver configs, reversed grammar
+    # order) beyond the deterministic roster — those adopt broadcast
+    # counterexamples out of order and are excluded from bit-identity
+    # audits.
+    portfolio_arms: int = 0
+    portfolio_diverse: bool = False
 
 
 @dataclass
@@ -95,6 +110,14 @@ class SynthStats:
     scale_factor: int = 1
     cache_hit: bool = False
     verified: str = ""
+    # Portfolio provenance: the arm that produced this program ("" on the
+    # inline path).
+    arm: str = ""
+    # Cross-window reuse and broadcast traffic for this run.
+    envs_preloaded: int = 0
+    clauses_preloaded: int = 0
+    cex_adopted: int = 0
+    cex_published: int = 0
 
 
 @dataclass
@@ -969,8 +992,17 @@ def synthesize(
     grammar: Grammar,
     options: CegisOptions | None = None,
     cache: MemoCache | None = None,
+    reuse=None,
+    dictionary=None,
 ) -> SynthesisResult:
-    """Compile one Halide IR window to a target program (Algorithm 2)."""
+    """Compile one Halide IR window to a target program (Algorithm 2).
+
+    ``reuse`` is an optional :class:`~repro.synthesis.reuse.ReuseStore`
+    carrying counterexample suites and learned clauses between windows
+    with the same spec fingerprint.  ``dictionary`` is only needed by the
+    portfolio path (``options.portfolio_arms >= 2``) to rebuild winning
+    programs shipped back from arm processes.
+    """
     options = options or CegisOptions()
     start = time.monotonic()
     if cache is not None:
@@ -987,6 +1019,40 @@ def synthesize(
             )
             return SynthesisResult(hit.program, hit.cost, stats, spec)
 
+    try:
+        if options.portfolio_arms >= 2:
+            from repro.synthesis.portfolio import run_portfolio
+
+            result = run_portfolio(
+                spec, grammar, options,
+                reuse=reuse, dictionary=dictionary, start=start,
+            )
+        else:
+            result = _synthesize_uncached(
+                spec, grammar, options, start, reuse=reuse
+            )
+    except SynthesisFailure:
+        if cache is not None:
+            cache.store_failure(spec, grammar.isa)
+        raise
+
+    if cache is not None:
+        cache.store(spec, grammar.isa, result.program, result.cost)
+    return result
+
+
+def _synthesize_uncached(
+    spec: hir.HExpr,
+    grammar: Grammar,
+    options: CegisOptions,
+    start: float | None = None,
+    reuse=None,
+    broadcast=None,
+) -> SynthesisResult:
+    """The scaling ladder around one lane-wise search (no cache, no
+    portfolio dispatch) — also the per-arm entry point for portfolio
+    children, which pass their pipe-backed ``broadcast`` client."""
+    start = time.monotonic() if start is None else start
     deadline = start + options.timeout_seconds
     factor = options.scale_factor if options.scaling else 1
     spec_scaled = None
@@ -1001,23 +1067,19 @@ def synthesize(
         spec_scaled = spec
 
     try:
-        result = _lanewise_synthesis(spec, spec_scaled, factor, grammar, options, deadline, start)
+        return _lanewise_synthesis(
+            spec, spec_scaled, factor, grammar, options, deadline, start,
+            reuse=reuse, broadcast=broadcast,
+        )
     except SynthesisFailure:
         if factor == 1:
-            if cache is not None:
-                cache.store_failure(spec, grammar.isa)
             raise
-        # Algorithm 2 line 26: retry without scaling.
-        try:
-            result = _lanewise_synthesis(spec, spec, 1, grammar, options, deadline, start)
-        except SynthesisFailure:
-            if cache is not None:
-                cache.store_failure(spec, grammar.isa)
-            raise
-
-    if cache is not None:
-        cache.store(spec, grammar.isa, result.program, result.cost)
-    return result
+        # Algorithm 2 line 26: retry without scaling.  The broadcast
+        # stream is scoped to the scaled search — counterexamples from
+        # other arms live at the scaled width — so the retry runs solo.
+        return _lanewise_synthesis(
+            spec, spec, 1, grammar, options, deadline, start, reuse=reuse
+        )
 
 
 def _lanewise_synthesis(
@@ -1028,6 +1090,8 @@ def _lanewise_synthesis(
     options: CegisOptions,
     deadline: float,
     start: float,
+    reuse=None,
+    broadcast=None,
 ) -> SynthesisResult:
     rng = random.Random(options.seed)
     checker = EquivalenceChecker(
@@ -1042,23 +1106,47 @@ def _lanewise_synthesis(
         # One solver context per spec: the spec circuit is blasted once
         # and learned clauses carry over between candidate queries.
         incremental=options.incremental_smt,
+        solver_config=options.solver,
     )
     enumerator = _Enumerator(grammar, options, spec_scaled, rng, deadline)
     enumerator.scale_factor = factor
+    stats = SynthStats(grammar_size=grammar.size(), scale_factor=factor)
     failing_lanes: set[int] = {0}  # line 5
     # The enumerator shares the live set so dead-marking at admission
     # always sees the lanes currently asserted.
     enumerator.failing_lanes = failing_lanes
     for _ in range(2):  # line 4: two seed inputs
         enumerator.add_env(enumerator.random_env())
+    # Cross-window reuse: refuting inputs recorded by earlier same-spec
+    # runs are held aside as a targeted refutation library — proposed
+    # solutions are checked against them before any fuzzing, and only an
+    # input that actually refutes joins the suite.  (Adding them up front
+    # would tax every candidate evaluation with an extra environment for
+    # counterexamples the search may never need.)
+    known_refuters: list[dict[str, BitVector]] = []
+    if reuse is not None:
+        known_refuters = reuse.lookup_envs(spec_scaled, grammar.isa)
     enumerator.seed_pool()
 
-    stats = SynthStats(grammar_size=grammar.size(), scale_factor=factor)
     spec_term = hir.to_term(spec_scaled)
+    if options.incremental_smt:
+        # Prime: blast the spec first so its Tseitin variables occupy a
+        # deterministic prefix, making learned clauses over that cone
+        # portable between same-spec contexts (and import any stored).
+        cone, preload = 0, []
+        if reuse is not None:
+            cone, preload = reuse.lookup_clauses(spec_scaled, grammar.isa)
+        checker.prime(spec_term, preload, cone)
     rejected: set[int] = set()
 
     while True:
         stats.iterations += 1
+        # Adopt counterexamples relayed from sibling portfolio arms.
+        if broadcast is not None:
+            for env, lane in broadcast.drain(len(enumerator.envs)):
+                enumerator.add_env(env)
+                failing_lanes.add(lane)
+                stats.cex_adopted += 1
         solution = None
         while solution is None:
             matches = [
@@ -1081,13 +1169,42 @@ def _lanewise_synthesis(
 
         # Cheap refutation first: program-level evaluation is much faster
         # than term evaluation, and wrong candidates rarely survive it.
-        with phase_timer("verify"):
-            refuting_env = _fuzz_refute(solution.node, spec_scaled, enumerator, 96)
+        # Stored refuters from earlier same-spec runs go first — they
+        # were hard-won (often SMT models) and refute for free.
+        refuting_env = None
+        from_store = False
+        if known_refuters:
+            with phase_timer("verify"):
+                for env in known_refuters:
+                    try:
+                        wrong = (
+                            evaluate_program(solution.node, env).value
+                            != hir.interpret(spec_scaled, env).value
+                        )
+                    except Exception:
+                        wrong = False  # unevaluable here: not a refuter
+                    if wrong:
+                        refuting_env = env
+                        from_store = True
+                        break
+        if refuting_env is None:
+            with phase_timer("verify"):
+                refuting_env = _fuzz_refute(
+                    solution.node, spec_scaled, enumerator, 96
+                )
         if refuting_env is not None:
+            lane = _first_failing_lane(solution.node, spec_scaled, refuting_env)
+            if from_store:
+                known_refuters.remove(refuting_env)
+                stats.envs_preloaded += 1
+            elif reuse is not None:
+                reuse.record_env(spec_scaled, grammar.isa, refuting_env)
+            if broadcast is not None and broadcast.publish(
+                len(enumerator.envs), refuting_env, lane
+            ):
+                stats.cex_published += 1
             enumerator.add_env(refuting_env)
-            failing_lanes.add(
-                _first_failing_lane(solution.node, spec_scaled, refuting_env)
-            )
+            failing_lanes.add(lane)
             continue
         # Abstract pre-SMT gate: a solution whose abstraction provably
         # disagrees with the spec's hull on some (not-yet-asserted) lane
@@ -1123,15 +1240,30 @@ def _lanewise_synthesis(
         cex = dict(verdict.counterexample)
         for name, load_type in spec_scaled.loads().items():
             cex.setdefault(name, BitVector(0, load_type.bits))
+        lane = _first_failing_lane(solution.node, spec_scaled, cex)
+        if reuse is not None:
+            reuse.record_env(spec_scaled, grammar.isa, cex)
+        if broadcast is not None and broadcast.publish(
+            len(enumerator.envs), cex, lane
+        ):
+            stats.cex_published += 1
         enumerator.add_env(cex)
-        failing_lanes.add(
-            _first_failing_lane(solution.node, spec_scaled, cex)
-        )
+        failing_lanes.add(lane)
 
     # Lines 23-25: scale back up and verify at full width.
     full = _scale_up(solution.node, factor)
     if factor > 1 and not _fuzz_equal_full(full, spec, rng, options.full_scale_fuzz):
         raise SynthesisFailure("scaled-up solution failed full-width check")
+
+    # Bank this run's spec-cone learned clauses for the next same-spec
+    # synthesis (counterexamples were recorded at discovery).
+    if reuse is not None and options.incremental_smt:
+        learned = checker.export_learned()
+        if learned:
+            reuse.record_clauses(
+                spec_scaled, grammar.isa, checker.cone_vars(), learned
+            )
+    stats.clauses_preloaded = checker.clauses_preloaded
 
     stats.seconds = time.monotonic() - start
     stats.candidates = enumerator.total_candidates

@@ -1,0 +1,439 @@
+"""Portfolio CEGIS: race diverse synthesis arms, first verified win.
+
+One synthesis window rarely has a single best strategy — the optimised
+enumeration loop, the abstract-interpretation gate, and perturbed solver
+heuristics each win on different spec shapes.  The portfolio forks one
+process per *arm* (a named strategy variation), races them on the same
+window, keeps the first verified program, and cancels the rest.  While
+the race runs, counterexamples discovered by one arm are relayed through
+the parent to its siblings, so every arm's suite tightens monotonically
+no matter who finds the refutation first.
+
+Arms belong to *trajectory classes* that govern counterexample exchange:
+
+* ``canonical`` — arms whose searches are bit-identical (the optimised
+  loop and the ``legacy_eval`` A/B twin: same rng, same candidate order,
+  same SMT queries, hence the same counterexample stream).  Exchange
+  between them is a pure fast-forward: each message carries the suite
+  index it was discovered at, and the receiver adopts it only when that
+  index is exactly the next slot — the counterexample it was about to
+  spend a fuzz pass or an SMT query deriving itself.  Determinism (and
+  the bench's bit-identity audit) is preserved by construction.
+* ``absint`` — races the abstract-interpretation gate but sits out the
+  exchange entirely: its gate rejects candidates *without* adding an
+  environment, so its suite indices drift from the canonical stream and
+  index-aligned adoption would be meaningless.
+* ``diverse`` — opt-in perturbed arms (seeded solver branching, reversed
+  grammar order).  They adopt any relayed counterexample immediately,
+  order be damned — maximum pruning, no determinism claim — and their
+  own discoveries are relayed only to other diverse arms.
+
+The parent relays, scores, and cancels; it never synthesizes.  Winning
+programs reference live dictionary objects that may not pickle, so they
+cross the pipe structurally (:func:`~repro.synthesis.serialize
+.snode_to_obj`) and are re-resolved on the parent side.  When fork is
+unavailable the portfolio degrades to the inline single-arm path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+import time
+from multiprocessing import connection as mp_connection
+from dataclasses import dataclass
+
+from repro.bitvector.bv import BitVector
+from repro.perf import global_counters
+from repro.smt.sat import SolverConfig
+from repro.synthesis.cegis import (
+    CegisOptions,
+    SynthesisFailure,
+    SynthesisResult,
+    _synthesize_uncached,
+)
+from repro.synthesis.grammar import Grammar
+from repro.synthesis.serialize import snode_from_obj, snode_to_obj
+
+# Extra wall-clock the parent grants arms beyond the CEGIS budget before
+# declaring the whole race dead (arms time out on their own first).
+_GRACE_SECONDS = 15.0
+_POLL_SECONDS = 0.05
+
+
+@dataclass(frozen=True)
+class PortfolioArm:
+    """One named strategy variation."""
+
+    name: str
+    trajectory: str = "canonical"  # "canonical" | "absint" | "diverse"
+    legacy_eval: bool = False
+    absint_prune: bool = False
+    solver: SolverConfig | None = None
+    reverse_grammar: bool = False
+
+
+def default_arms(options: CegisOptions) -> list[PortfolioArm]:
+    """The roster for ``options.portfolio_arms`` arms.
+
+    The deterministic trio comes first — two canonical twins plus the
+    absint gate — so small portfolios stay inside the bit-identity
+    audit; diverse arms only join when explicitly enabled.
+    """
+    arms = [
+        PortfolioArm("optimised"),
+        PortfolioArm("absint", trajectory="absint", absint_prune=True),
+        PortfolioArm("legacy-eval", legacy_eval=True),
+    ]
+    if options.portfolio_diverse:
+        seed = options.seed
+        arms += [
+            PortfolioArm(
+                "solver-perturbed",
+                trajectory="diverse",
+                solver=SolverConfig(
+                    branch_seed=seed * 2 + 1, random_branch_freq=0.05
+                ),
+            ),
+            PortfolioArm(
+                "grammar-reversed", trajectory="diverse", reverse_grammar=True
+            ),
+            PortfolioArm(
+                "solver-geometric",
+                trajectory="diverse",
+                solver=SolverConfig(
+                    restart="geometric",
+                    branch_seed=seed * 2 + 7,
+                    random_branch_freq=0.05,
+                ),
+            ),
+        ]
+    return arms[: max(2, options.portfolio_arms)]
+
+
+def _arm_options(arm: PortfolioArm, options: CegisOptions) -> CegisOptions:
+    return dataclasses.replace(
+        options,
+        portfolio_arms=0,  # arms never recurse into another portfolio
+        legacy_eval=arm.legacy_eval,
+        absint_prune=arm.absint_prune,
+        solver=arm.solver if arm.solver is not None else options.solver,
+    )
+
+
+def _arm_grammar(arm: PortfolioArm, grammar: Grammar) -> Grammar:
+    if not arm.reverse_grammar:
+        return grammar
+    return dataclasses.replace(
+        grammar, entries=list(reversed(grammar.entries))
+    )
+
+
+# ----------------------------------------------------------------------
+# Counterexample transport
+# ----------------------------------------------------------------------
+
+
+def _env_to_obj(env: dict[str, BitVector]) -> dict[str, tuple[int, int]]:
+    return {name: (bv.value, bv.width) for name, bv in env.items()}
+
+
+def _env_from_obj(obj) -> dict[str, BitVector]:
+    return {name: BitVector(value, width) for name, (value, width) in obj.items()}
+
+
+class BroadcastClient:
+    """An arm's end of the counterexample relay.
+
+    ``mode`` is ``"strict"`` (canonical arms: publish, adopt only the
+    exact next suite index), ``"loose"`` (diverse arms: publish, adopt
+    anything as it arrives) or ``"off"`` (absint arm: inert).  A dead
+    pipe — the parent cancelled us mid-send — permanently disables the
+    client instead of killing the synthesis.
+    """
+
+    def __init__(self, conn, mode: str) -> None:
+        self.conn = conn
+        self.mode = mode
+        self._pending: dict[int, tuple[dict, int]] = {}
+        self._loose: list[tuple[dict, int]] = []
+
+    def publish(self, index: int, env: dict[str, BitVector], lane: int) -> bool:
+        if self.mode == "off" or self.conn is None:
+            return False
+        try:
+            self.conn.send(("cex", index, _env_to_obj(env), lane))
+        except (OSError, ValueError):
+            self.conn = None
+            return False
+        return True
+
+    def drain(self, next_index: int) -> list[tuple[dict[str, BitVector], int]]:
+        """Counterexamples this arm should adopt right now."""
+        if self.mode == "off" or self.conn is None:
+            return []
+        try:
+            while self.conn.poll():
+                kind, index, env_obj, lane = self.conn.recv()
+                if kind != "cex":
+                    continue
+                if self.mode == "loose":
+                    self._loose.append((_env_from_obj(env_obj), lane))
+                else:
+                    self._pending.setdefault(index, (_env_from_obj(env_obj), lane))
+        except (OSError, EOFError, ValueError):
+            self.conn = None
+        if self.mode == "loose":
+            out, self._loose = self._loose, []
+            return out
+        out = []
+        while next_index in self._pending:
+            out.append(self._pending.pop(next_index))
+            next_index += 1
+        return out
+
+
+# ----------------------------------------------------------------------
+# Arm processes
+# ----------------------------------------------------------------------
+
+
+def _arm_main(arm, spec, grammar, options, reuse, conn) -> None:
+    """Arm entry point (runs in a forked child)."""
+    mode = {"canonical": "strict", "diverse": "loose"}.get(arm.trajectory, "off")
+    broadcast = BroadcastClient(conn, mode)
+    try:
+        result = _synthesize_uncached(
+            spec,
+            _arm_grammar(arm, grammar),
+            _arm_options(arm, options),
+            reuse=reuse,
+            broadcast=broadcast,
+        )
+        payload = {
+            "program": snode_to_obj(result.program),
+            "cost": result.cost,
+            "stats": result.stats,
+            "reuse": reuse.payload() if reuse is not None else {},
+        }
+        conn.send(("done", payload))
+    except SynthesisFailure as exc:
+        conn.send(
+            (
+                "fail",
+                {
+                    "message": str(exc),
+                    "timed_out": exc.timed_out,
+                    "reuse": reuse.payload() if reuse is not None else {},
+                },
+            )
+        )
+    except Exception as exc:  # noqa: BLE001 - reported, parent decides
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except (OSError, ValueError):
+            pass
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+class _GrammarIndex:
+    """A minimal dictionary view for rebuilding programs when the caller
+    didn't pass the real dictionary: every instruction a raced program
+    can mention is in the window's grammar."""
+
+    def __init__(self, grammar: Grammar) -> None:
+        self.by_target_instruction = {}
+        for entry in grammar.entries:
+            self.by_target_instruction.setdefault(
+                entry.binding.spec.name, entry.op
+            )
+
+
+def _relay_targets(arms, source_index):
+    """Which sibling arms receive a counterexample from ``source_index``.
+
+    Canonical discoveries go to the other canonical arms (strict
+    fast-forward) and to every diverse arm; diverse discoveries only to
+    other diverse arms; the absint arm neither sends nor receives.
+    """
+    source = arms[source_index]
+    out = []
+    for index, arm in enumerate(arms):
+        if index == source_index or arm.trajectory == "absint":
+            continue
+        if source.trajectory == "canonical" and arm.trajectory in (
+            "canonical",
+            "diverse",
+        ):
+            out.append(index)
+        elif source.trajectory == "diverse" and arm.trajectory == "diverse":
+            out.append(index)
+    return out
+
+
+# ----------------------------------------------------------------------
+# The race
+# ----------------------------------------------------------------------
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def run_portfolio(
+    spec,
+    grammar: Grammar,
+    options: CegisOptions,
+    reuse=None,
+    dictionary=None,
+    start: float | None = None,
+    force: bool = False,
+) -> SynthesisResult:
+    """Race ``options.portfolio_arms`` arms on one window.
+
+    Racing only pays when arms actually run in parallel: on a single
+    usable core the processes would time-slice each other and the race
+    degenerates to running every arm back to back.  The arm count is
+    therefore capped at the core count, and with one core (or no fork
+    support) the window runs inline instead — ``force=True`` overrides
+    both, for tests that must exercise the race machinery regardless of
+    the host.
+    """
+    start = time.monotonic() if start is None else start
+    perf = global_counters()
+    cores = _usable_cores()
+    if "fork" not in multiprocessing.get_all_start_methods() or (
+        cores < 2 and not force
+    ):
+        perf.portfolio_inline_fallbacks += 1
+        return _synthesize_uncached(spec, grammar, options, start, reuse=reuse)
+    ctx = multiprocessing.get_context("fork")
+
+    arms = default_arms(options)
+    if not force:
+        arms = arms[: max(2, cores)]
+    procs = []  # (arm, process, parent_conn) — conn None once retired
+    try:
+        for arm in arms:
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_arm_main,
+                args=(arm, spec, grammar, options, reuse, child_conn),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            procs.append([arm, proc, parent_conn])
+    except OSError:
+        # Fork refused (resource limits): retire whatever launched and
+        # run inline.
+        for _arm, proc, conn in procs:
+            if proc.is_alive():
+                proc.terminate()
+            proc.join(timeout=5)
+            conn.close()
+        perf.portfolio_inline_fallbacks += 1
+        return _synthesize_uncached(spec, grammar, options, start, reuse=reuse)
+
+    perf.portfolio_windows += 1
+    perf.portfolio_arms_launched += len(procs)
+    deadline = start + options.timeout_seconds + _GRACE_SECONDS
+    winner = None  # (arm, payload)
+    winner_proc = None
+    failures: list[dict] = []
+    errors: list[str] = []
+    try:
+        while winner is None:
+            live = [entry for entry in procs if entry[2] is not None]
+            if not live:
+                break
+            ready = mp_connection.wait(
+                [entry[2] for entry in live], timeout=_POLL_SECONDS
+            )
+            for conn in ready:
+                entry = next(e for e in procs if e[2] is conn)
+                arm_index = procs.index(entry)
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    # Arm died without a report (OOM-kill, crash).
+                    errors.append(f"{entry[0].name}: died without report")
+                    conn.close()
+                    entry[2] = None
+                    continue
+                kind = message[0]
+                if kind == "cex":
+                    perf.portfolio_cex_broadcast += 1
+                    for target in _relay_targets(arms, arm_index):
+                        target_conn = procs[target][2]
+                        if target_conn is None:
+                            continue
+                        try:
+                            target_conn.send(message)
+                        except (OSError, ValueError):
+                            pass
+                elif kind == "done":
+                    winner = (entry[0], message[1])
+                    winner_proc = entry[1]
+                    break
+                elif kind == "fail":
+                    failures.append(message[1])
+                    if reuse is not None:
+                        reuse.merge(message[1].get("reuse", {}))
+                    conn.close()
+                    entry[2] = None
+                else:  # "error"
+                    errors.append(f"{entry[0].name}: {message[1]}")
+                    conn.close()
+                    entry[2] = None
+            # Reap arms that exited without closing the protocol.
+            for entry in procs:
+                if entry[2] is not None and not entry[1].is_alive():
+                    if not entry[2].poll():
+                        errors.append(f"{entry[0].name}: exited silently")
+                        entry[2].close()
+                        entry[2] = None
+            if time.monotonic() > deadline:
+                break
+    finally:
+        for _arm, proc, conn in procs:
+            if proc.is_alive():
+                proc.terminate()
+                if winner is not None and proc is not winner_proc:
+                    perf.portfolio_cancels += 1
+        for _arm, proc, conn in procs:
+            proc.join(timeout=5)
+            if conn is not None:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+    if winner is None:
+        timed_out = (
+            time.monotonic() > deadline
+            or any(f.get("timed_out") for f in failures)
+        )
+        detail = failures[0]["message"] if failures else "; ".join(errors)
+        raise SynthesisFailure(
+            f"all portfolio arms failed: {detail or 'no arm reported'}",
+            timed_out=timed_out,
+        )
+
+    arm, payload = winner
+    if reuse is not None:
+        reuse.merge(payload.get("reuse", {}))
+    resolver = dictionary if dictionary is not None else _GrammarIndex(grammar)
+    program = snode_from_obj(payload["program"], resolver)
+    stats = payload["stats"]
+    stats.arm = arm.name
+    stats.seconds = time.monotonic() - start
+    return SynthesisResult(program, payload["cost"], stats, spec)

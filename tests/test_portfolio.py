@@ -1,0 +1,322 @@
+"""Portfolio CEGIS, counterexample broadcast, and cross-window reuse.
+
+The race must be an accelerator only: a forced portfolio run returns a
+program bit-identical to the inline path, the strict broadcast protocol
+fast-forwards canonical arms without reordering their counterexample
+streams, and the reuse store round-trips counterexample suites and
+spec-cone clauses across renames, processes, and corrupt files.
+"""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.autollvm import build_dictionary
+from repro.bitvector.bv import BitVector
+from repro.halide import ir as hir
+from repro.perf import global_counters
+from repro.smt.solver import IncrementalSatContext
+from repro.smt.terms import apply_op, var
+from repro.synthesis import CegisOptions, ReuseStore, build_grammar
+from repro.synthesis import portfolio as portfolio_mod
+from repro.synthesis.cegis import _synthesize_uncached
+from repro.synthesis.portfolio import (
+    BroadcastClient,
+    PortfolioArm,
+    _relay_targets,
+    default_arms,
+    run_portfolio,
+)
+from repro.synthesis.serialize import snode_to_obj
+
+
+@pytest.fixture(scope="module")
+def dictionary():
+    return build_dictionary(("x86", "hvx", "arm"))
+
+
+def _add_window(lanes=16, ew=16):
+    return hir.HBin(
+        "add", hir.HLoad("ld0", lanes, ew), hir.HLoad("ld1", lanes, ew)
+    )
+
+
+def _env_obj(value=5, width=8):
+    return {"x": (value, width)}
+
+
+class TestRoster:
+    def test_deterministic_trio_first(self):
+        arms = default_arms(CegisOptions(portfolio_arms=3))
+        assert [a.name for a in arms] == ["optimised", "absint", "legacy-eval"]
+        assert arms[0].trajectory == "canonical"
+        assert arms[1].trajectory == "absint"
+        assert arms[2].trajectory == "canonical"
+
+    def test_small_portfolio_keeps_two_arms(self):
+        arms = default_arms(CegisOptions(portfolio_arms=2))
+        assert len(arms) == 2
+
+    def test_diverse_arms_opt_in(self):
+        options = CegisOptions(portfolio_arms=6, portfolio_diverse=True)
+        arms = default_arms(options)
+        assert len(arms) == 6
+        diverse = [a for a in arms if a.trajectory == "diverse"]
+        assert {a.name for a in diverse} == {
+            "solver-perturbed", "grammar-reversed", "solver-geometric",
+        }
+        assert not default_arms(CegisOptions(portfolio_arms=6))[3:]
+
+    def test_relay_topology(self):
+        arms = [
+            PortfolioArm("a"),
+            PortfolioArm("b", trajectory="absint"),
+            PortfolioArm("c"),
+            PortfolioArm("d", trajectory="diverse"),
+            PortfolioArm("e", trajectory="diverse"),
+        ]
+        # Canonical discoveries reach canonical + diverse, never absint.
+        assert _relay_targets(arms, 0) == [2, 3, 4]
+        # Diverse discoveries stay between diverse arms.
+        assert _relay_targets(arms, 3) == [4]
+        # The absint arm neither sends nor receives.
+        assert _relay_targets(arms, 1) == []
+
+
+class TestBroadcastClient:
+    def test_strict_adopts_only_consecutive_indices(self):
+        parent, child = multiprocessing.Pipe()
+        client = BroadcastClient(child, "strict")
+        parent.send(("cex", 3, _env_obj(7), 1))
+        assert client.drain(2) == []  # index 3 buffered, 2 not seen yet
+        parent.send(("cex", 2, _env_obj(5), 0))
+        adopted = client.drain(2)
+        assert [(env["x"].value, lane) for env, lane in adopted] == [
+            (5, 0), (7, 1),
+        ]
+        assert client.drain(4) == []
+
+    def test_loose_adopts_everything_immediately(self):
+        parent, child = multiprocessing.Pipe()
+        client = BroadcastClient(child, "loose")
+        parent.send(("cex", 9, _env_obj(1), 0))
+        parent.send(("cex", 4, _env_obj(2), 1))
+        adopted = client.drain(0)
+        assert [env["x"].value for env, _ in adopted] == [1, 2]
+
+    def test_off_mode_is_inert(self):
+        parent, child = multiprocessing.Pipe()
+        client = BroadcastClient(child, "off")
+        assert not client.publish(0, {"x": BitVector(1, 8)}, 0)
+        parent.send(("cex", 0, _env_obj(), 0))
+        assert client.drain(0) == []
+
+    def test_publish_round_trips_bitvectors(self):
+        parent, child = multiprocessing.Pipe()
+        sender = BroadcastClient(child, "strict")
+        assert sender.publish(0, {"x": BitVector(0xAB, 8)}, 2)
+        kind, index, env_obj, lane = parent.recv()
+        assert (kind, index, lane) == ("cex", 0, 2)
+        assert env_obj == {"x": (0xAB, 8)}
+
+    def test_dead_pipe_disables_client(self):
+        parent, child = multiprocessing.Pipe()
+        parent.close()
+        client = BroadcastClient(child, "strict")
+        assert not client.publish(0, {"x": BitVector(1, 8)}, 0)
+        assert client.conn is None
+        assert client.drain(0) == []  # stays disabled, never raises
+
+
+class TestInlineFallback:
+    def test_single_core_runs_inline(self, dictionary, monkeypatch):
+        monkeypatch.setattr(portfolio_mod, "_usable_cores", lambda: 1)
+        window = _add_window()
+        grammar = build_grammar(window, "x86", dictionary)
+        perf = global_counters()
+        fallbacks = perf.portfolio_inline_fallbacks
+        windows = perf.portfolio_windows
+        result = run_portfolio(
+            window, grammar, CegisOptions(timeout_seconds=30, portfolio_arms=3)
+        )
+        assert perf.portfolio_inline_fallbacks == fallbacks + 1
+        assert perf.portfolio_windows == windows  # no race was held
+        inline = _synthesize_uncached(
+            window, grammar, CegisOptions(timeout_seconds=30)
+        )
+        assert snode_to_obj(result.program) == snode_to_obj(inline.program)
+
+
+class TestForcedRace:
+    def test_race_matches_inline_and_accounts_cancels(self, dictionary):
+        window = _add_window()
+        grammar = build_grammar(window, "x86", dictionary)
+        inline = _synthesize_uncached(
+            window, grammar, CegisOptions(timeout_seconds=60)
+        )
+        perf = global_counters()
+        before = {
+            "windows": perf.portfolio_windows,
+            "arms": perf.portfolio_arms_launched,
+            "cancels": perf.portfolio_cancels,
+        }
+        result = run_portfolio(
+            window,
+            grammar,
+            CegisOptions(timeout_seconds=60, portfolio_arms=3),
+            dictionary=dictionary,
+            force=True,
+        )
+        assert snode_to_obj(result.program) == snode_to_obj(inline.program)
+        assert result.cost == inline.cost
+        assert result.stats.arm in {"optimised", "absint", "legacy-eval"}
+        assert perf.portfolio_windows == before["windows"] + 1
+        assert perf.portfolio_arms_launched == before["arms"] + 3
+        cancels = perf.portfolio_cancels - before["cancels"]
+        assert 0 <= cancels <= 2  # the winner is never its own cancel
+
+
+class TestReuseStore:
+    ISA = "x86"
+
+    def _record_two_envs(self, store, spec):
+        width = spec.type.lanes * spec.type.elem_width
+        store.record_env(
+            spec, self.ISA,
+            {"ld0": BitVector(7, width), "ld1": BitVector(9, width)},
+        )
+        store.record_env(
+            spec, self.ISA,
+            {"ld0": BitVector(1, width), "ld1": BitVector(2, width)},
+        )
+        return width
+
+    def test_envs_round_trip_across_renamed_loads(self):
+        store = ReuseStore()
+        spec = _add_window()
+        width = self._record_two_envs(store, spec)
+        renamed = hir.HBin(
+            "add", hir.HLoad("p", 16, 16), hir.HLoad("q", 16, 16)
+        )
+        envs = store.lookup_envs(renamed, self.ISA)
+        assert len(envs) == 2
+        assert envs[0] == {
+            "p": BitVector(7, width), "q": BitVector(9, width),
+        }
+
+    def test_duplicate_envs_not_stored_twice(self):
+        store = ReuseStore()
+        spec = _add_window()
+        self._record_two_envs(store, spec)
+        self._record_two_envs(store, spec)
+        assert store.counters()["envs"] == 2
+
+    def test_max_envs_cap(self):
+        store = ReuseStore(max_envs=3)
+        spec = _add_window()
+        for i in range(6):
+            store.record_env(
+                spec, self.ISA,
+                {"ld0": BitVector(i, 256), "ld1": BitVector(i + 1, 256)},
+            )
+        assert store.counters()["envs"] == 3
+
+    def test_width_mismatch_filtered_on_lookup(self):
+        store = ReuseStore()
+        self._record_two_envs(store, _add_window())
+        narrower = _add_window(lanes=8)
+        # Different spec -> different key -> clean miss, not a bad remap.
+        assert store.lookup_envs(narrower, self.ISA) == []
+
+    def test_persistence_round_trip(self, tmp_path):
+        store = ReuseStore(tmp_path)
+        spec = _add_window()
+        self._record_two_envs(store, spec)
+        store.record_clauses(spec, self.ISA, 40, [(1, -2), (3, 4, -5)])
+        store.flush()
+        fresh = ReuseStore(tmp_path)
+        assert len(fresh.lookup_envs(spec, self.ISA)) == 2
+        cone, clauses = fresh.lookup_clauses(spec, self.ISA)
+        assert cone == 40
+        assert clauses == [(1, -2), (3, 4, -5)]
+
+    def test_corrupt_file_ignored(self, tmp_path):
+        store = ReuseStore(tmp_path)
+        spec = _add_window()
+        self._record_two_envs(store, spec)
+        store.flush()
+        path = store._path_for(store.key_for(spec, self.ISA))
+        path.write_text("{ torn json")
+        fresh = ReuseStore(tmp_path)
+        assert fresh.lookup_envs(spec, self.ISA) == []
+
+    def test_key_collision_detected(self, tmp_path):
+        store = ReuseStore(tmp_path)
+        spec = _add_window()
+        self._record_two_envs(store, spec)
+        store.flush()
+        path = store._path_for(store.key_for(spec, self.ISA))
+        obj = json.loads(path.read_text())
+        obj["key"] = "some-other-spec"
+        path.write_text(json.dumps(obj))
+        fresh = ReuseStore(tmp_path)
+        assert fresh.lookup_envs(spec, self.ISA) == []
+
+    def test_clause_cone_mismatch_invalidates(self):
+        store = ReuseStore()
+        spec = _add_window()
+        store.record_clauses(spec, self.ISA, 40, [(1, -2)])
+        # A different blast layout: the stored suite must not be mixed in.
+        store.record_clauses(spec, self.ISA, 44, [(3,)])
+        cone, clauses = store.lookup_clauses(spec, self.ISA)
+        assert cone == 44
+        assert clauses == [(3,)]
+
+    def test_payload_merge_carries_child_discoveries(self):
+        child = ReuseStore()
+        spec = _add_window()
+        self._record_two_envs(child, spec)
+        child.record_clauses(spec, self.ISA, 40, [(1, -2)])
+        parent = ReuseStore()
+        parent.merge(child.payload())
+        assert len(parent.lookup_envs(spec, self.ISA)) == 2
+        assert parent.lookup_clauses(spec, self.ISA) == (40, [(1, -2)])
+
+
+class TestClauseTransfer:
+    def test_export_confined_to_spec_cone_and_reimportable(self):
+        x, y = var("x", 8), var("y", 8)
+        spec = apply_op("bvadd", [x, y])
+        ctx = IncrementalSatContext()
+        cone = ctx.prime(spec)
+        assert cone > 0
+        # Burn some conflicts: commuted addition is UNSAT-different.
+        other = apply_op("bvadd", [y, x])
+        assert not ctx.check_not_equal(spec, other).satisfiable
+        exported = ctx.export_learned()
+        for clause in exported:
+            assert all(abs(lit) <= cone for lit in clause)
+
+        sibling = IncrementalSatContext()
+        assert sibling.prime(spec) == cone  # deterministic blast layout
+        assert sibling.import_clauses(exported) == len(exported)
+        assert not sibling.check_not_equal(spec, other).satisfiable
+
+    def test_import_filters_out_of_cone_clauses(self):
+        x, y = var("x", 4), var("y", 4)
+        ctx = IncrementalSatContext()
+        cone = ctx.prime(apply_op("bvadd", [x, y]))
+        added = ctx.import_clauses([(1, -2), (cone + 1,), ()])
+        assert added == 1  # stale layout + empty clauses dropped
+
+    def test_import_requires_primed_context(self):
+        with pytest.raises(RuntimeError):
+            IncrementalSatContext().import_clauses([(1,)])
+
+    def test_prime_must_precede_queries(self):
+        x = var("x", 4)
+        ctx = IncrementalSatContext()
+        ctx.check_not_equal(x, apply_op("bvnot", [x]))
+        with pytest.raises(RuntimeError):
+            ctx.prime(x)
