@@ -1,0 +1,270 @@
+#!/usr/bin/env python
+"""A/B harness for the distilled rewrite-rule engine.
+
+Builds a seed family of synthesis windows (element-wise ops against a
+spread of constants), synthesizes them cold into a persistent cache,
+distills the cache into a verified rulebook, then times a *perturbed*
+family (unseen constants, doubled lane counts — windows the exact-key
+cache has never seen) through three arms:
+
+* ``fresh``    — cold CEGIS per window (ground truth programs);
+* ``warm``     — the seed cache attached, no rulebook (exact-key warm:
+  every perturbed window still misses and re-synthesizes);
+* ``rulebook`` — the seed cache plus the distilled rulebook (pattern
+  match + hole instantiation + concrete spot-check, no solver).
+
+Gates (exit 1 on violation):
+
+* the distilled rulebook is non-empty;
+* a deliberately unsound injected rule is rejected by the verifier;
+* every rule-served program is bit-identical (structurally, via
+  ``program_signature``) to the fresh-synthesis program for the same
+  window — zero mismatches tolerated;
+* the rulebook arm records ``rule_matches > 0`` and a lower wall time
+  than the exact-key-warm arm.
+
+Writes ``BENCH_rules.json``.
+
+Usage:
+    python scripts/bench_rules.py [--smoke] [--isa x86] [--timeout 25]
+        [--output PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import shutil
+import sys
+import tempfile
+import time
+
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.autollvm import build_dictionary  # noqa: E402
+from repro.halide import ir as hir  # noqa: E402
+from repro.perf import global_counters, snapshot, snapshot_delta  # noqa: E402
+from repro.service.store import PersistentCache  # noqa: E402
+from repro.synthesis import (  # noqa: E402
+    CegisOptions,
+    GrammarOptions,
+    MemoCache,
+    SynthesisFailure,
+    build_grammar,
+    dictionary_fingerprint,
+    synthesize,
+)
+from repro.synthesis.rules import (  # noqa: E402
+    Rule,
+    distill_rules,
+    load_rulebook,
+    program_signature,
+    verify_rule,
+)
+
+
+def seed_family(isa: str, smoke: bool) -> list[hir.HExpr]:
+    """Windows synthesized cold to populate the cache being distilled."""
+    ops = ("add", "mul") if smoke else ("add", "mul", "max_s", "min_s")
+    consts = (3, 5, 9) if smoke else (3, 5, 9, 17)
+    return [
+        hir.HBin(op, hir.HLoad("a", 8, 16), hir.HConst(c, 8, 16))
+        for op in ops
+        for c in consts
+    ]
+
+
+def perturbed_family(isa: str, smoke: bool) -> list[hir.HExpr]:
+    """Near-miss windows: same shapes, unseen constants and lane counts."""
+    ops = ("add", "mul") if smoke else ("add", "mul", "max_s", "min_s")
+    windows = []
+    for op in ops:
+        for c in ((11, 21) if smoke else (11, 21, 63, -7)):
+            windows.append(
+                hir.HBin(op, hir.HLoad("a", 8, 16), hir.HConst(c, 8, 16))
+            )
+        # Doubled lanes: exercises equivalence-class re-binding
+        # (e.g. _mm_add_epi16 -> _mm256_add_epi16).
+        windows.append(
+            hir.HBin(op, hir.HLoad("a", 16, 16), hir.HConst(13, 16, 16))
+        )
+    return windows
+
+
+def synth_arm(
+    windows: list[hir.HExpr],
+    isa: str,
+    dictionary,
+    cache,
+    options: CegisOptions,
+    rules=None,
+) -> tuple[float, list[str | None], dict]:
+    """Compile every window through one arm; returns (wall, signatures,
+    perf-delta)."""
+    before = snapshot()
+    start = time.monotonic()
+    signatures: list[str | None] = []
+    for window in windows:
+        grammar = build_grammar(window, isa, dictionary, GrammarOptions())
+        try:
+            result = synthesize(
+                window, grammar, options, cache,
+                dictionary=dictionary, rules=rules,
+            )
+            signatures.append(program_signature(result.program))
+        except SynthesisFailure:
+            signatures.append(None)
+    wall = time.monotonic() - start
+    delta = {k: v for k, v in snapshot_delta(before).items() if v}
+    return wall, signatures, delta
+
+
+def unsound_rule_rejected(book, dictionary) -> bool:
+    """Inject a deliberately wrong rule and confirm the verifier kills it.
+
+    The tampered rule reuses a verified rule's pattern but serves the
+    input unchanged (an identity program) — wrong for every non-zero
+    constant, so any sound verifier must reject it.
+    """
+    if not book.rules:
+        return False
+    victim = book.rules[0]
+    template = victim.template
+    # Walk to any SInput leaf to use as the bogus "program".
+    from repro.synthesis.program import SInput
+
+    leaf = next(
+        (n for n in template.walk() if isinstance(n, SInput)), None
+    )
+    if leaf is None:
+        return False
+    bogus = Rule(
+        key=victim.key,
+        isa=victim.isa,
+        slots=victim.slots,
+        holes=victim.holes,
+        template=leaf,
+        cost=0.0,
+    )
+    ok, reason = verify_rule(bogus)
+    return not ok
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small family for CI")
+    parser.add_argument("--isa", default="x86")
+    parser.add_argument("--timeout", type=float, default=25.0,
+                        help="per-window CEGIS budget in seconds")
+    parser.add_argument("--output", default="BENCH_rules.json")
+    args = parser.parse_args()
+
+    isa = args.isa
+    dictionary = build_dictionary((isa,))
+    fingerprint = dictionary_fingerprint(dictionary)
+    options = CegisOptions(timeout_seconds=args.timeout)
+    seeds = seed_family(isa, args.smoke)
+    perturbed = perturbed_family(isa, args.smoke)
+    report: dict = {
+        "isa": isa,
+        "smoke": args.smoke,
+        "seed_windows": len(seeds),
+        "perturbed_windows": len(perturbed),
+    }
+    gates: dict[str, bool] = {}
+
+    with tempfile.TemporaryDirectory() as tmp:
+        # Phase 1: cold synthesis of the seed family into the cache.
+        seed_root = str(pathlib.Path(tmp) / "seed")
+        cache = PersistentCache(seed_root, isa, dictionary)
+        cold_wall, cold_sigs, _ = synth_arm(
+            seeds, isa, dictionary, cache, options
+        )
+        report["cold"] = {
+            "wall_seconds": round(cold_wall, 3),
+            "synthesized": sum(1 for s in cold_sigs if s),
+        }
+
+        # Phase 2: distill + verify.
+        start = time.monotonic()
+        book, distill_report = distill_rules(
+            cache._entries.items(), isa, fingerprint=fingerprint, seed=7
+        )
+        book.save(cache.dir)
+        report["distill"] = {
+            "wall_seconds": round(time.monotonic() - start, 3),
+            **distill_report.to_dict(),
+            "book": book.stats(),
+        }
+        gates["rulebook_nonempty"] = len(book) > 0
+
+        # Phase 3: the verifier must reject an injected unsound rule.
+        gates["unsound_rule_rejected"] = unsound_rule_rejected(
+            book, dictionary
+        )
+
+        # Phase 4: arms over the perturbed family.  Each warm arm gets
+        # an isolated copy of the seed cache so one arm's write-through
+        # can never turn another arm's misses into exact-key hits.
+        warm_root = str(pathlib.Path(tmp) / "warm")
+        rule_root = str(pathlib.Path(tmp) / "rule")
+        shutil.copytree(seed_root, warm_root)
+        shutil.copytree(seed_root, rule_root)
+
+        fresh_wall, fresh_sigs, _ = synth_arm(
+            perturbed, isa, dictionary, MemoCache(), options
+        )
+        warm_wall, warm_sigs, _ = synth_arm(
+            perturbed, isa, dictionary,
+            PersistentCache(warm_root, isa, dictionary), options,
+        )
+        rule_cache = PersistentCache(rule_root, isa, dictionary)
+        loaded = load_rulebook(
+            rule_cache.dir, dictionary, expect_fingerprint=fingerprint,
+            use_cache=False,
+        )
+        matches_before = global_counters().rule_matches
+        rule_wall, rule_sigs, rule_perf = synth_arm(
+            perturbed, isa, dictionary, rule_cache, options, rules=loaded,
+        )
+        rule_matches = global_counters().rule_matches - matches_before
+
+        mismatches = [
+            str(perturbed[i])
+            for i in range(len(perturbed))
+            if rule_sigs[i] is not None
+            and fresh_sigs[i] is not None
+            and rule_sigs[i] != fresh_sigs[i]
+        ]
+        report["arms"] = {
+            "fresh": {"wall_seconds": round(fresh_wall, 3)},
+            "warm": {"wall_seconds": round(warm_wall, 3)},
+            "rulebook": {
+                "wall_seconds": round(rule_wall, 3),
+                "rule_matches": rule_matches,
+                "rule_misses": rule_perf.get("rule_misses", 0),
+            },
+        }
+        report["speedup_vs_warm"] = (
+            round(warm_wall / rule_wall, 2) if rule_wall > 0 else None
+        )
+        report["identity_mismatches"] = mismatches
+        gates["rule_matches_nonzero"] = rule_matches > 0
+        gates["bit_identical"] = not mismatches
+        gates["rulebook_beats_exact_warm"] = rule_wall < warm_wall
+
+    report["gates"] = gates
+    ok = all(gates.values())
+    report["ok"] = ok
+    pathlib.Path(args.output).write_text(json.dumps(report, indent=2))
+    print(json.dumps(report, indent=2))
+    print("PASS" if ok else "FAIL", file=sys.stderr)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

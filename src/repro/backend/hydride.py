@@ -102,6 +102,9 @@ class HydrideCompiler:
         max_window_ops: int = 6,
         # Cross-window counterexample/clause reuse store (optional).
         reuse=None,
+        # Distilled rewrite-rule book (optional): consulted ahead of
+        # CEGIS on every exact cache miss.
+        rules=None,
     ) -> None:
         self.dictionary = dictionary or build_dictionary(("x86", "hvx", "arm"))
         self.cache = cache if cache is not None else MemoCache()
@@ -110,6 +113,7 @@ class HydrideCompiler:
         self.max_window_size = max_window_size
         self.max_window_ops = max_window_ops
         self.reuse = reuse
+        self.rules = rules
 
     # ------------------------------------------------------------------
 
@@ -157,6 +161,7 @@ class HydrideCompiler:
                     self.cache,
                     reuse=self.reuse,
                     dictionary=self.dictionary,
+                    rules=self.rules,
                 )
                 accounting.synth_seconds += result.stats.seconds
                 accounting.cache_hits += self.cache.hits - hits_before

@@ -16,7 +16,7 @@ Request frames (client → daemon)::
 Response frames (daemon → client)::
 
     {"id": "r1", "ok": true, "result": {...}, "telemetry": {...},
-     "served_by": "synthesis" | "l1" | "coalesced"}
+     "served_by": "synthesis" | "rule" | "l1" | "coalesced"}
     {"id": "r2", "ok": true, "stats": {...}}
     {"id": "r1", "ok": false,
      "error": {"type": "quota_exceeded", "message": "...",
@@ -140,6 +140,7 @@ def result_to_obj(outcome: JobResult) -> dict:
             "cache_hits": telemetry.cache_hits,
             "failure_hits": telemetry.failure_hits,
             "synth_calls": telemetry.synth_calls,
+            "rule_hits": telemetry.rule_hits,
             "entries_added": telemetry.entries_added,
             "wall_seconds": round(telemetry.wall_seconds, 6),
             "attempts": telemetry.attempts,

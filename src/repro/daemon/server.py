@@ -132,6 +132,7 @@ class DaemonServer:
             "http_requests": 0,
             "pack_imported_entries": 0,
             "pack_exported_entries": 0,
+            "rulebooks_preloaded": 0,
         }
         # L1: job signature -> response payload (result + telemetry).
         self._l1: OrderedDict[tuple, dict] = OrderedDict()
@@ -158,6 +159,7 @@ class DaemonServer:
 
             merged = import_pack(self.options.cache_dir, self.options.warm_pack)
             self.counters["pack_imported_entries"] += merged["imported"]
+        self.counters["rulebooks_preloaded"] += self._preload_rulebooks()
         # Building the dictionary blocks the loop once, at startup, so
         # every forked worker inherits it warm.
         self._pool = WorkerPool(
@@ -174,6 +176,36 @@ class DaemonServer:
             self._handle_conn, self.options.host, self.options.port
         )
         self._pump_task = asyncio.create_task(self._pump())
+
+    def _preload_rulebooks(self) -> int:
+        """Parse each ISA's distilled rulebook before the pool forks.
+
+        :func:`~repro.synthesis.rules.load_rulebook` memoizes per
+        (directory, fingerprint), so workers forked after this inherit
+        the parsed books and skip the JSON parse entirely.  Returns the
+        number of books found.
+        """
+        if self.options.cache_dir is None:
+            return 0
+        from pathlib import Path
+
+        from repro.autollvm import build_dictionary
+        from repro.service.store import FINGERPRINT_DIR_CHARS
+        from repro.synthesis.rules import load_rulebook
+        from repro.synthesis.serialize import dictionary_fingerprint
+
+        dictionary = build_dictionary(("x86", "hvx", "arm"))
+        fingerprint = dictionary_fingerprint(dictionary)
+        root = Path(self.options.cache_dir)
+        loaded = 0
+        for isa in KNOWN_ISAS:
+            directory = root / isa / fingerprint[:FINGERPRINT_DIR_CHARS]
+            book = load_rulebook(
+                directory, dictionary, expect_fingerprint=fingerprint
+            )
+            if book is not None and len(book):
+                loaded += 1
+        return loaded
 
     @property
     def bound_port(self) -> int:
@@ -367,6 +399,7 @@ class DaemonServer:
                     "cache_hits": 0,
                     "failure_hits": 0,
                     "synth_calls": 0,
+                    "rule_hits": 0,
                     "entries_added": 0,
                     "wall_seconds": 0.0,
                     "attempts": 0,
@@ -492,10 +525,18 @@ class DaemonServer:
             while len(self._l1) > max(1, self.options.l1_capacity):
                 self._l1.popitem(last=False)
                 self.counters["l1_evictions"] += 1
+        # The owner's tier: "rule" when every cache miss was answered by
+        # the distilled rulebook (no CEGIS ran), else "synthesis".
+        telemetry = outcome.telemetry
+        owner_tier = (
+            "rule"
+            if telemetry.rule_hits > 0 and telemetry.synth_calls == 0
+            else "synthesis"
+        )
         for index, request in enumerate(entry.requests):
             self.admission.release(request.tenant)
             response = protocol.ok_response(request.frame_id, dict(payload))
-            response["served_by"] = "synthesis" if index == 0 else "coalesced"
+            response["served_by"] = owner_tier if index == 0 else "coalesced"
             await self._send(request.conn, response)
 
     async def _finish_drain(self) -> None:
@@ -584,6 +625,12 @@ class DaemonServer:
                     "failure_hits": stats.failure_hits,
                     "synth_calls": stats.synth_calls,
                     "hit_rate": round(stats.hit_rate, 4) if lookups else 0.0,
+                },
+                "rules": {
+                    "rule_hits": stats.rule_hits,
+                    "matches": runs["perf"].get("rule_matches", 0),
+                    "misses": runs["perf"].get("rule_misses", 0),
+                    "preloaded": self.counters["rulebooks_preloaded"],
                 },
                 "pack": {
                     "imported_entries": self.counters["pack_imported_entries"],

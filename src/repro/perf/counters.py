@@ -90,6 +90,14 @@ class PerfCounters:
     reuse_clause_hits: int = 0
     reuse_clause_misses: int = 0
     reuse_clauses_preloaded: int = 0
+    # Rewrite-rule engine (repro.synthesis.rules): windows served by a
+    # verified rule ahead of CEGIS, windows that consulted the rulebook
+    # and fell through to synthesis, rules admitted by the offline
+    # distiller, and candidate rules its verifier rejected.
+    rule_matches: int = 0
+    rule_misses: int = 0
+    rule_distilled: int = 0
+    rule_verify_failures: int = 0
     # Fault plane (repro.faults): faults actually fired in this process,
     # and failures — injected or real — absorbed by a hardened recovery
     # path (corrupt entry skipped, stale tmp reaped, dead pipe routed to
@@ -147,6 +155,10 @@ class PerfCounters:
             reuse_clause_hits=self.reuse_clause_hits,
             reuse_clause_misses=self.reuse_clause_misses,
             reuse_clauses_preloaded=self.reuse_clauses_preloaded,
+            rule_matches=self.rule_matches,
+            rule_misses=self.rule_misses,
+            rule_distilled=self.rule_distilled,
+            rule_verify_failures=self.rule_verify_failures,
             faults_injected=self.faults_injected,
             fault_recoveries=self.fault_recoveries,
         )
@@ -183,6 +195,10 @@ class PerfCounters:
         self.reuse_clause_hits = 0
         self.reuse_clause_misses = 0
         self.reuse_clauses_preloaded = 0
+        self.rule_matches = 0
+        self.rule_misses = 0
+        self.rule_distilled = 0
+        self.rule_verify_failures = 0
         self.faults_injected = 0
         self.fault_recoveries = 0
 

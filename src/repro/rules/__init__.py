@@ -1,0 +1,10 @@
+"""CLI surface for the distilled rewrite-rule engine.
+
+The engine itself lives in :mod:`repro.synthesis.rules`; this package
+only carries the ``python -m repro.rules`` entry point (distill / stats
+/ verify over a persistent cache directory).
+"""
+
+from repro.rules.cli import main
+
+__all__ = ["main"]

@@ -1,0 +1,5 @@
+import sys
+
+from repro.rules.cli import main
+
+sys.exit(main())

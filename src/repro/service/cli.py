@@ -142,20 +142,22 @@ def _print_results(results: list[JobResult], scheduler: Scheduler) -> None:
             f"{tel.wall_seconds:.2f}",
             str(tel.cache_hits),
             str(tel.failure_hits),
+            str(tel.rule_hits),
             str(tel.synth_calls),
             str(tel.attempts),
             tel.fallback or "-",
         ])
     print(format_table(
         ["benchmark", "isa", "compiler", "runtime (us)", "wall (s)",
-         "hits", "neg-hits", "synth", "attempts", "fallback"],
+         "hits", "neg-hits", "rules", "synth", "attempts", "fallback"],
         rows,
     ))
     stats = scheduler.last_stats
     print(
         f"\n{stats.jobs} jobs, {stats.ok} ok | "
         f"hit rate {stats.hit_rate:.1%} "
-        f"({stats.cache_hits} hits + {stats.failure_hits} negative, "
+        f"({stats.cache_hits} hits + {stats.failure_hits} negative + "
+        f"{stats.rule_hits} rule-served, "
         f"{stats.synth_calls} synthesized) | "
         f"wall {stats.wall_seconds:.1f}s, "
         f"worker utilization {stats.utilization:.0%}"
@@ -214,16 +216,18 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             ns["fingerprint"][:16],
             str(ns["entries"]),
             str(ns["failures"]),
+            str(ns.get("rules", 0)),
             f"{ns['bytes'] / 1024:.1f}",
         ]
         for ns in stats["namespaces"]
     ]
     print(format_table(
-        ["isa", "fingerprint", "entries", "failures", "KiB"], rows
+        ["isa", "fingerprint", "entries", "failures", "rules", "KiB"], rows
     ))
     print(
         f"\ntotal: {stats['total_entries']} entries, "
         f"{stats['total_failures']} negative, "
+        f"{stats.get('total_rules', 0)} rules, "
         f"{stats['total_bytes'] / 1024:.1f} KiB"
         + (
             f", {stats['total_tmp_litter']} .tmp litter"
@@ -253,9 +257,12 @@ def _cmd_gc(args: argparse.Namespace) -> int:
 
     fingerprint = dictionary_fingerprint(build_dictionary(("x86", "hvx", "arm")))
     outcome = gc_store(args.cache_dir, fingerprint)
+    reaped = outcome.get("removed_rulebooks", 0)
     print(
         f"removed {outcome['removed_namespaces']} stale namespaces "
-        f"({outcome['removed_files']} files); kept {fingerprint[:16]}"
+        f"({outcome['removed_files']} files"
+        + (f", {reaped} stale rulebooks" if reaped else "")
+        + f"); kept {fingerprint[:16]}"
     )
     return 0
 

@@ -101,6 +101,9 @@ class JobTelemetry:
     cache_hits: int = 0
     failure_hits: int = 0
     synth_calls: int = 0  # cache misses that went to CEGIS
+    # Cache misses served solver-free by the distilled rulebook
+    # (repro.synthesis.rules) instead of CEGIS.
+    rule_hits: int = 0
     entries_added: int = 0
     # Abstract screening of persistent-cache hits (PersistentCache.lookup):
     # hits re-checked, and hits evicted because the stored program
@@ -119,7 +122,10 @@ class JobTelemetry:
 
     @property
     def lookups(self) -> int:
-        return self.cache_hits + self.failure_hits + self.synth_calls
+        return (
+            self.cache_hits + self.failure_hits + self.synth_calls
+            + self.rule_hits
+        )
 
     @property
     def hit_rate(self) -> float:
@@ -148,11 +154,17 @@ class JobResult:
 
 
 def make_compiler(
-    name: str, dictionary, cache: MemoCache, cegis: CegisOptions, reuse=None
+    name: str,
+    dictionary,
+    cache: MemoCache,
+    cegis: CegisOptions,
+    reuse=None,
+    rules=None,
 ):
     if name == "hydride":
         return HydrideCompiler(
-            dictionary=dictionary, cache=cache, cegis=cegis, reuse=reuse
+            dictionary=dictionary, cache=cache, cegis=cegis, reuse=reuse,
+            rules=rules,
         )
     if name == "halide":
         return HalideNativeCompiler()
@@ -189,6 +201,35 @@ def _open_reuse(job: CompileJob, cache_dir):
     return ReuseStore(root)
 
 
+def _open_rules(job: CompileJob, cache: MemoCache):
+    """The distilled rulebook for one job, or None.
+
+    Only hydride jobs with a persistent cache have one: the rulebook
+    lives as ``rules.json`` inside the cache's fingerprint namespace
+    (``PersistentCache.dir``) and is only loaded when its recorded
+    fingerprint matches the live dictionary's — a stale book is ignored,
+    never applied.  The parsed book is memoized process-wide, so forked
+    workers inherit the parent daemon's copy for free.
+    """
+    if job.compiler != "hydride":
+        return None
+    directory = getattr(cache, "dir", None)
+    if directory is None:
+        return None
+    from repro.synthesis.rules import load_rulebook
+
+    return load_rulebook(
+        directory, cache.dictionary, expect_fingerprint=cache.fingerprint
+    )
+
+
+def _rule_match_count() -> int:
+    """Rulebook matches so far in this process (for per-attempt deltas)."""
+    from repro.perf import global_counters
+
+    return global_counters().rule_matches
+
+
 def _compile_once(
     job: CompileJob,
     compiler_name: str,
@@ -197,9 +238,12 @@ def _compile_once(
     cegis: CegisOptions,
     deadline: float | None,
     reuse=None,
+    rules=None,
 ) -> BenchmarkResult:
     benchmark = benchmark_named(job.benchmark)
-    compiler = make_compiler(compiler_name, dictionary, cache, cegis, reuse=reuse)
+    compiler = make_compiler(
+        compiler_name, dictionary, cache, cegis, reuse=reuse, rules=rules
+    )
     start = time.monotonic()
     try:
         kernels = benchmark.lower(job.isa)
@@ -258,6 +302,7 @@ def execute_job(
     perf_before = perf_snapshot()
     cache = _open_cache(job, cache_dir, dictionary)
     reuse = _open_reuse(job, cache_dir)
+    rules = _open_rules(job, cache)
     telemetry = JobTelemetry(worker_pid=os.getpid())
 
     result: BenchmarkResult | None = None
@@ -267,12 +312,13 @@ def execute_job(
             cegis, timeout_seconds=cegis.timeout_seconds / (2**attempt)
         )
         before = cache.counters()
+        rules_before = _rule_match_count()
         timed_out = False
         try:
             _attempt_fault(job, attempt)
             result = _compile_once(
                 job, job.compiler, dictionary, cache, budget, deadline,
-                reuse=reuse,
+                reuse=reuse, rules=rules,
             )
         except JobTimeout as exc:
             timed_out = True
@@ -287,9 +333,17 @@ def execute_job(
                 error=f"injected fault: {exc}",
             )
         after = cache.counters()
+        rule_delta = _rule_match_count() - rules_before
         telemetry.cache_hits += after["hits"] - before["hits"]
         telemetry.failure_hits += after["failure_hits"] - before["failure_hits"]
-        telemetry.synth_calls += after["misses"] - before["misses"]
+        # A rule-served window still records a cache-lookup miss, so the
+        # rulebook's matches are subtracted from the misses that actually
+        # went to CEGIS.  Clamped because the negative-cache rescue path
+        # counts a failure_hit (not a miss) before the rule fires.
+        telemetry.rule_hits += rule_delta
+        telemetry.synth_calls += max(
+            0, after["misses"] - before["misses"] - rule_delta
+        )
         telemetry.entries_added += (
             after["entries"] - before["entries"]
             + after["failures"] - before["failures"]

@@ -75,6 +75,8 @@ class ServiceStats:
     cache_hits: int = 0
     failure_hits: int = 0
     synth_calls: int = 0
+    # Cache misses served solver-free by the distilled rulebook.
+    rule_hits: int = 0
     entries_added: int = 0
     # Persistent-cache hits screened abstractly before codegen, and hits
     # evicted because the stored program provably disagrees with its spec.
@@ -95,7 +97,10 @@ class ServiceStats:
 
     @property
     def lookups(self) -> int:
-        return self.cache_hits + self.failure_hits + self.synth_calls
+        return (
+            self.cache_hits + self.failure_hits + self.synth_calls
+            + self.rule_hits
+        )
 
     @property
     def hit_rate(self) -> float:
@@ -124,6 +129,7 @@ class ServiceStats:
             "cache_hits": self.cache_hits,
             "failure_hits": self.failure_hits,
             "synth_calls": self.synth_calls,
+            "rule_hits": self.rule_hits,
             "entries_added": self.entries_added,
             "cache_screened": self.cache_screened,
             "cache_screen_failures": self.cache_screen_failures,

@@ -355,7 +355,16 @@ class PersistentCache(MemoCache):
 # Cache packs: portable snapshots for fleet warm-up
 # ----------------------------------------------------------------------
 
-PACK_VERSION = 1
+# Version 2 added the optional per-namespace "rules" payload (the
+# distilled rulebook riding along with the entries it was distilled
+# from).  Version-1 packs remain importable; they simply carry no rules.
+PACK_VERSION = 2
+_SUPPORTED_PACK_VERSIONS = (1, 2)
+
+# The distilled rulebook persisted inside each fingerprint namespace
+# (kept in sync with repro.synthesis.rules.RULES_FILENAME; a literal here
+# avoids importing the synthesis stack just to name a file).
+RULEBOOK_FILENAME = "rules.json"
 
 
 class PackError(ValueError):
@@ -374,12 +383,13 @@ def export_pack(root: str | Path, output: str | Path) -> dict:
     """
     root = Path(root)
     namespaces = []
-    entries = failures = 0
+    entries = failures = rulebooks = 0
     if root.is_dir():
         for isa_dir in sorted(p for p in root.iterdir() if p.is_dir()):
             for fp_dir in sorted(p for p in isa_dir.iterdir() if p.is_dir()):
                 files: dict[str, dict] = {}
                 meta = None
+                rules = None
                 for path in sorted(fp_dir.glob("*.json")):
                     if path.name.startswith(".tmp-"):
                         continue
@@ -389,19 +399,25 @@ def export_pack(root: str | Path, output: str | Path) -> dict:
                         continue  # corrupt entries re-synthesize; don't ship
                     if path.name == "meta.json":
                         meta = obj
+                    elif path.name == RULEBOOK_FILENAME:
+                        rules = obj
                     elif path.name.startswith(("e-", "f-")):
                         files[path.name] = obj
                         if path.name.startswith("e-"):
                             entries += 1
                         else:
                             failures += 1
-                if files:
-                    namespaces.append({
+                if files or rules is not None:
+                    namespace = {
                         "isa": isa_dir.name,
                         "dir": fp_dir.name,
                         "meta": meta,
                         "files": files,
-                    })
+                    }
+                    if rules is not None:
+                        namespace["rules"] = rules
+                        rulebooks += 1
+                    namespaces.append(namespace)
     pack = {"version": PACK_VERSION, "namespaces": namespaces}
     output = Path(output)
     output.parent.mkdir(parents=True, exist_ok=True)
@@ -411,6 +427,7 @@ def export_pack(root: str | Path, output: str | Path) -> dict:
         "namespaces": len(namespaces),
         "entries": entries,
         "failures": failures,
+        "rulebooks": rulebooks,
         "bytes": len(text),
     }
 
@@ -432,12 +449,12 @@ def import_pack(root: str | Path, source: str | Path) -> dict:
         raise PackError(f"unreadable pack {source}: {exc}") from exc
     if not isinstance(pack, dict) or "namespaces" not in pack:
         raise PackError(f"{source} is not a cache pack")
-    if pack.get("version") != PACK_VERSION:
+    if pack.get("version") not in _SUPPORTED_PACK_VERSIONS:
         raise PackError(
             f"pack version {pack.get('version')!r} unsupported "
-            f"(want {PACK_VERSION})"
+            f"(want one of {_SUPPORTED_PACK_VERSIONS})"
         )
-    imported = skipped = 0
+    imported = skipped = rulebooks = 0
     for namespace in pack["namespaces"]:
         try:
             target = root / str(namespace["isa"]) / str(namespace["dir"])
@@ -458,7 +475,17 @@ def import_pack(root: str | Path, source: str | Path) -> dict:
                 continue
             atomic_write(path, json.dumps(obj, sort_keys=True))
             imported += 1
-    return {"imported": imported, "skipped": skipped}
+        # v2 packs may carry the namespace's distilled rulebook; a local
+        # book (possibly distilled from fresher entries) always wins.
+        rules = namespace.get("rules")
+        if isinstance(rules, dict):
+            rules_path = target / RULEBOOK_FILENAME
+            if rules_path.exists():
+                skipped += 1
+            else:
+                atomic_write(rules_path, json.dumps(rules, sort_keys=True))
+                rulebooks += 1
+    return {"imported": imported, "skipped": skipped, "rulebooks": rulebooks}
 
 
 # ----------------------------------------------------------------------
@@ -476,6 +503,7 @@ def store_stats(root: str | Path) -> dict:
     root = Path(root)
     namespaces = []
     total_entries = total_failures = total_bytes = total_tmp = 0
+    total_rules = 0
     if root.is_dir():
         for isa_dir in sorted(p for p in root.iterdir() if p.is_dir()):
             for fp_dir in sorted(p for p in isa_dir.iterdir() if p.is_dir()):
@@ -497,18 +525,28 @@ def store_stats(root: str | Path) -> dict:
                     fingerprint = json.loads(meta.read_text())["fingerprint"]
                 except (json.JSONDecodeError, KeyError, OSError):
                     pass
+                rules = 0
+                try:
+                    book = json.loads(
+                        (fp_dir / RULEBOOK_FILENAME).read_text()
+                    )
+                    rules = len(book.get("rules", []))
+                except (json.JSONDecodeError, AttributeError, OSError):
+                    pass
                 namespaces.append(
                     {
                         "isa": isa_dir.name,
                         "fingerprint": fingerprint,
                         "entries": entries,
                         "failures": failures,
+                        "rules": rules,
                         "bytes": size,
                         "tmp_litter": tmp_litter,
                     }
                 )
                 total_entries += entries
                 total_failures += failures
+                total_rules += rules
                 total_bytes += size
                 total_tmp += tmp_litter
     return {
@@ -516,6 +554,7 @@ def store_stats(root: str | Path) -> dict:
         "namespaces": namespaces,
         "total_entries": total_entries,
         "total_failures": total_failures,
+        "total_rules": total_rules,
         "total_bytes": total_bytes,
         "total_tmp_litter": total_tmp,
         "last_run": read_run_telemetry(root),
@@ -526,7 +565,12 @@ def gc_store(root: str | Path, keep_fingerprint: str) -> dict:
     """Remove every namespace whose fingerprint differs from the current one.
 
     Returns counts of removed namespaces and files.  The live namespace
-    (current fingerprint, any ISA) is left untouched.  Concurrent writers
+    (current fingerprint, any ISA) is left untouched — except for an
+    orphaned or stale rulebook inside it: a ``rules.json`` that fails to
+    parse or whose recorded fingerprint disagrees with the namespace it
+    sits in is litter (e.g. copied in by hand, or left by a crashed
+    distill against an older dictionary) that the loader would refuse
+    anyway, so gc reaps it like ``.tmp-*`` files.  Concurrent writers
     are tolerated: a file unlinked under us is skipped, and a namespace
     that grew a new file between the sweep and the ``rmdir`` is simply
     left for the next gc instead of crashing this one.
@@ -534,11 +578,14 @@ def gc_store(root: str | Path, keep_fingerprint: str) -> dict:
     root = Path(root)
     removed_dirs = 0
     removed_files = 0
+    removed_rulebooks = 0
     keep = keep_fingerprint[:FINGERPRINT_DIR_CHARS]
     if root.is_dir():
         for isa_dir in sorted(p for p in root.iterdir() if p.is_dir()):
             for fp_dir in sorted(p for p in isa_dir.iterdir() if p.is_dir()):
                 if fp_dir.name == keep:
+                    if _reap_stale_rulebook(fp_dir, keep_fingerprint):
+                        removed_rulebooks += 1
                     continue
                 for path in fp_dir.glob("*"):
                     try:
@@ -556,7 +603,32 @@ def gc_store(root: str | Path, keep_fingerprint: str) -> dict:
                     isa_dir.rmdir()
             except OSError:
                 pass
-    return {"removed_namespaces": removed_dirs, "removed_files": removed_files}
+    return {
+        "removed_namespaces": removed_dirs,
+        "removed_files": removed_files,
+        "removed_rulebooks": removed_rulebooks,
+    }
+
+
+def _reap_stale_rulebook(fp_dir: Path, keep_fingerprint: str) -> bool:
+    """Unlink a kept namespace's rulebook when it is corrupt or carries
+    the wrong fingerprint; returns True if a file was removed."""
+    path = fp_dir / RULEBOOK_FILENAME
+    if not path.exists():
+        return False
+    stale = False
+    try:
+        recorded = json.loads(path.read_text()).get("fingerprint", "")
+        stale = recorded != keep_fingerprint
+    except (json.JSONDecodeError, AttributeError, OSError):
+        stale = True
+    if not stale:
+        return False
+    try:
+        path.unlink()
+    except OSError:
+        return False
+    return True
 
 
 def record_run_telemetry(root: str | Path, data: dict) -> None:

@@ -23,6 +23,7 @@ def fold_outcome(stats, outcome) -> None:
     stats.cache_hits += telemetry.cache_hits
     stats.failure_hits += telemetry.failure_hits
     stats.synth_calls += telemetry.synth_calls
+    stats.rule_hits += getattr(telemetry, "rule_hits", 0)
     stats.entries_added += telemetry.entries_added
     stats.cache_screened += telemetry.cache_screened
     stats.cache_screen_failures += telemetry.cache_screen_failures
@@ -90,6 +91,23 @@ def format_run_summary(run: dict, label: str = "last run") -> list[str]:
             f"{perf.get('reuse_clause_hits', 0):.0f} clause-store hits "
             f"({perf.get('reuse_clauses_preloaded', 0):.0f} clauses preloaded)"
         )
+    if (
+        run.get("rule_hits")
+        or perf.get("rule_matches")
+        or perf.get("rule_misses")
+        or perf.get("rule_distilled")
+    ):
+        lines.append(
+            f"{label} rules: {perf.get('rule_matches', 0):.0f} windows "
+            f"served by rule vs {perf.get('rule_misses', 0):.0f} fell "
+            f"through to synthesis"
+            + (
+                f", {perf.get('rule_distilled', 0):.0f} distilled "
+                f"({perf.get('rule_verify_failures', 0):.0f} rejected)"
+                if perf.get("rule_distilled") or perf.get("rule_verify_failures")
+                else ""
+            )
+        )
     return lines
 
 
@@ -112,6 +130,13 @@ def tier_summary(daemon_stats: dict) -> list[str]:
             f"{l2.get('failure_hits', 0)} negative vs "
             f"{l2.get('synth_calls', 0)} synthesized "
             f"({l2.get('hit_rate', 0.0):.1%})"
+        )
+    rules = tiers.get("rules") or {}
+    if rules:
+        lines.append(
+            f"rules: {rules.get('rule_hits', 0)} windows served by rule "
+            f"({rules.get('matches', 0)} matches vs "
+            f"{rules.get('misses', 0)} fell through to synthesis)"
         )
     pack = tiers.get("pack") or {}
     if pack.get("imported_entries") or pack.get("exported_entries"):

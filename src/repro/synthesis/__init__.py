@@ -23,7 +23,9 @@ AutoLLVM operations using counterexample-guided inductive synthesis:
 * :mod:`repro.synthesis.portfolio` — portfolio CEGIS: race diverse arms
   per window across processes, relay counterexamples, first winner;
 * :mod:`repro.synthesis.reuse` — cross-window reuse of counterexample
-  suites and learned clauses keyed by spec fingerprint.
+  suites and learned clauses keyed by spec fingerprint;
+* :mod:`repro.synthesis.rules` — the cache distilled into verified,
+  parameterized rewrite rules matched ahead of CEGIS.
 """
 
 from repro.synthesis.cegis import (
@@ -41,7 +43,21 @@ from repro.synthesis.serialize import (
     snode_from_obj,
     snode_to_obj,
 )
-from repro.synthesis.program import SConstant, SInput, SOp, SSlice, SConcat, SSwizzle
+from repro.synthesis.program import (
+    SConstant,
+    SHole,
+    SInput,
+    SOp,
+    SSlice,
+    SConcat,
+    SSwizzle,
+)
+from repro.synthesis.rules import (
+    RuleBook,
+    distill_rules,
+    load_rulebook,
+    verify_rule,
+)
 
 __all__ = [
     "CegisOptions",
@@ -58,9 +74,14 @@ __all__ = [
     "snode_from_obj",
     "snode_to_obj",
     "SConstant",
+    "SHole",
     "SInput",
     "SOp",
     "SSlice",
     "SConcat",
     "SSwizzle",
+    "RuleBook",
+    "distill_rules",
+    "load_rulebook",
+    "verify_rule",
 ]

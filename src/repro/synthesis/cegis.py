@@ -994,6 +994,7 @@ def synthesize(
     cache: MemoCache | None = None,
     reuse=None,
     dictionary=None,
+    rules=None,
 ) -> SynthesisResult:
     """Compile one Halide IR window to a target program (Algorithm 2).
 
@@ -1001,15 +1002,37 @@ def synthesize(
     carrying counterexample suites and learned clauses between windows
     with the same spec fingerprint.  ``dictionary`` is only needed by the
     portfolio path (``options.portfolio_arms >= 2``) to rebuild winning
-    programs shipped back from arm processes.
+    programs shipped back from arm processes.  ``rules`` is an optional
+    :class:`~repro.synthesis.rules.RuleBook` consulted on every exact
+    cache miss: a verified rule match returns a solver-free program
+    (``stats.verified == "rule"``), and can even rescue a window the
+    negative cache remembers as failed — a rule distilled elsewhere may
+    cover a shape this process once timed out on.
     """
     options = options or CegisOptions()
     start = time.monotonic()
+
+    def rule_result(program: SNode) -> SynthesisResult:
+        cost = grammar.cost_model.cost(program)
+        stats = SynthStats(
+            seconds=time.monotonic() - start,
+            grammar_size=grammar.size(),
+            verified="rule",
+        )
+        if cache is not None:
+            cache.store(spec, grammar.isa, program, cost)
+        return SynthesisResult(program, cost, stats, spec)
+
     if cache is not None:
         # Declare this run's budget so negative-cache entries are tagged
         # with (and filtered by) the budget they were established under.
         cache.set_budget(options.timeout_seconds)
         if cache.lookup_failure(spec, grammar.isa):
+            if rules is not None:
+                served = rules.match(spec, grammar.isa)
+                if served is not None:
+                    # Storing the success clears the stale failure entry.
+                    return rule_result(served)
             raise SynthesisFailure("window previously failed (cached)")
         hit = cache.lookup(spec, grammar.isa)
         if hit is not None:
@@ -1018,6 +1041,11 @@ def synthesize(
                 grammar_size=grammar.size(),
             )
             return SynthesisResult(hit.program, hit.cost, stats, spec)
+
+    if rules is not None:
+        served = rules.match(spec, grammar.isa)
+        if served is not None:
+            return rule_result(served)
 
     try:
         if options.portfolio_arms >= 2:

@@ -84,6 +84,30 @@ class SConstant(SNode):
 
 
 @dataclass(frozen=True)
+class SHole(SNode):
+    """A symbolic constant splat — a rule template's typed hole.
+
+    Holes only appear inside distilled rewrite-rule templates
+    (:mod:`repro.synthesis.rules`); they must be instantiated to an
+    :class:`SConstant` before a program can be evaluated or cached, so
+    concrete evaluation raises.  The solver lowering replicates one
+    *symbolic* element, which lets a template be verified once over the
+    hole's whole domain.
+    """
+
+    name: str
+    lanes: int
+    elem_width: int
+
+    @property
+    def bits(self) -> int:
+        return self.lanes * self.elem_width
+
+    def describe(self) -> str:
+        return f"splat(?{self.name}, <{self.lanes} x i{self.elem_width}>)"
+
+
+@dataclass(frozen=True)
 class SOp(SNode):
     """Application of one target instruction (via its AutoLLVM binding).
 
@@ -193,6 +217,8 @@ def apply_node(node: SNode, args: list[BitVector]) -> BitVector:
     """
     if isinstance(node, SInput):
         raise ValueError("inputs have no arguments")
+    if isinstance(node, SHole):
+        raise ValueError(f"hole {node.name!r} must be instantiated first")
     if isinstance(node, SConstant):
         elem = BitVector(node.value, node.elem_width)
         return vector_from_elems([elem] * node.lanes).bits
@@ -236,6 +262,8 @@ def evaluate_program(node: SNode, env: Mapping[str, BitVector]) -> BitVector:
     def _eval(n: SNode) -> BitVector:
         if isinstance(n, SInput):
             return env[n.name]
+        if isinstance(n, SHole):
+            raise ValueError(f"hole {n.name!r} must be instantiated first")
         if isinstance(n, SConstant):
             elem = BitVector(n.value, n.elem_width)
             return vector_from_elems([elem] * n.lanes).bits
@@ -333,6 +361,8 @@ def make_packed_applier(node: SNode, arg_widths: tuple[int, ...]):
     """
     if isinstance(node, SInput):
         raise ValueError("inputs have no arguments")
+    if isinstance(node, SHole):
+        raise ValueError(f"hole {node.name!r} must be instantiated first")
     if isinstance(node, SConstant):
         value = splat(node.value, node.lanes, node.elem_width)
         return lambda args: value
@@ -419,6 +449,16 @@ def program_to_term(node: SNode) -> smt.Term:
     def _lower(n: SNode) -> smt.Term:
         if isinstance(n, SInput):
             return smt.var(n.name, n.bits)
+        if isinstance(n, SHole):
+            # One symbolic element, replicated: the same scalar variable
+            # HBroadcast lowers to, so a window whose constant was
+            # rewritten to HBroadcast(name) and a template holding
+            # SHole(name) constrain the *same* SMT variable.
+            elem = smt.var(n.name, n.elem_width)
+            hole: smt.Term = elem
+            for _ in range(n.lanes - 1):
+                hole = smt.apply_op("concat", [elem, hole])
+            return hole
         if isinstance(n, SConstant):
             elem = smt.const(n.value, n.elem_width)
             result: smt.Term = elem

@@ -23,6 +23,7 @@ from repro.synthesis.grammar import GRAMMAR_VERSION
 from repro.synthesis.program import (
     SConcat,
     SConstant,
+    SHole,
     SInput,
     SNode,
     SOp,
@@ -51,6 +52,16 @@ def snode_to_obj(node: SNode) -> dict[str, Any]:
         return {
             "kind": "const",
             "value": node.value,
+            "lanes": node.lanes,
+            "elem_width": node.elem_width,
+        }
+    if isinstance(node, SHole):
+        # Holes never appear in cache entries — only in rule templates
+        # (rules.json carries its own RULES_VERSION), so this kind does
+        # not bump SERIALIZE_VERSION.
+        return {
+            "kind": "hole",
+            "name": node.name,
             "lanes": node.lanes,
             "elem_width": node.elem_width,
         }
@@ -92,6 +103,8 @@ def snode_from_obj(obj: dict[str, Any], dictionary: AutoLLVMDictionary) -> SNode
         return SInput(obj["name"], obj["lanes"], obj["elem_width"])
     if kind == "const":
         return SConstant(obj["value"], obj["lanes"], obj["elem_width"])
+    if kind == "hole":
+        return SHole(obj["name"], obj["lanes"], obj["elem_width"])
     if kind == "slice":
         return SSlice(snode_from_obj(obj["src"], dictionary), obj["high"])
     if kind == "concat":

@@ -1,0 +1,338 @@
+"""Tests for the distilled rewrite-rule engine (repro.synthesis.rules):
+distiller soundness, the ≥200-instantiation property check, the online
+matcher's bit-identity guarantee, rulebook persistence, cache-pack v2,
+gc reaping, and the rule_hits telemetry flow."""
+
+import json
+import random
+
+import pytest
+
+from repro.autollvm import build_dictionary
+from repro.halide import ir as hir
+from repro.perf import global_counters
+from repro.service.jobs import JobResult, JobTelemetry
+from repro.service.scheduler import ServiceStats
+from repro.service.store import (
+    RULEBOOK_FILENAME,
+    export_pack,
+    gc_store,
+    import_pack,
+    store_stats,
+)
+from repro.service.telemetry import fold_outcome
+from repro.experiments.runner import BenchmarkResult
+from repro.synthesis import (
+    CegisOptions,
+    GrammarOptions,
+    MemoCache,
+    build_grammar,
+    dictionary_fingerprint,
+    synthesize,
+)
+from repro.synthesis.program import SInput, evaluate_program
+from repro.synthesis.rules import (
+    Rule,
+    RuleBook,
+    distill_rules,
+    instantiate,
+    program_signature,
+    rule_window,
+    verify_rule,
+    window_env,
+)
+
+OPTIONS = CegisOptions(timeout_seconds=30)
+
+
+@pytest.fixture(scope="module")
+def dictionary():
+    return build_dictionary(("x86", "hvx", "arm"))
+
+
+def _const_window(op: str, const: int, lanes: int = 8, ew: int = 16):
+    return hir.HBin(
+        op, hir.HLoad("a", lanes, ew), hir.HConst(const, lanes, ew)
+    )
+
+
+def _synth(window, dictionary, cache, rules=None):
+    grammar = build_grammar(window, "x86", dictionary, GrammarOptions())
+    return synthesize(
+        window, grammar, OPTIONS, cache, dictionary=dictionary, rules=rules
+    )
+
+
+@pytest.fixture(scope="module")
+def distilled(dictionary):
+    """A small seed family synthesized cold, then distilled."""
+    cache = MemoCache()
+    for op in ("add", "mul"):
+        for const in (3, 5, 9):
+            _synth(_const_window(op, const), dictionary, cache)
+    fingerprint = dictionary_fingerprint(dictionary)
+    book, report = distill_rules(
+        cache._entries.items(), "x86", fingerprint=fingerprint, seed=7
+    )
+    return book, report
+
+
+class TestDistiller:
+    def test_distills_parameterized_rules(self, distilled):
+        book, report = distilled
+        assert report.scanned == 6
+        assert len(book) >= 1
+        # Constants became holes: at least one rule is parameterized
+        # and covers several cache entries.
+        assert any(rule.holes for rule in book.rules)
+        assert any(rule.members >= 3 for rule in book.rules)
+        # Every admitted rule passed a verifier and says which one.
+        assert all(rule.verified for rule in book.rules)
+
+    def test_every_rule_survives_200_random_instantiations(self, distilled):
+        """Property check: 200 seeded random hole assignments per rule,
+        each instantiation's concrete evaluation must equal the window
+        semantics on random inputs."""
+        book, _report = distilled
+        rng = random.Random(0xC0FFEE)
+        for rule in book.rules:
+            for _ in range(200):
+                values = {
+                    name: rng.getrandbits(ew) for name, ew in rule.holes
+                }
+                program = instantiate(rule.template, values)
+                window = rule_window(
+                    rule,
+                    lambda name, lanes, ew: hir.HConst(
+                        values[name], lanes, ew
+                    ),
+                )
+                env = window_env(window, rng)
+                got = evaluate_program(program, env).value
+                want = hir.interpret(window, env).value
+                assert got == want, (
+                    f"rule {rule.key} wrong at holes={values}"
+                )
+
+    def test_unsound_injected_rule_is_rejected(self, distilled):
+        """A tampered rule whose template just forwards the input must
+        not survive verification (it is wrong for any nonzero hole)."""
+        book, _report = distilled
+        victim = next(rule for rule in book.rules if rule.holes)
+        leaf = next(
+            n for n in victim.template.walk() if isinstance(n, SInput)
+        )
+        bogus = Rule(
+            key=victim.key,
+            isa=victim.isa,
+            slots=victim.slots,
+            holes=victim.holes,
+            template=leaf,
+            cost=0.0,
+        )
+        ok, reason = verify_rule(bogus, seed=1)
+        assert not ok
+        assert reason
+
+    def test_counters_track_distillation(self, dictionary):
+        cache = MemoCache()
+        for const in (3, 5, 9):
+            _synth(_const_window("add", const), dictionary, cache)
+        counters = global_counters()
+        distilled_before = counters.rule_distilled
+        book, _report = distill_rules(cache._entries.items(), "x86", seed=7)
+        assert counters.rule_distilled - distilled_before == len(book)
+
+
+class TestMatcher:
+    def test_unseen_constant_is_bit_identical(self, dictionary, distilled):
+        book, _report = distilled
+        window = _const_window("add", 121)
+        served = book.match(window, "x86")
+        assert served is not None
+        fresh = _synth(window, dictionary, MemoCache())
+        assert program_signature(served) == program_signature(fresh.program)
+
+    def test_lane_scaled_match_is_bit_identical(self, dictionary, distilled):
+        """Doubled lanes force equivalence-class re-binding to the wider
+        sibling instruction; the result must still match fresh CEGIS."""
+        book, _report = distilled
+        window = _const_window("mul", 13, lanes=16)
+        served = book.match(window, "x86")
+        assert served is not None
+        fresh = _synth(window, dictionary, MemoCache())
+        assert program_signature(served) == program_signature(fresh.program)
+
+    def test_unknown_shape_misses(self, distilled):
+        book, _report = distilled
+        counters = global_counters()
+        misses_before = counters.rule_misses
+        window = hir.HBin(
+            "sub", hir.HLoad("a", 8, 16), hir.HLoad("b", 8, 16)
+        )
+        assert book.match(window, "x86") is None
+        assert counters.rule_misses == misses_before + 1
+
+    def test_synthesize_serves_from_rules_on_miss(self, dictionary, distilled):
+        book, _report = distilled
+        counters = global_counters()
+        matches_before = counters.rule_matches
+        result = _synth(
+            _const_window("add", 77), dictionary, MemoCache(), rules=book
+        )
+        assert result.stats.verified == "rule"
+        assert counters.rule_matches == matches_before + 1
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path, dictionary, distilled):
+        book, _report = distilled
+        path = book.save(tmp_path)
+        assert path.name == RULEBOOK_FILENAME
+        loaded = RuleBook.load(
+            tmp_path, dictionary, expect_fingerprint=book.fingerprint
+        )
+        assert loaded is not None
+        assert loaded.stats() == book.stats()
+        # The reloaded book still matches.
+        assert loaded.match(_const_window("add", 55), "x86") is not None
+
+    def test_stale_fingerprint_refused(self, tmp_path, dictionary, distilled):
+        book, _report = distilled
+        book.save(tmp_path)
+        assert (
+            RuleBook.load(tmp_path, dictionary, expect_fingerprint="deadbeef")
+            is None
+        )
+
+
+def _fake_namespace(root, isa="x86", fingerprint="fp00", rules=True):
+    namespace = root / isa / fingerprint
+    namespace.mkdir(parents=True)
+    (namespace / "meta.json").write_text(
+        json.dumps({"fingerprint": fingerprint})
+    )
+    (namespace / "e-0000.json").write_text(json.dumps({"program": 0}))
+    if rules:
+        (namespace / RULEBOOK_FILENAME).write_text(
+            json.dumps(
+                {"version": 1, "isa": isa, "fingerprint": fingerprint,
+                 "rules": [{"fake": True}]}
+            )
+        )
+    return namespace
+
+
+class TestCachePackRules:
+    def test_pack_v2_carries_rulebook(self, tmp_path):
+        source = tmp_path / "src"
+        source.mkdir()
+        _fake_namespace(source)
+        pack = tmp_path / "warm.pack"
+        summary = export_pack(source, pack)
+        assert summary["rulebooks"] == 1
+        assert json.loads(pack.read_text())["version"] == 2
+
+        target = tmp_path / "dst"
+        result = import_pack(target, pack)
+        assert result["rulebooks"] == 1
+        shipped = target / "x86" / "fp00" / RULEBOOK_FILENAME
+        assert json.loads(shipped.read_text())["fingerprint"] == "fp00"
+
+    def test_pack_v1_still_imports(self, tmp_path):
+        """Backward compat: a version-1 pack (no rules payload) loads."""
+        pack = tmp_path / "old.pack"
+        pack.write_text(json.dumps({
+            "version": 1,
+            "namespaces": [{
+                "isa": "x86",
+                "dir": "fp00",
+                "meta": {"fingerprint": "fp00"},
+                "files": {"e-0000.json": {"program": 0}},
+            }],
+        }))
+        result = import_pack(tmp_path / "dst", pack)
+        assert result["imported"] >= 1
+        assert result["rulebooks"] == 0
+
+    def test_import_keeps_local_rulebook(self, tmp_path):
+        source = tmp_path / "src"
+        source.mkdir()
+        _fake_namespace(source)
+        pack = tmp_path / "warm.pack"
+        export_pack(source, pack)
+
+        target = tmp_path / "dst"
+        local = _fake_namespace(target, rules=False) / RULEBOOK_FILENAME
+        local.write_text(json.dumps({"version": 1, "rules": [], "local": 1}))
+        import_pack(target, pack)
+        assert json.loads(local.read_text()).get("local") == 1
+
+    def test_store_stats_counts_rules(self, tmp_path):
+        root = tmp_path / "cache"
+        root.mkdir()
+        _fake_namespace(root)
+        stats = store_stats(root)
+        assert stats["total_rules"] == 1
+        assert stats["namespaces"][0]["rules"] == 1
+
+
+class TestGcRulebooks:
+    def test_gc_reaps_stale_rulebook_in_kept_namespace(self, tmp_path):
+        root = tmp_path / "cache"
+        root.mkdir()
+        namespace = _fake_namespace(root, fingerprint="a" * 16, rules=False)
+        # The namespace is current, but its rulebook was distilled
+        # against a different dictionary generation.
+        rules = namespace / RULEBOOK_FILENAME
+        rules.write_text(json.dumps(
+            {"version": 1, "isa": "x86", "fingerprint": "old" * 8,
+             "rules": []}
+        ))
+        outcome = gc_store(root, "a" * 64)
+        assert outcome["removed_namespaces"] == 0
+        assert outcome["removed_rulebooks"] == 1
+        assert not rules.exists()
+        # Cache entries in the kept namespace are untouched.
+        assert (namespace / "e-0000.json").exists()
+
+    def test_gc_reaps_corrupt_rulebook(self, tmp_path):
+        root = tmp_path / "cache"
+        root.mkdir()
+        namespace = _fake_namespace(root, fingerprint="a" * 16, rules=False)
+        rules = namespace / RULEBOOK_FILENAME
+        rules.write_text("{torn write")
+        outcome = gc_store(root, "a" * 64)
+        assert outcome["removed_rulebooks"] == 1
+        assert not rules.exists()
+
+    def test_gc_keeps_fresh_rulebook(self, tmp_path):
+        root = tmp_path / "cache"
+        root.mkdir()
+        fingerprint = "a" * 64
+        namespace = _fake_namespace(
+            root, fingerprint=fingerprint[:16], rules=False
+        )
+        rules = namespace / RULEBOOK_FILENAME
+        rules.write_text(json.dumps(
+            {"version": 1, "isa": "x86", "fingerprint": fingerprint,
+             "rules": []}
+        ))
+        outcome = gc_store(root, fingerprint)
+        assert outcome["removed_rulebooks"] == 0
+        assert rules.exists()
+
+
+class TestTelemetryFlow:
+    def test_rule_hits_fold_into_service_stats(self):
+        outcome = JobResult(
+            job=None,
+            result=BenchmarkResult("add", "x86", "hydride", 1.0),
+            telemetry=JobTelemetry(rule_hits=3, synth_calls=1),
+        )
+        stats = ServiceStats()
+        fold_outcome(stats, outcome)
+        assert stats.rule_hits == 3
+        # Rule-served windows count as cache activity, not misses.
+        assert stats.lookups == 4
+        assert stats.to_dict()["rule_hits"] == 3
