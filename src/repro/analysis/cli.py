@@ -59,6 +59,70 @@ def _check_spec_record(
             f"latency {spec.latency}, throughput {spec.throughput}",
             provenance=where,
         )
+    _check_spec_widths(spec, sink, where)
+
+
+def _check_spec_widths(
+    spec: InstructionSpec, sink: DiagnosticSink, where: Provenance
+) -> None:
+    """Width-assumption checks over the spec's declared attributes.
+
+    These catch the historical class of bug where a fixed lane or vector
+    width (e.g. 128-bit SSE lanes) is baked into generated specs and then
+    silently mis-tiles at a different vector length.
+    """
+    attrs = spec.attributes
+    elem_width = attrs.get("elem_width")
+    lane_bits = attrs.get("lane_bits")
+    # Mask-producing specs declare output_width in *mask bits*, not data
+    # bits, so element tiling intentionally does not apply to them.
+    if not attrs.get("mask_output"):
+        if isinstance(elem_width, int) and elem_width > 0:
+            if spec.output_width % elem_width:
+                sink.emit(
+                    "spec/lane-width",
+                    f"element width {elem_width} does not divide output "
+                    f"width {spec.output_width}",
+                    provenance=where,
+                )
+        if isinstance(lane_bits, int) and lane_bits > 0:
+            if spec.output_width % lane_bits:
+                sink.emit(
+                    "spec/lane-width",
+                    f"lane width {lane_bits} does not divide output "
+                    f"width {spec.output_width}",
+                    provenance=where,
+                )
+            if (
+                isinstance(elem_width, int)
+                and elem_width > 0
+                and lane_bits % elem_width
+            ):
+                sink.emit(
+                    "spec/lane-width",
+                    f"element width {elem_width} does not divide lane "
+                    f"width {lane_bits}",
+                    provenance=where,
+                )
+    mask_elems = attrs.get("mask_elems")
+    if isinstance(mask_elems, int) and mask_elems > 0:
+        if attrs.get("mask_output") and spec.output_width != mask_elems:
+            sink.emit(
+                "spec/mask-width",
+                f"mask output is {spec.output_width} bits for "
+                f"{mask_elems} elements",
+                provenance=where,
+            )
+        declared = {op.name: op.width for op in spec.operands}
+        for name in attrs.get("mask_operands", ()) or ():
+            width = declared.get(name)
+            if width is not None and width != mask_elems:
+                sink.emit(
+                    "spec/mask-width",
+                    f"mask operand {name!r} is {width} bits for "
+                    f"{mask_elems} elements",
+                    provenance=where,
+                )
 
 
 def _check_semantics_io(spec: InstructionSpec, func, sink: DiagnosticSink) -> None:

@@ -37,6 +37,8 @@ RULES: dict[str, str] = {
     "spec/empty-pseudocode": "spec has no pseudocode text to parse",
     "spec/timing": "latency or throughput is not positive",
     "spec/semantics-io": "parsed semantics disagrees with the operand list",
+    "spec/lane-width": "element or lane width does not tile the output width",
+    "spec/mask-width": "mask register width disagrees with the element count",
     # -- Hydride IR semantics functions ----------------------------------
     "hydride/unknown-input": "body references an undeclared input register",
     "hydride/input-decl": "input declaration is malformed (dup name, width)",

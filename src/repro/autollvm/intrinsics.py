@@ -12,7 +12,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from functools import lru_cache
 
-from repro.isa.registry import load_catalog
+from repro.isa.registry import CORE_ISAS, load_catalog
 from repro.isa.spec import InstructionSpec
 from repro.similarity.eqclass import ClassMember, EquivalenceClass
 from repro.similarity.engine import build_equivalence_classes
@@ -135,7 +135,20 @@ def dictionary_from_classes(
     return AutoLLVMDictionary(tuple(isas), ops, reverse)
 
 
-def build_dictionary(isas: tuple[str, ...] = ("x86", "hvx", "arm")) -> AutoLLVMDictionary:
+def dictionary_isas(isa: str) -> tuple[str, ...]:
+    """The dictionary an ``isa``-targeted job should compile against.
+
+    Core ISAs share the canonical 3-ISA dictionary (keeping its
+    fingerprint, grammar, and class ids identical to historical runs);
+    a plug-in ISA such as rvv extends that tuple, opting in to a larger
+    dictionary without perturbing anyone else's.
+    """
+    if isa in CORE_ISAS:
+        return CORE_ISAS
+    return CORE_ISAS + (isa,)
+
+
+def build_dictionary(isas: tuple[str, ...] = CORE_ISAS) -> AutoLLVMDictionary:
     """Generate the AutoLLVM dictionary for a set of ISAs (cached).
 
     When ``REPRO_IRGEN_CACHE`` names an artifact store, the class

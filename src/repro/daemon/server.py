@@ -39,6 +39,7 @@ from repro.daemon.admission import (
     AdmissionLimits,
     Rejection,
 )
+from repro.isa.registry import SUPPORTED_ISAS
 from repro.perf import snapshot as perf_snapshot
 from repro.perf import snapshot_delta as perf_snapshot_delta
 from repro.service.jobs import CompileJob, JobResult
@@ -53,7 +54,7 @@ from repro.service.scheduler import (
 from repro.service.telemetry import fold_outcome
 
 KNOWN_COMPILERS = ("hydride", "halide", "llvm", "rake")
-KNOWN_ISAS = ("x86", "hvx", "arm")
+KNOWN_ISAS = SUPPORTED_ISAS
 
 
 @dataclass
@@ -190,15 +191,25 @@ class DaemonServer:
         from pathlib import Path
 
         from repro.autollvm import build_dictionary
+        from repro.autollvm.intrinsics import dictionary_isas
         from repro.service.store import FINGERPRINT_DIR_CHARS
         from repro.synthesis.rules import load_rulebook
         from repro.synthesis.serialize import dictionary_fingerprint
 
-        dictionary = build_dictionary(("x86", "hvx", "arm"))
-        fingerprint = dictionary_fingerprint(dictionary)
         root = Path(self.options.cache_dir)
         loaded = 0
+        fingerprints: dict[tuple[str, ...], str] = {}
         for isa in KNOWN_ISAS:
+            # Skip ISAs with no cache presence before paying for their
+            # dictionary: plug-in ISAs (rvv) only warm up if a prior run
+            # actually distilled rules for them.
+            if not (root / isa).is_dir():
+                continue
+            isas = dictionary_isas(isa)
+            dictionary = build_dictionary(isas)
+            fingerprint = fingerprints.setdefault(
+                isas, dictionary_fingerprint(dictionary)
+            )
             directory = root / isa / fingerprint[:FINGERPRINT_DIR_CHARS]
             book = load_rulebook(
                 directory, dictionary, expect_fingerprint=fingerprint

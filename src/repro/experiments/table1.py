@@ -62,10 +62,22 @@ class Table1Result:
         raise KeyError(isas)
 
 
-def run() -> Table1Result:
-    classes, stats, source = classes_and_stats(("x86", "hvx", "arm"))
+def subsets_for(isas: tuple[str, ...]) -> list[tuple[str, ...]]:
+    """Row subsets for an ISA tuple.
+
+    The canonical 3-ISA run keeps the paper's seven rows; any other
+    tuple (e.g. one extended with rvv) reports each ISA alone plus the
+    full combination.
+    """
+    if tuple(isas) == ("x86", "hvx", "arm"):
+        return list(SUBSETS)
+    return [(isa,) for isa in isas] + [tuple(isas)]
+
+
+def run(isas: tuple[str, ...] = ("x86", "hvx", "arm")) -> Table1Result:
+    classes, stats, source = classes_and_stats(tuple(isas))
     rows = []
-    for subset in SUBSETS:
+    for subset in subsets_for(tuple(isas)):
         restricted = restrict_classes(classes, set(subset))
         instructions = sum(len(c.members) for c in restricted)
         rows.append(Table1Row(subset, instructions, len(restricted)))
@@ -79,14 +91,16 @@ def render(result: Table1Result) -> str:
     ]
     body = []
     for row in result.rows:
-        paper = PAPER_ROWS[row.isas]
+        # Subsets the paper didn't measure (e.g. rvv rows) have no
+        # side-by-side column.
+        paper = PAPER_ROWS.get(row.isas)
         body.append([
             " + ".join(row.isas),
             str(row.isa_size),
             str(row.autollvm_size),
             f"{row.percent:.1f}%",
-            str(paper[0]),
-            str(paper[1]),
-            f"{paper[2]:.1f}%",
+            str(paper[0]) if paper else "—",
+            str(paper[1]) if paper else "—",
+            f"{paper[2]:.1f}%" if paper else "—",
         ])
     return "Table 1: AutoLLVM IR results\n" + format_table(headers, body)

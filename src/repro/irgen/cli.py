@@ -26,12 +26,28 @@ from repro.irgen import (
     irgen_fingerprint,
     store_inventory,
 )
+from repro.isa.registry import supported_isas
 
 DEFAULT_ISAS = "x86,hvx,arm"
 
 
 def _parse_isas(text: str) -> tuple[str, ...]:
     return tuple(part.strip() for part in text.split(",") if part.strip())
+
+
+def _resolve_isas(args) -> tuple[str, ...]:
+    """ISA set from ``--isa`` flags (if any) or the ``--isas`` list."""
+    isas = tuple(args.isa) if getattr(args, "isa", None) else _parse_isas(args.isas)
+    known = supported_isas()
+    unknown = [isa for isa in isas if isa not in known]
+    if unknown:
+        print(
+            f"error: unknown ISA(s) {', '.join(unknown)}; supported: "
+            f"{', '.join(known)}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    return isas
 
 
 def _resolve_root(args) -> str:
@@ -56,11 +72,17 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         default=DEFAULT_ISAS,
         help=f"comma-separated ISA set (default: {DEFAULT_ISAS})",
     )
+    parser.add_argument(
+        "--isa",
+        action="append",
+        metavar="ISA",
+        help="single ISA to target; repeatable, overrides --isas",
+    )
 
 
 def cmd_build(args) -> int:
     root = _resolve_root(args)
-    isas = _parse_isas(args.isas)
+    isas = _resolve_isas(args)
     began = time.monotonic()
     artifact = ensure_artifact(
         isas, root, jobs=args.jobs, force=args.force
@@ -85,7 +107,7 @@ def cmd_build(args) -> int:
 
 def cmd_stats(args) -> int:
     root = _resolve_root(args)
-    isas = _parse_isas(args.isas)
+    isas = _resolve_isas(args)
     current = irgen_fingerprint(isas)
     namespaces = store_inventory(root)
     for entry in namespaces:

@@ -166,16 +166,27 @@ def ref_rotate(elem_width: int, left: bool) -> Reference:
 # Swizzle families -------------------------------------------------------------
 
 
-def ref_unpack(elem_width: int, vector_width: int, high: bool) -> Reference:
-    """Interleave elements from the low/high half of each 128-bit lane."""
+def ref_unpack(
+    elem_width: int, vector_width: int, high: bool, lane_bits: int = 128
+) -> Reference:
+    """Interleave elements from the low/high half of each lane.
+
+    ``lane_bits`` is the spec's lane width (x86 passes its 128-bit SSE
+    lane); it is a parameter so VLEN-parametric references don't mis-lane.
+    """
+    if lane_bits % elem_width or vector_width % lane_bits:
+        raise ValueError(
+            f"lane width {lane_bits} incompatible with element {elem_width} "
+            f"/ vector {vector_width}"
+        )
 
     def run(env: Env) -> BitVector:
         va, vb = _vec(env, "a", elem_width), _vec(env, "b", elem_width)
-        lane_elems = 128 // elem_width
+        lane_elems = lane_bits // elem_width
         half = lane_elems // 2
         offset = half if high else 0
         out = []
-        for lane in range(vector_width // 128):
+        for lane in range(vector_width // lane_bits):
             base = lane * lane_elems
             for k in range(half):
                 out.append(va.elem(base + offset + k))
@@ -185,15 +196,22 @@ def ref_unpack(elem_width: int, vector_width: int, high: bool) -> Reference:
     return run
 
 
-def ref_pack(src_width: int, vector_width: int, unsigned: bool) -> Reference:
-    """Narrow two vectors with saturation, 128-bit lane at a time."""
+def ref_pack(
+    src_width: int, vector_width: int, unsigned: bool, lane_bits: int = 128
+) -> Reference:
+    """Narrow two vectors with saturation, one lane at a time."""
     dst_width = src_width // 2
+    if lane_bits % src_width or vector_width % lane_bits:
+        raise ValueError(
+            f"lane width {lane_bits} incompatible with element {src_width} "
+            f"/ vector {vector_width}"
+        )
 
     def run(env: Env) -> BitVector:
         va, vb = _vec(env, "a", src_width), _vec(env, "b", src_width)
-        lane_elems = 128 // src_width
+        lane_elems = lane_bits // src_width
         out = []
-        for lane in range(vector_width // 128):
+        for lane in range(vector_width // lane_bits):
             base = lane * lane_elems
             for source in (va, vb):
                 for k in range(lane_elems):
@@ -317,14 +335,21 @@ def ref_dpbusd(vector_width: int, saturate: bool) -> Reference:
     return run
 
 
-def ref_hadd(elem_width: int, vector_width: int, sub: bool) -> Reference:
-    """Horizontal pairwise add/sub within each 128-bit lane."""
+def ref_hadd(
+    elem_width: int, vector_width: int, sub: bool, lane_bits: int = 128
+) -> Reference:
+    """Horizontal pairwise add/sub within each lane."""
+    if lane_bits % elem_width or vector_width % lane_bits:
+        raise ValueError(
+            f"lane width {lane_bits} incompatible with element {elem_width} "
+            f"/ vector {vector_width}"
+        )
 
     def run(env: Env) -> BitVector:
         va, vb = _vec(env, "a", elem_width), _vec(env, "b", elem_width)
-        lane_elems = 128 // elem_width
+        lane_elems = lane_bits // elem_width
         out = []
-        for lane in range(vector_width // 128):
+        for lane in range(vector_width // lane_bits):
             base = lane * lane_elems
             for source in (va, vb):
                 for k in range(lane_elems // 2):

@@ -1,0 +1,23 @@
+"""Synthetic RVV (RISC-V vector) target: VL-agnostic specs + parser."""
+
+from repro.isa.rvv.parser import (
+    lower_with_params,
+    parse_rvv_pseudocode,
+    rvv_semantics,
+)
+from repro.isa.rvv.specgen import (
+    LMULS,
+    SEWS,
+    VLEN_SOLVER,
+    generate_rvv_catalog,
+)
+
+__all__ = [
+    "LMULS",
+    "SEWS",
+    "VLEN_SOLVER",
+    "generate_rvv_catalog",
+    "lower_with_params",
+    "parse_rvv_pseudocode",
+    "rvv_semantics",
+]

@@ -1,0 +1,638 @@
+"""Synthetic RVV reference: a vector-length-agnostic scalable-vector catalog.
+
+Models a RISC-V "V"-style target.  Every pseudocode body is written
+against the *symbolic* machine parameters ``VLEN`` (hardware vector
+length), ``LMUL`` (register grouping) and ``SEW`` (element width) — the
+text of ``vadd_vv_i8m1`` and ``vadd_vv_i32m2`` is byte-identical; only
+the attribute bindings differ.  The catalog instantiates those bindings
+at a solver-tractable ``VLEN`` (default 128, against hardware VLENs of
+512+), the same scale-down the synthesis layer performs when it shrinks
+native-width windows to symbolic slices.  Re-generating the catalog at a
+different ``vlen`` re-lowers the *same* pseudocode at the new length,
+which is what makes the vector-length-agnostic claim testable (see
+``tests/test_isa_rvv.py``).
+
+Families reuse the cross-ISA vocabulary (``ew_add``, ``widen_s``,
+``narrow_sat_s``, ``predicated_mux``, …) so the similarity engine,
+AutoLLVM dictionary, and backend op-table treat rvv instructions as
+first-class members of existing equivalence classes.  Mask-producing
+instructions (compares, mask-register logic) are the genuinely new
+shape: their destination is ``vl`` *bits*, not ``vl`` elements, which is
+exactly the width-assumption drill the lint rules ``spec/lane-width``
+and ``spec/mask-width`` police.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.bitvector.bv import BitVector
+from repro.bitvector.lanes import Vector, vector_from_elems
+from repro.isa.spec import InstructionSpec, IsaCatalog, OperandSpec
+
+#: Solver-tractable vector length the default catalog is lowered at.
+VLEN_SOLVER = 128
+
+#: Element widths and register-group multipliers the catalog covers.
+SEWS = (8, 16, 32)
+LMULS = (1, 2)
+
+_TYPE = {True: "i", False: "u"}
+
+#: The shared "vsetvl" prologue of every body: VL is *computed*, never a
+#: literal, so the text stays agnostic of the machine configuration.
+_VSETVL = "vl = (VLEN * LMUL) / SEW\n"
+
+
+def _vloop(body: str) -> str:
+    return _VSETVL + f"for i = 0 to vl - 1\n    {body}\nendfor\n"
+
+
+def _elem(name: str, width: str = "SEW", index: str = "i") -> str:
+    return f"Elem[{name}, {index}, {width}]"
+
+
+def _spec(name, asm, operands, output_width, pseudocode, family, latency,
+          throughput, reference, **attributes) -> InstructionSpec:
+    return InstructionSpec(
+        name=name,
+        isa="rvv",
+        asm=asm,
+        operands=tuple(operands),
+        output_width=output_width,
+        pseudocode=pseudocode,
+        extension="V",
+        family=family,
+        latency=latency,
+        throughput=throughput,
+        reference=reference,
+        attributes=attributes,
+    )
+
+
+def _machine(vlen: int, lmul: int, sew: int) -> dict:
+    """The attribute triple ``rvv_semantics`` binds at lowering time."""
+    return {"vlen": vlen, "lmul": lmul, "sew": sew}
+
+
+def _two(width: int) -> list[OperandSpec]:
+    return [OperandSpec("vs2", width), OperandSpec("vs1", width)]
+
+
+# -- references (independent of the parser; VL derived from operand widths,
+# -- so the same closure is correct at every vlen) --------------------------
+
+
+def _ref_lanewise(sew: int, fn: Callable, names=("vs2", "vs1")):
+    def run(env):
+        vecs = [Vector(env[n], sew) for n in names]
+        out = [fn(*(v.elem(i) for v in vecs)) for i in range(vecs[0].num_elems)]
+        return vector_from_elems(out).bits
+
+    return run
+
+
+def _ref_shift_vv(sew: int, kind: str):
+    def run(env):
+        va, vb = Vector(env["vs2"], sew), Vector(env["vs1"], sew)
+        out = []
+        for x, y in zip(va.elems(), vb.elems()):
+            amount = BitVector(y.value & (sew - 1), sew)
+            if kind == "shl":
+                out.append(x.bvshl(amount))
+            elif kind == "lshr":
+                out.append(x.bvlshr(amount))
+            else:
+                out.append(x.bvashr(amount))
+        return vector_from_elems(out).bits
+
+    return run
+
+
+def _ref_shift_vi(sew: int, kind: str):
+    def run(env):
+        amount = BitVector(env["uimm"].value & (sew - 1), sew)
+
+        def shift(x: BitVector) -> BitVector:
+            if kind == "shl":
+                return x.bvshl(amount)
+            if kind == "lshr":
+                return x.bvlshr(amount)
+            return x.bvashr(amount)
+
+        return Vector(env["vs2"], sew).map_lanes(shift).bits
+
+    return run
+
+
+def _ref_cmp_mask(sew: int, kind: str):
+    def run(env):
+        va, vb = Vector(env["vs2"], sew), Vector(env["vs1"], sew)
+        bits = 0
+        for i in range(va.num_elems):
+            x, y = va.elem(i), vb.elem(i)
+            hit = {
+                "eq": x.value == y.value,
+                "ne": x.value != y.value,
+                "lt_s": x.signed < y.signed,
+                "lt_u": x.unsigned < y.unsigned,
+                "le_s": x.signed <= y.signed,
+                "le_u": x.unsigned <= y.unsigned,
+                "gt_s": x.signed > y.signed,
+                "gt_u": x.unsigned > y.unsigned,
+            }[kind]
+            if hit:
+                bits |= 1 << i
+        return BitVector(bits, va.num_elems)
+
+    return run
+
+
+def _ref_mask_logic(fn: Callable[[BitVector, BitVector], BitVector]):
+    def run(env):
+        return fn(env["vs2"], env["vs1"])
+
+    return run
+
+
+def _ref_merge(sew: int):
+    def run(env):
+        va, vb = Vector(env["vs2"], sew), Vector(env["vs1"], sew)
+        mask = env["vm"]
+        out = [
+            vb.elem(i) if (mask.value >> i) & 1 else va.elem(i)
+            for i in range(va.num_elems)
+        ]
+        return vector_from_elems(out).bits
+
+    return run
+
+
+def _ref_widen_binop(sew: int, fn: Callable):
+    wide = 2 * sew
+
+    def run(env):
+        va, vb = Vector(env["vs2"], sew), Vector(env["vs1"], sew)
+        out = [fn(va.elem(i), vb.elem(i), wide) for i in range(va.num_elems)]
+        return vector_from_elems(out).bits
+
+    return run
+
+
+def _ref_ext2(sew: int, signed: bool):
+    wide = 2 * sew
+
+    def run(env):
+        va = Vector(env["vs2"], sew)
+        out = [
+            va.elem(i).sext(wide) if signed else va.elem(i).zext(wide)
+            for i in range(va.num_elems)
+        ]
+        return vector_from_elems(out).bits
+
+    return run
+
+
+def _ref_narrow(sew: int, kind: str, shift_source: str | None):
+    """vncvt/vnsrl/vnsra/vnclip(u): 2*SEW source elements down to SEW."""
+    wide = 2 * sew
+
+    def run(env):
+        va = Vector(env["vs2"], wide)
+        out = []
+        for i in range(va.num_elems):
+            x = va.elem(i)
+            if shift_source == "vs1":
+                raw = Vector(env["vs1"], sew).elem(i).value
+                amount = BitVector(raw & (wide - 1), wide)
+            elif shift_source == "uimm":
+                amount = BitVector(env["uimm"].value & (wide - 1), wide)
+            else:
+                amount = None
+            if kind == "trunc":
+                out.append(x.trunc(sew))
+            elif kind == "lshr":
+                out.append(x.bvlshr(amount).trunc(sew))
+            elif kind == "ashr":
+                out.append(x.bvashr(amount).trunc(sew))
+            elif kind == "clip_s":
+                out.append(x.bvashr(amount).saturate_to_signed(sew))
+            else:  # clip_u
+                out.append(x.bvlshr(amount).saturate_to_unsigned(sew))
+        return vector_from_elems(out).bits
+
+    return run
+
+
+def _ref_segload(sew: int, nf: int):
+    def run(env):
+        mem = Vector(env["mem"], sew)
+        count = mem.num_elems // nf
+        out = [
+            mem.elem(i * nf + field)
+            for field in range(nf)
+            for i in range(count)
+        ]
+        return vector_from_elems(out).bits
+
+    return run
+
+
+# -- generators -------------------------------------------------------------
+
+
+def _configs() -> list[tuple[int, int]]:
+    return [(sew, lmul) for lmul in LMULS for sew in SEWS]
+
+
+def _gen_arith(specs: list[InstructionSpec], vlen: int) -> None:
+    a, b = _elem("vs2"), _elem("vs1")
+    d = _elem("vd")
+    for sew, lmul in _configs():
+        width = vlen * lmul
+        machine = _machine(vlen, lmul, sew)
+        sign_agnostic = [
+            ("vadd", f"{a} + {b}", lambda x, y: x.bvadd(y), "ew_add"),
+            ("vsub", f"{a} - {b}", lambda x, y: x.bvsub(y), "ew_sub"),
+            ("vmul", f"{a} * {b}", lambda x, y: x.bvmul(y), "ew_mullo"),
+            ("vand", f"{a} & {b}", lambda x, y: x.bvand(y), "logic_and"),
+            ("vor", f"{a} | {b}", lambda x, y: x.bvor(y), "logic_or"),
+            ("vxor", f"{a} ^ {b}", lambda x, y: x.bvxor(y), "logic_xor"),
+        ]
+        for op, rhs, fn, family in sign_agnostic:
+            specs.append(
+                _spec(f"{op}_vv_i{sew}m{lmul}", f"{op}.vv", _two(width), width,
+                      _vloop(f"{d} = {rhs}"), family, 3.0, 0.5,
+                      _ref_lanewise(sew, fn), elem_width=sew, simd=True,
+                      **machine))
+        signed_cases = [
+            ("vmin", "min_s", lambda x, y: x.bvsmin(y), "ew_min_s", True),
+            ("vminu", "min_u", lambda x, y: x.bvumin(y), "ew_min_u", False),
+            ("vmax", "max_s", lambda x, y: x.bvsmax(y), "ew_max_s", True),
+            ("vmaxu", "max_u", lambda x, y: x.bvumax(y), "ew_max_u", False),
+            ("vsadd", "sadd_sat", lambda x, y: x.bvsaddsat(y), "ew_adds", True),
+            ("vsaddu", "uadd_sat", lambda x, y: x.bvuaddsat(y), "ew_addus", False),
+            ("vssub", "ssub_sat", lambda x, y: x.bvssubsat(y), "ew_subs", True),
+            ("vssubu", "usub_sat", lambda x, y: x.bvusubsat(y), "ew_subus", False),
+            ("vaadd", "avg_s",
+             lambda x, y: x.bvsavg(y, round_up=True), "ew_avg_s_rnd", True),
+            ("vaaddu", "avg_u",
+             lambda x, y: x.bvuavg(y, round_up=True), "ew_avg_u_rnd", False),
+        ]
+        for op, call, fn, family, signed in signed_cases:
+            specs.append(
+                _spec(f"{op}_vv_{_TYPE[signed]}{sew}m{lmul}", f"{op}.vv",
+                      _two(width), width,
+                      _vloop(f"{d} = {call}({a}, {b})"), family, 3.0, 0.5,
+                      _ref_lanewise(sew, fn), elem_width=sew, simd=True,
+                      **machine))
+        # High-half multiplies via explicit widening.
+        for op, signed in (("vmulh", True), ("vmulhu", False)):
+            ext = "sext" if signed else "zext"
+            rhs = (f"trunc(({ext}({a}, SEW * 2) * {ext}({b}, SEW * 2))"
+                   f" >> SEW, SEW)")
+
+            def fn_mulh(x, y, signed=signed, sew=sew):
+                wx = x.sext(2 * sew) if signed else x.zext(2 * sew)
+                wy = y.sext(2 * sew) if signed else y.zext(2 * sew)
+                return wx.bvmul(wy).extract(2 * sew - 1, sew)
+
+            specs.append(
+                _spec(f"{op}_vv_{_TYPE[signed]}{sew}m{lmul}", f"{op}.vv",
+                      _two(width), width, _vloop(f"{d} = {rhs}"),
+                      f"ew_mulh_{'s' if signed else 'u'}", 4.0, 1.0,
+                      _ref_lanewise(sew, fn_mulh), elem_width=sew, simd=True,
+                      **machine))
+
+
+def _gen_shifts(specs: list[InstructionSpec], vlen: int) -> None:
+    a = _elem("vs2")
+    d = _elem("vd")
+    imm = OperandSpec("uimm", 5, is_immediate=True)
+    cases = (("vsll", "<<", "shl"), ("vsrl", ">>", "lshr"),
+             ("vsra", ">>>", "ashr"))
+    for sew, lmul in _configs():
+        width = vlen * lmul
+        machine = _machine(vlen, lmul, sew)
+        for op, sym, kind in cases:
+            # .vv form: per-element shift amount, masked to log2(SEW) bits
+            # as the RVV spec requires.
+            amount = f"({_elem('vs1')} & (SEW - 1))"
+            specs.append(
+                _spec(f"{op}_vv_i{sew}m{lmul}", f"{op}.vv", _two(width),
+                      width, _vloop(f"{d} = {a} {sym} {amount}"),
+                      f"shift_var_{kind}", 3.0, 0.5, _ref_shift_vv(sew, kind),
+                      elem_width=sew, simd=True, **machine))
+            # .vi form: 5-bit immediate amount.
+            amount = f"zext(uimm & (SEW - 1), SEW)"
+            specs.append(
+                _spec(f"{op}_vi_i{sew}m{lmul}", f"{op}.vi",
+                      [OperandSpec("vs2", width), imm], width,
+                      _vloop(f"{d} = {a} {sym} {amount}"),
+                      f"shift_imm_{kind}", 3.0, 0.5, _ref_shift_vi(sew, kind),
+                      elem_width=sew, simd=True, **machine))
+
+
+def _gen_compare(specs: list[InstructionSpec], vlen: int) -> None:
+    """Mask-producing compares: the destination is ``vl`` *bits*."""
+    a, b = _elem("vs2"), _elem("vs1")
+    d = _elem("vd", "1")
+    cases = [
+        ("vmseq", f"{a} == {b}", "eq", None),
+        ("vmsne", f"{a} != {b}", "ne", None),
+        ("vmslt", f"{a} <s {b}", "lt_s", True),
+        ("vmsltu", f"{a} <u {b}", "lt_u", False),
+        ("vmsle", f"{a} <=s {b}", "le_s", True),
+        ("vmsleu", f"{a} <=u {b}", "le_u", False),
+        ("vmsgt", f"{a} >s {b}", "gt_s", True),
+        ("vmsgtu", f"{a} >u {b}", "gt_u", False),
+    ]
+    for sew, lmul in _configs():
+        width = vlen * lmul
+        vl = width // sew
+        machine = _machine(vlen, lmul, sew)
+        for op, cond, kind, signed in cases:
+            t = "i" if signed is None else _TYPE[signed]
+            specs.append(
+                _spec(f"{op}_vv_{t}{sew}m{lmul}", f"{op}.vv", _two(width), vl,
+                      _vloop(f"{d} = {cond} ? 1 : 0"), f"cmp_{kind}", 3.0,
+                      0.5, _ref_cmp_mask(sew, kind), elem_width=sew,
+                      simd=True, mask_output=True, mask_elems=vl, **machine))
+
+
+def _gen_mask_logic(specs: list[InstructionSpec], vlen: int) -> None:
+    """vmand.mm and friends: 1-bit element loops over mask registers."""
+    a, b = _elem("vs2", "1"), _elem("vs1", "1")
+    d = _elem("vd", "1")
+    cases = [
+        ("vmand", f"{a} & {b}",
+         lambda x, y: x.bvand(y), "mask_and"),
+        ("vmnand", f"~({a} & {b})",
+         lambda x, y: x.bvand(y).bvnot(), "mask_nand"),
+        ("vmandn", f"{a} & ~{b}",
+         lambda x, y: x.bvand(y.bvnot()), "mask_andn"),
+        ("vmor", f"{a} | {b}",
+         lambda x, y: x.bvor(y), "mask_or"),
+        ("vmnor", f"~({a} | {b})",
+         lambda x, y: x.bvor(y).bvnot(), "mask_nor"),
+        ("vmorn", f"{a} | ~{b}",
+         lambda x, y: x.bvor(y.bvnot()), "mask_orn"),
+        ("vmxor", f"{a} ^ {b}",
+         lambda x, y: x.bvxor(y), "mask_xor"),
+        ("vmxnor", f"~({a} ^ {b})",
+         lambda x, y: x.bvxor(y).bvnot(), "mask_xnor"),
+    ]
+    # One mask shape per distinct vl; bind a representative (sew, lmul).
+    shapes: dict[int, tuple[int, int]] = {}
+    for sew, lmul in _configs():
+        shapes.setdefault(vlen * lmul // sew, (sew, lmul))
+    for vl in sorted(shapes):
+        sew, lmul = shapes[vl]
+        machine = _machine(vlen, lmul, sew)
+        for op, rhs, fn, family in cases:
+            specs.append(
+                _spec(f"{op}_mm_vl{vl}", f"{op}.mm", _two(vl), vl,
+                      _vloop(f"{d} = {rhs}"), family, 2.0, 0.5,
+                      _ref_mask_logic(fn), elem_width=1, mask_output=True,
+                      mask_elems=vl, mask_operands=("vs2", "vs1"), **machine))
+
+
+def _gen_merge(specs: list[InstructionSpec], vlen: int) -> None:
+    d = _elem("vd")
+    rhs = (f"Elem[vm, i, 1] == 1 ? {_elem('vs1')} : {_elem('vs2')}")
+    for sew, lmul in _configs():
+        width = vlen * lmul
+        vl = width // sew
+        specs.append(
+            _spec(f"vmerge_vvm_i{sew}m{lmul}", "vmerge.vvm",
+                  [OperandSpec("vm", vl)] + _two(width), width,
+                  _vloop(f"{d} = {rhs}"), "predicated_mux", 3.0, 0.5,
+                  _ref_merge(sew), elem_width=sew, simd=True, mask_elems=vl,
+                  mask_operands=("vm",), **_machine(vlen, lmul, sew)))
+
+
+def _gen_widening(specs: list[InstructionSpec], vlen: int) -> None:
+    """2*SEW destinations from SEW sources (LMUL=1 register groups)."""
+    a, b = _elem("vs2"), _elem("vs1")
+    d = _elem("vd", "SEW * 2")
+    machine_for = lambda sew: _machine(vlen, 1, sew)  # noqa: E731
+    for sew in SEWS:
+        wide = 2 * sew
+        machine = machine_for(sew)
+        for op, sym, signed in (("vwadd", "+", True), ("vwaddu", "+", False),
+                                ("vwsub", "-", True), ("vwsubu", "-", False)):
+            ext = "sext" if signed else "zext"
+            rhs = f"{ext}({a}, SEW * 2) {sym} {ext}({b}, SEW * 2)"
+
+            def fn(x, y, w, signed=signed, sym=sym):
+                wx = x.sext(w) if signed else x.zext(w)
+                wy = y.sext(w) if signed else y.zext(w)
+                return wx.bvadd(wy) if sym == "+" else wx.bvsub(wy)
+
+            family = "widening_addl" if sym == "+" else "widening_subl"
+            specs.append(
+                _spec(f"{op}_vv_{_TYPE[signed]}{sew}m1", f"{op}.vv",
+                      _two(vlen), 2 * vlen, _vloop(f"{d} = {rhs}"), family,
+                      3.0, 0.5, _ref_widen_binop(sew, fn), elem_width=wide,
+                      widening=True, **machine))
+        mul_cases = [
+            ("vwmul", "sext", "sext", True, True),
+            ("vwmulu", "zext", "zext", False, False),
+            ("vwmulsu", "sext", "zext", True, False),
+        ]
+        for op, ext_a, ext_b, sa, sb in mul_cases:
+            rhs = f"{ext_a}({a}, SEW * 2) * {ext_b}({b}, SEW * 2)"
+
+            def fn_mul(x, y, w, sa=sa, sb=sb):
+                wx = x.sext(w) if sa else x.zext(w)
+                wy = y.sext(w) if sb else y.zext(w)
+                return wx.bvmul(wy)
+
+            specs.append(
+                _spec(f"{op}_vv_i{sew}m1", f"{op}.vv", _two(vlen), 2 * vlen,
+                      _vloop(f"{d} = {rhs}"), "widening_mul", 4.0, 1.0,
+                      _ref_widen_binop(sew, fn_mul), elem_width=wide,
+                      widening=True, **machine))
+        # Pure sign/zero extension conversions.
+        for op, ext, signed in (("vsext_vf2", "sext", True),
+                                ("vzext_vf2", "zext", False)):
+            specs.append(
+                _spec(f"{op}_i{sew}m1", op.replace("_", "."),
+                      [OperandSpec("vs2", vlen)], 2 * vlen,
+                      _vloop(f"{d} = {ext}({a}, SEW * 2)"),
+                      f"widen_{'s' if signed else 'u'}", 3.0, 0.5,
+                      _ref_ext2(sew, signed), elem_width=wide, widening=True,
+                      **machine))
+
+
+def _gen_narrowing(specs: list[InstructionSpec], vlen: int) -> None:
+    """SEW destinations from 2*SEW sources (the .w* forms)."""
+    a = _elem("vs2", "SEW * 2")
+    d = _elem("vd")
+    imm = OperandSpec("uimm", 5, is_immediate=True)
+    # Shift amounts for narrowing shifts range over [0, 2*SEW).
+    amt_v = f"(zext({_elem('vs1')}, SEW * 2) & (SEW * 2 - 1))"
+    amt_i = "(zext(uimm, SEW * 2) & (SEW * 2 - 1))"
+    for sew in SEWS:
+        machine = _machine(vlen, 1, sew)
+        wide_ops = [OperandSpec("vs2", 2 * vlen), OperandSpec("vs1", vlen)]
+        specs.append(
+            _spec(f"vncvt_x_x_w_i{sew}m1", "vncvt.x.x.w",
+                  [OperandSpec("vs2", 2 * vlen)], vlen,
+                  _vloop(f"{d} = trunc({a}, SEW)"), "narrow_trunc", 3.0, 0.5,
+                  _ref_narrow(sew, "trunc", None), elem_width=sew,
+                  swizzle=True, **machine))
+        for op, sym, kind in (("vnsrl", ">>", "lshr"), ("vnsra", ">>>", "ashr")):
+            specs.append(
+                _spec(f"{op}_wv_i{sew}m1", f"{op}.wv", list(wide_ops), vlen,
+                      _vloop(f"{d} = trunc({a} {sym} {amt_v}, SEW)"),
+                      f"narrow_{kind}", 3.0, 0.5,
+                      _ref_narrow(sew, kind, "vs1"), elem_width=sew,
+                      swizzle=True, **machine))
+            specs.append(
+                _spec(f"{op}_wi_i{sew}m1", f"{op}.wi",
+                      [OperandSpec("vs2", 2 * vlen), imm], vlen,
+                      _vloop(f"{d} = trunc({a} {sym} {amt_i}, SEW)"),
+                      f"narrow_{kind}", 3.0, 0.5,
+                      _ref_narrow(sew, kind, "uimm"), elem_width=sew,
+                      swizzle=True, **machine))
+        clip_cases = [
+            ("vnclip", ">>>", "clip_s", "sat_s", True),
+            ("vnclipu", ">>", "clip_u", "sat_u", False),
+        ]
+        for op, sym, kind, sat, signed in clip_cases:
+            specs.append(
+                _spec(f"{op}_wv_{_TYPE[signed]}{sew}m1", f"{op}.wv",
+                      list(wide_ops), vlen,
+                      _vloop(f"{d} = {sat}({a} {sym} {amt_v}, SEW)"),
+                      f"narrow_sat_{'s' if signed else 'u'}", 4.0, 0.5,
+                      _ref_narrow(sew, kind, "vs1"), elem_width=sew,
+                      swizzle=True, **machine))
+
+
+def _ref_dot2(sew: int):
+    half = sew // 2
+
+    def run(env):
+        va, vb = Vector(env["vs2"], half), Vector(env["vs1"], half)
+        out = []
+        for i in range(va.num_elems // 2):
+            lo = va.elem(2 * i).sext(sew).bvmul(vb.elem(2 * i).sext(sew))
+            hi = va.elem(2 * i + 1).sext(sew).bvmul(vb.elem(2 * i + 1).sext(sew))
+            out.append(lo.bvadd(hi))
+        return vector_from_elems(out).bits
+
+    return run
+
+
+def _ref_dot4(sew: int, sign_a: bool, sign_b: bool):
+    quarter = sew // 4
+
+    def run(env):
+        acc = Vector(env["acc"], sew)
+        va, vb = Vector(env["vs2"], quarter), Vector(env["vs1"], quarter)
+        out = []
+        for i in range(acc.num_elems):
+            total = acc.elem(i)
+            for q in range(4):
+                x, y = va.elem(4 * i + q), vb.elem(4 * i + q)
+                wx = x.sext(sew) if sign_a else x.zext(sew)
+                wy = y.sext(sew) if sign_b else y.zext(sew)
+                total = total.bvadd(wx.bvmul(wy))
+            out.append(total)
+        return vector_from_elems(out).bits
+
+    return run
+
+
+def _gen_dot(specs: list[InstructionSpec], vlen: int) -> None:
+    """Zvqdotq-style dot products (SEW=32 destinations).
+
+    ``vqdot*`` are the proposed RVV quad-widening 8-bit dot products;
+    ``vqdot2`` generalises the same shape to 16-bit pairs (the pmaddwd
+    idiom), which is what the matmul windows reduce to.  Sub-element
+    widths are written ``SEW / 4`` / ``SEW / 2`` so the bodies stay
+    VL- and SEW-symbolic.
+    """
+    sew = 32
+    d = _elem("vd")
+    for lmul in LMULS:
+        width = vlen * lmul
+        machine = _machine(vlen, lmul, sew)
+        # 2-way 16-bit dot product (no accumulator), pmaddwd-shaped.
+        pair = " + ".join(
+            f"sext(Elem[vs2, 2 * i + {q}, SEW / 2], SEW) * "
+            f"sext(Elem[vs1, 2 * i + {q}, SEW / 2], SEW)"
+            for q in range(2)
+        )
+        specs.append(
+            _spec(f"vqdot2_vv_i32m{lmul}", "vqdot2.vv", _two(width), width,
+                  _vloop(f"{d} = {pair}"), "dot_madd", 4.0, 1.0,
+                  _ref_dot2(sew), elem_width=sew, dot_product=True,
+                  reduction_width=2, **machine))
+        # 4-way 8-bit dot products accumulating into vd.
+        quad_cases = [
+            ("vqdot", "sext", "sext", True, True, "dot_4way"),
+            ("vqdotu", "zext", "zext", False, False, "dot_4way"),
+            ("vqdotsu", "zext", "sext", False, True, "dot_dpbusd"),
+        ]
+        for op, ext_a, ext_b, sa, sb, family in quad_cases:
+            quad = " + ".join(
+                f"{ext_a}(Elem[vs2, 4 * i + {q}, SEW / 4], SEW) * "
+                f"{ext_b}(Elem[vs1, 4 * i + {q}, SEW / 4], SEW)"
+                for q in range(4)
+            )
+            specs.append(
+                _spec(f"{op}_vv_i32m{lmul}", f"{op}.vv",
+                      [OperandSpec("acc", width)] + _two(width), width,
+                      _vloop(f"{d} = {_elem('acc')} + {quad}"), family, 4.0,
+                      1.0, _ref_dot4(sew, sa, sb), elem_width=sew,
+                      dot_product=True, fused=True, reduction_width=4,
+                      **machine))
+
+
+def _gen_segment_loads(specs: list[InstructionSpec], vlen: int) -> None:
+    """vlseg<nf>: de-interleave an nf-field structure into nf registers.
+
+    ``nf`` is a literal in the body — it is encoded in the opcode on real
+    hardware — but the per-field loop bound is still the symbolic ``vl``.
+    """
+    for nf in (2, 3, 4):
+        for sew in SEWS:
+            body = (
+                _VSETVL
+                + f"for f = 0 to {nf - 1}\n"
+                + "    for i = 0 to vl - 1\n"
+                + f"        Elem[vd, f * vl + i, SEW] = "
+                + f"Elem[mem, i * {nf} + f, SEW]\n"
+                + "    endfor\n"
+                + "endfor\n"
+            )
+            specs.append(
+                _spec(f"vlseg{nf}e{sew}_v_i{sew}m1", f"vlseg{nf}e{sew}.v",
+                      [OperandSpec("mem", nf * vlen)], nf * vlen, body,
+                      "segment_load", 6.0, 2.0, _ref_segload(sew, nf),
+                      elem_width=sew, segments=nf, lane_bits=vlen,
+                      swizzle=True, **_machine(vlen, 1, sew)))
+
+
+def generate_rvv_catalog(vlen: int = VLEN_SOLVER) -> IsaCatalog:
+    """Generate the synthetic RVV manual at one concrete ``VLEN``.
+
+    The pseudocode produced is identical for every ``vlen``; only the
+    attribute bindings (and operand/destination widths) change, which is
+    the property the scale-down tests rely on.
+    """
+    if vlen < 64 or vlen % 64:
+        raise ValueError(f"VLEN must be a positive multiple of 64, got {vlen}")
+    specs: list[InstructionSpec] = []
+    _gen_arith(specs, vlen)
+    _gen_shifts(specs, vlen)
+    _gen_compare(specs, vlen)
+    _gen_mask_logic(specs, vlen)
+    _gen_merge(specs, vlen)
+    _gen_widening(specs, vlen)
+    _gen_narrowing(specs, vlen)
+    _gen_dot(specs, vlen)
+    _gen_segment_loads(specs, vlen)
+    return IsaCatalog("rvv", specs)

@@ -24,6 +24,11 @@ from repro.isa.spec import InstructionSpec, IsaCatalog, OperandSpec
 
 VEC_WIDTHS = (128, 256, 512)
 
+#: x86's swizzle/horizontal families operate per 128-bit SSE lane even in
+#: their AVX2/AVX-512 widths; the lane width is threaded through to the
+#: reference executables (and recorded on the specs) rather than assumed.
+LANE_BITS = 128
+
 _PREFIX = {128: "_mm", 256: "_mm256", 512: "_mm512"}
 _EXT = {128: "SSE2", 256: "AVX2", 512: "AVX512"}
 
@@ -436,9 +441,12 @@ def _gen_unpack(specs: list[InstructionSpec]) -> None:
                         family=f"unpack_{pos}",
                         latency=1.0,
                         throughput=1.0,
-                        reference=ref.ref_unpack(ew, vec, high),
+                        reference=ref.ref_unpack(
+                            ew, vec, high, lane_bits=LANE_BITS
+                        ),
                         extension=_EXT[vec],
                         elem_width=ew,
+                        lane_bits=LANE_BITS,
                         swizzle=True,
                     )
                 )
@@ -480,9 +488,12 @@ def _gen_pack(specs: list[InstructionSpec]) -> None:
                         family=f"pack_{kind}",
                         latency=1.0,
                         throughput=1.0,
-                        reference=ref.ref_pack(src_ew, vec, unsigned),
+                        reference=ref.ref_pack(
+                            src_ew, vec, unsigned, lane_bits=LANE_BITS
+                        ),
                         extension=_EXT[vec],
                         elem_width=dst,
+                        lane_bits=LANE_BITS,
                         swizzle=True,
                     )
                 )
@@ -740,9 +751,12 @@ def _gen_hadd(specs: list[InstructionSpec]) -> None:
                         family=f"horizontal_{name}",
                         latency=3.0,
                         throughput=2.0,
-                        reference=ref.ref_hadd(ew, vec, sub),
+                        reference=ref.ref_hadd(
+                            ew, vec, sub, lane_bits=LANE_BITS
+                        ),
                         extension="SSE4" if vec == 128 else "AVX2",
                         elem_width=ew,
+                        lane_bits=LANE_BITS,
                         dot_product=True,
                     )
                 )

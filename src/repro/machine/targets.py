@@ -68,4 +68,17 @@ TARGETS: dict[str, TargetDescription] = {
         generic_permute_latency=2.0,
         vector_registers=32,
     ),
+    # RVV is vector-length-agnostic; codegen windows are sized at the
+    # catalog's solver shape (VLEN=128 at LMUL=2), not a hardware VLEN.
+    "rvv": TargetDescription(
+        name="rvv",
+        vector_bits=256,
+        frequency_ghz=2.0,
+        ports={"alu": 2, "mul": 1, "shuffle": 1, "load": 2, "store": 1},
+        load_rthroughput=0.5,
+        store_rthroughput=1.0,
+        strided_load_penalty=2.0,
+        generic_permute_latency=3.0,
+        vector_registers=32,
+    ),
 }

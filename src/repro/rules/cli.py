@@ -19,9 +19,10 @@ import json
 import sys
 
 from repro.autollvm import build_dictionary
+from repro.isa.registry import CORE_ISAS
 from repro.synthesis.serialize import dictionary_fingerprint
 
-DEFAULT_ISAS = ("x86", "hvx", "arm")
+DEFAULT_ISAS = CORE_ISAS
 
 
 def _parse_args(argv: list[str] | None) -> argparse.Namespace:
@@ -70,6 +71,14 @@ def _isas(args: argparse.Namespace) -> list[str]:
     return [s for s in args.isa.split(",") if s]
 
 
+def _dictionary_for(isa: str):
+    """Per-ISA dictionary + fingerprint, matching what jobs compile with."""
+    from repro.autollvm.intrinsics import dictionary_isas
+
+    dictionary = build_dictionary(dictionary_isas(isa))
+    return dictionary, dictionary_fingerprint(dictionary)
+
+
 def _open_cache(cache_dir: str, isa: str, dictionary):
     from repro.service.store import PersistentCache
 
@@ -79,10 +88,9 @@ def _open_cache(cache_dir: str, isa: str, dictionary):
 def _cmd_distill(args: argparse.Namespace) -> int:
     from repro.synthesis.rules import clear_preloaded, distill_rules
 
-    dictionary = build_dictionary(tuple(DEFAULT_ISAS))
-    fingerprint = dictionary_fingerprint(dictionary)
     payload = []
     for isa in _isas(args):
+        dictionary, fingerprint = _dictionary_for(isa)
         cache = _open_cache(args.cache_dir, isa, dictionary)
         book, report = distill_rules(
             cache._entries.items(), isa, fingerprint=fingerprint,
@@ -133,11 +141,10 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
     from pathlib import Path
 
-    dictionary = build_dictionary(tuple(DEFAULT_ISAS))
-    fingerprint = dictionary_fingerprint(dictionary)
     root = Path(args.cache_dir)
     payload = []
     for isa in _isas(args):
+        dictionary, fingerprint = _dictionary_for(isa)
         directory = root / isa / fingerprint[:FINGERPRINT_DIR_CHARS]
         book = load_rulebook(
             directory, dictionary, expect_fingerprint=fingerprint,
@@ -172,12 +179,11 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
     from pathlib import Path
 
-    dictionary = build_dictionary(tuple(DEFAULT_ISAS))
-    fingerprint = dictionary_fingerprint(dictionary)
     root = Path(args.cache_dir)
     payload = []
     failures = 0
     for isa in _isas(args):
+        dictionary, fingerprint = _dictionary_for(isa)
         directory = root / isa / fingerprint[:FINGERPRINT_DIR_CHARS]
         book = load_rulebook(
             directory, dictionary, expect_fingerprint=fingerprint,

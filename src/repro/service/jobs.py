@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 
 from repro import faults
 from repro.autollvm import build_dictionary
+from repro.autollvm.intrinsics import dictionary_isas
 from repro.backend import (
     CompileError,
     HalideNativeCompiler,
@@ -296,7 +297,7 @@ def execute_job(
     deadline = (
         started + job.timeout_seconds if job.timeout_seconds is not None else None
     )
-    dictionary = build_dictionary(("x86", "hvx", "arm"))
+    dictionary = build_dictionary(dictionary_isas(job.isa))
     # Snapshot before the cache opens so open-time events (entry loads,
     # reaped litter, absorbed faults) are attributed to this job too.
     perf_before = perf_snapshot()
@@ -395,7 +396,7 @@ def fallback_job_result(
     """
     started = time.monotonic()
     name = job.fallback or "llvm"
-    dictionary = build_dictionary(("x86", "hvx", "arm"))
+    dictionary = build_dictionary(dictionary_isas(job.isa))
     result = _compile_once(job, name, dictionary, MemoCache(), cegis, None)
     result = dataclasses.replace(result, error=f"fallback={name}: {reason}")
     telemetry = JobTelemetry(
